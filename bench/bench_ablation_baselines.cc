@@ -1,0 +1,82 @@
+// Ablation: the cross-model baselines against the framework — Ullmann
+// (1976), classic VF2, the Generic Join (WCOJ) engine and Glasgow vs the
+// paper's recommended GQLfs configuration, across query sizes on the Yeast
+// analog. Confirms the paper's observation that the
+// preprocessing-enumeration framework dominates the direct state-space
+// algorithms, and positions the WCOJ model (Section 2.2) on the same axis.
+#include "report.h"
+#include "runner.h"
+#include "sgm/baselines/ullmann.h"
+#include "sgm/baselines/vf2.h"
+#include "sgm/glasgow/glasgow.h"
+#include "sgm/util/stats.h"
+#include "sgm/wcoj/generic_join.h"
+
+namespace sgm::bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Ablation: baselines",
+              "Mean query time (ms) of cross-model baselines vs GQLfs on ye",
+              config);
+
+  const DatasetSpec spec = AnalogByCode("ye", config.full_scale);
+  const Graph data = BuildDataset(spec, config.seed);
+
+  PrintHeaderRow({"|V(q)|", "GQLfs", "Ullmann", "VF2", "WCOJ", "GLW"});
+  for (const uint32_t size : config.query_sizes) {
+    const auto queries =
+        MakeQuerySet(data, size,
+                     size <= 4 ? QueryDensity::kAny : QueryDensity::kDense,
+                     config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+
+    MatchOptions gql = MatchOptions::Optimized(Algorithm::kGraphQL);
+    gql.use_failing_sets = true;
+    gql.max_matches = config.max_matches;
+    gql.time_limit_ms = config.time_limit_ms;
+    const double gql_ms = RunQuerySet(data, queries, gql).total_ms.mean();
+
+    RunningStats ullmann_ms, vf2_ms, wcoj_ms, glasgow_ms;
+    for (const Graph& query : queries) {
+      UllmannOptions ullmann_options;
+      ullmann_options.max_matches = config.max_matches;
+      ullmann_options.time_limit_ms = config.time_limit_ms;
+      const auto ullmann = UllmannMatch(query, data, ullmann_options);
+      ullmann_ms.Add(ullmann.timed_out ? config.time_limit_ms
+                                       : ullmann.total_ms);
+
+      Vf2Options vf2_options;
+      vf2_options.max_matches = config.max_matches;
+      vf2_options.time_limit_ms = config.time_limit_ms;
+      const auto vf2 = Vf2Match(query, data, vf2_options);
+      vf2_ms.Add(vf2.timed_out ? config.time_limit_ms : vf2.total_ms);
+
+      WcojOptions wcoj_options;
+      wcoj_options.max_results = config.max_matches;
+      wcoj_options.time_limit_ms = config.time_limit_ms;
+      const auto wcoj = GenericJoinMatch(query, data, wcoj_options);
+      wcoj_ms.Add(wcoj.timed_out ? config.time_limit_ms : wcoj.total_ms);
+
+      GlasgowOptions glasgow_options;
+      glasgow_options.max_matches = config.max_matches;
+      glasgow_options.time_limit_ms = config.time_limit_ms;
+      const auto glasgow = GlasgowMatch(query, data, glasgow_options);
+      glasgow_ms.Add(glasgow.status == GlasgowStatus::kTimedOut
+                         ? config.time_limit_ms
+                         : glasgow.total_ms);
+    }
+    PrintRow({FormatCount(size), FormatDouble(gql_ms),
+              FormatDouble(ullmann_ms.mean()), FormatDouble(vf2_ms.mean()),
+              FormatDouble(wcoj_ms.mean()), FormatDouble(glasgow_ms.mean())});
+  }
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: microbenchmark of the set-intersection kernels (merge,
+// galloping, hybrid, QFilter) over synthetic sorted arrays with controlled
+// cardinality skew and selectivity — the design space behind the Section
+// 3.3.2 analysis and recommendation 3. Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sgm/util/prng.h"
+#include "sgm/util/set_intersection.h"
+
+namespace sgm {
+namespace {
+
+std::vector<Vertex> MakeSortedSet(Prng* prng, size_t size, Vertex universe) {
+  std::vector<Vertex> values;
+  values.reserve(size * 2);
+  while (values.size() < size) {
+    const size_t missing = size - values.size();
+    for (size_t i = 0; i < missing * 2; ++i) {
+      values.push_back(static_cast<Vertex>(prng->NextBounded(universe)));
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+  }
+  values.resize(size);
+  return values;
+}
+
+void IntersectionArgs(benchmark::internal::Benchmark* bench) {
+  // {size of A, skew factor |B| = |A| * skew}
+  for (const int64_t size : {64, 1024, 16384}) {
+    for (const int64_t skew : {1, 8, 64}) {
+      bench->Args({size, skew});
+    }
+  }
+}
+
+template <IntersectionMethod kMethod>
+void BM_Intersection(benchmark::State& state) {
+  const auto size_a = static_cast<size_t>(state.range(0));
+  const auto size_b = size_a * static_cast<size_t>(state.range(1));
+  Prng prng(1234);
+  const Vertex universe = static_cast<Vertex>(size_b * 4);
+  const auto a = MakeSortedSet(&prng, size_a, universe);
+  const auto b = MakeSortedSet(&prng, size_b, universe);
+  std::vector<Vertex> out;
+  out.reserve(size_a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Intersect(kMethod, a, b, &out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(size_a + size_b));
+}
+
+BENCHMARK(BM_Intersection<IntersectionMethod::kMerge>)
+    ->Apply(IntersectionArgs);
+BENCHMARK(BM_Intersection<IntersectionMethod::kGalloping>)
+    ->Apply(IntersectionArgs);
+BENCHMARK(BM_Intersection<IntersectionMethod::kHybrid>)
+    ->Apply(IntersectionArgs);
+BENCHMARK(BM_Intersection<IntersectionMethod::kQFilter>)
+    ->Apply(IntersectionArgs);
+
+}  // namespace
+}  // namespace sgm
+
+BENCHMARK_MAIN();

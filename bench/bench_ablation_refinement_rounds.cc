@@ -1,0 +1,83 @@
+// Ablation (beyond the paper's figures, motivated by the Section 3.1.2
+// discussion): how the number of refinement iterations trades pruning power
+// against filtering time — GraphQL's global-refinement rounds and DP-iso's
+// alternating passes, on the Youtube analog, with the STEADY fixpoint as
+// the pruning-power asymptote.
+#include "report.h"
+#include "sgm/core/filter/filter.h"
+#include "sgm/util/stats.h"
+#include "sgm/util/timer.h"
+
+namespace sgm::bench {
+namespace {
+
+struct Sample {
+  double mean_candidates = 0.0;
+  double mean_ms = 0.0;
+};
+
+template <typename RunFn>
+Sample Measure(const std::vector<Graph>& queries, const RunFn& run) {
+  RunningStats candidates, time_ms;
+  for (const Graph& query : queries) {
+    Timer timer;
+    const FilterResult result = run(query);
+    time_ms.Add(timer.ElapsedMillis());
+    candidates.Add(result.candidates.AverageCount());
+  }
+  return {candidates.mean(), time_ms.mean()};
+}
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Ablation: refinement rounds",
+              "Pruning power vs filtering cost as refinement iterations grow",
+              config);
+
+  const DatasetSpec spec = AnalogByCode("yt", config.full_scale);
+  const Graph data = BuildDataset(spec, config.seed);
+  const auto queries =
+      MakeQuerySet(data, DefaultQuerySize(spec, config), QueryDensity::kDense,
+                   config.queries_per_set, config.seed);
+  if (queries.empty()) return;
+
+  std::printf("\nGraphQL global refinement rounds\n");
+  PrintHeaderRow({"rounds", "avg-cands", "filter-ms"});
+  for (const uint32_t rounds : {0u, 1u, 2u, 3u, 4u}) {
+    FilterOptions options;
+    options.graphql_refinement_rounds = rounds;
+    const Sample sample = Measure(queries, [&](const Graph& query) {
+      return RunGraphQlFilter(query, data, options);
+    });
+    PrintRow({FormatCount(rounds), FormatDouble(sample.mean_candidates, 1),
+              FormatDouble(sample.mean_ms)});
+  }
+
+  std::printf("\nDP-iso alternating refinement passes (paper default k=3)\n");
+  PrintHeaderRow({"passes", "avg-cands", "filter-ms"});
+  for (const uint32_t passes : {1u, 2u, 3u, 4u, 6u}) {
+    FilterOptions options;
+    options.dpiso_refinement_rounds = passes;
+    const Sample sample = Measure(queries, [&](const Graph& query) {
+      return RunDpisoFilter(query, data, options);
+    });
+    PrintRow({FormatCount(passes), FormatDouble(sample.mean_candidates, 1),
+              FormatDouble(sample.mean_ms)});
+  }
+
+  std::printf("\nSTEADY fixpoint baseline\n");
+  PrintHeaderRow({"baseline", "avg-cands", "filter-ms"});
+  const Sample steady = Measure(queries, [&](const Graph& query) {
+    return RunSteadyFilter(query, data);
+  });
+  PrintRow({"STEADY", FormatDouble(steady.mean_candidates, 1),
+            FormatDouble(steady.mean_ms)});
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

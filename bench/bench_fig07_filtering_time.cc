@@ -1,0 +1,118 @@
+// Figure 7: preprocessing (filtering) time of GQL, CFL, CECI and DP-iso —
+// (a) across datasets, (b) varying |V(q)| on the Youtube analog,
+// (c) dense vs sparse query sets on the Youtube analog.
+//
+// Following the paper, the measured time covers candidate generation plus
+// the construction of each method's own auxiliary structure (none for GQL,
+// tree edges for CFL's CPI, all edges for CECI and DP-iso).
+#include <utility>
+
+#include "report.h"
+#include "runner.h"
+#include "sgm/core/aux_structure.h"
+#include "sgm/core/filter/filter.h"
+#include "sgm/util/timer.h"
+
+namespace sgm::bench {
+namespace {
+
+struct MethodSpec {
+  FilterMethod filter;
+  AuxEdgeScope aux_scope;
+};
+
+constexpr MethodSpec kMethods[] = {
+    {FilterMethod::kGraphQL, AuxEdgeScope::kNone},
+    {FilterMethod::kCFL, AuxEdgeScope::kTreeEdges},
+    {FilterMethod::kCECI, AuxEdgeScope::kAllEdges},
+    {FilterMethod::kDPiso, AuxEdgeScope::kAllEdges},
+};
+
+double MeanFilterTime(const Graph& data, const std::vector<Graph>& queries,
+                      const MethodSpec& method) {
+  RunningStats stats;
+  for (const Graph& query : queries) {
+    Timer timer;
+    const FilterResult filtered = RunFilter(method.filter, query, data);
+    if (!filtered.candidates.AnyEmpty()) {
+      switch (method.aux_scope) {
+        case AuxEdgeScope::kNone:
+          break;
+        case AuxEdgeScope::kTreeEdges:
+          AuxStructure::BuildTreeEdges(query, data, filtered.candidates,
+                                       filtered.bfs_tree->parent);
+          break;
+        case AuxEdgeScope::kAllEdges:
+          AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+          break;
+      }
+    }
+    stats.Add(timer.ElapsedMillis());
+  }
+  return stats.mean();
+}
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Figure 7", "Preprocessing time of filtering methods (ms)",
+              config);
+
+  // (a) across datasets at the default query size, dense queries.
+  std::printf("\n(a) vary data graphs (dense queries)\n");
+  PrintHeaderRow({"dataset", "GQL", "CFL", "CECI", "DP"});
+  Graph youtube;  // reused by (b) and (c)
+  for (const DatasetSpec& spec : SelectedAnalogs(config)) {
+    const Graph data = BuildDataset(spec, config.seed);
+    const uint32_t size = DefaultQuerySize(spec, config);
+    const auto queries = MakeQuerySet(data, size, QueryDensity::kDense,
+                                      config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+    std::vector<std::string> row = {spec.code};
+    for (const MethodSpec& method : kMethods) {
+      row.push_back(FormatDouble(MeanFilterTime(data, queries, method)));
+    }
+    PrintRow(row);
+    if (spec.code == "yt") youtube = data;
+  }
+  if (youtube.vertex_count() == 0) return;
+
+  // (b) vary |V(q)| on the Youtube analog.
+  std::printf("\n(b) vary |V(q)| on yt (dense queries)\n");
+  PrintHeaderRow({"|V(q)|", "GQL", "CFL", "CECI", "DP"});
+  for (const uint32_t size : config.query_sizes) {
+    const auto queries =
+        MakeQuerySet(youtube, size,
+                     size <= 4 ? QueryDensity::kAny : QueryDensity::kDense,
+                     config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+    std::vector<std::string> row = {FormatCount(size)};
+    for (const MethodSpec& method : kMethods) {
+      row.push_back(FormatDouble(MeanFilterTime(youtube, queries, method)));
+    }
+    PrintRow(row);
+  }
+
+  // (c) dense vs sparse on the Youtube analog.
+  std::printf("\n(c) dense vs sparse on yt (default size)\n");
+  PrintHeaderRow({"density", "GQL", "CFL", "CECI", "DP"});
+  for (const QueryDensity density :
+       {QueryDensity::kDense, QueryDensity::kSparse}) {
+    const auto queries = MakeQuerySet(
+        youtube, DefaultQuerySize(AnalogByCode("yt", config.full_scale), config),
+        density, config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+    std::vector<std::string> row = {QueryDensityName(density)};
+    for (const MethodSpec& method : kMethods) {
+      row.push_back(FormatDouble(MeanFilterTime(youtube, queries, method)));
+    }
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 8: pruning power of the filtering methods — the average number of
+// candidate vertices (1/|V(q)| * sum |C(u)|) of GQL, CFL, CECI and DP-iso,
+// bracketed by the LDF baseline (weakest) and the STEADY fixpoint baseline
+// (strongest application of Filtering Rule 3.1).
+#include "report.h"
+#include "sgm/core/filter/filter.h"
+#include "sgm/util/stats.h"
+
+namespace sgm::bench {
+namespace {
+
+constexpr FilterMethod kMethods[] = {
+    FilterMethod::kLDF,  FilterMethod::kGraphQL, FilterMethod::kCFL,
+    FilterMethod::kCECI, FilterMethod::kDPiso,   FilterMethod::kSteady,
+};
+
+double MeanCandidates(const Graph& data, const std::vector<Graph>& queries,
+                      FilterMethod method) {
+  RunningStats stats;
+  for (const Graph& query : queries) {
+    const FilterResult filtered = RunFilter(method, query, data);
+    stats.Add(filtered.candidates.AverageCount());
+  }
+  return stats.mean();
+}
+
+std::vector<std::string> HeaderColumns(const std::string& first) {
+  std::vector<std::string> columns = {first};
+  for (const FilterMethod method : kMethods) {
+    columns.push_back(FilterMethodName(method));
+  }
+  return columns;
+}
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Figure 8", "Average number of candidate vertices", config);
+
+  std::printf("\n(a) vary data graphs (dense queries)\n");
+  PrintHeaderRow(HeaderColumns("dataset"));
+  Graph youtube;
+  for (const DatasetSpec& spec : SelectedAnalogs(config)) {
+    const Graph data = BuildDataset(spec, config.seed);
+    const auto queries =
+        MakeQuerySet(data, DefaultQuerySize(spec, config),
+                     QueryDensity::kDense, config.queries_per_set,
+                     config.seed);
+    if (queries.empty()) continue;
+    std::vector<std::string> row = {spec.code};
+    for (const FilterMethod method : kMethods) {
+      row.push_back(FormatDouble(MeanCandidates(data, queries, method), 1));
+    }
+    PrintRow(row);
+    if (spec.code == "yt") youtube = data;
+  }
+  if (youtube.vertex_count() == 0) return;
+
+  std::printf("\n(b) vary |V(q)| on yt (dense queries)\n");
+  PrintHeaderRow(HeaderColumns("|V(q)|"));
+  for (const uint32_t size : config.query_sizes) {
+    const auto queries =
+        MakeQuerySet(youtube, size,
+                     size <= 4 ? QueryDensity::kAny : QueryDensity::kDense,
+                     config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+    std::vector<std::string> row = {FormatCount(size)};
+    for (const FilterMethod method : kMethods) {
+      row.push_back(
+          FormatDouble(MeanCandidates(youtube, queries, method), 1));
+    }
+    PrintRow(row);
+  }
+
+  std::printf("\n(c) dense vs sparse on yt (default size)\n");
+  PrintHeaderRow(HeaderColumns("density"));
+  const uint32_t default_size =
+      DefaultQuerySize(AnalogByCode("yt", config.full_scale), config);
+  for (const QueryDensity density :
+       {QueryDensity::kDense, QueryDensity::kSparse}) {
+    const auto queries = MakeQuerySet(youtube, default_size, density,
+                                      config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+    std::vector<std::string> row = {QueryDensityName(density)};
+    for (const FilterMethod method : kMethods) {
+      row.push_back(
+          FormatDouble(MeanCandidates(youtube, queries, method), 1));
+    }
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

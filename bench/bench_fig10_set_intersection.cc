@@ -1,0 +1,71 @@
+// Figure 10: Hybrid vs QFilter set intersection inside the optimized GQL
+// engine — (a) enumeration time across datasets, (b) varying dense query
+// sizes on the Youtube analog. The paper finds QFilter ahead on the dense
+// graphs (eu, hu) and behind on sparse ones.
+#include "report.h"
+#include "runner.h"
+#include "sgm/util/qfilter.h"
+
+namespace sgm::bench {
+namespace {
+
+double MeanEnumerationMs(const Graph& data, const std::vector<Graph>& queries,
+                         const BenchConfig& config,
+                         IntersectionMethod intersection) {
+  MatchOptions options = MatchOptions::Optimized(Algorithm::kGraphQL);
+  options.intersection = intersection;
+  options.max_matches = config.max_matches;
+  options.time_limit_ms = config.time_limit_ms;
+  return RunQuerySet(data, queries, options).enumeration_ms.mean();
+}
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Figure 10",
+              "Set intersection methods in the optimized GQL engine (mean"
+              " enumeration ms)",
+              config);
+  std::printf("SIMD kernel active: %s\n", QFilterUsesSimd() ? "yes" : "no");
+
+  std::printf("\n(a) vary data graphs (dense queries)\n");
+  PrintHeaderRow({"dataset", "Hybrid", "QFilter"});
+  Graph youtube;
+  for (const DatasetSpec& spec : SelectedAnalogs(config)) {
+    const Graph data = BuildDataset(spec, config.seed);
+    const auto queries =
+        MakeQuerySet(data, DefaultQuerySize(spec, config),
+                     QueryDensity::kDense, config.queries_per_set,
+                     config.seed);
+    if (queries.empty()) continue;
+    PrintRow({spec.code,
+              FormatDouble(MeanEnumerationMs(data, queries, config,
+                                             IntersectionMethod::kHybrid)),
+              FormatDouble(MeanEnumerationMs(data, queries, config,
+                                             IntersectionMethod::kQFilter))});
+    if (spec.code == "yt") youtube = data;
+  }
+  if (youtube.vertex_count() == 0) return;
+
+  std::printf("\n(b) vary dense queries on yt\n");
+  PrintHeaderRow({"|V(q)|", "Hybrid", "QFilter"});
+  for (const uint32_t size : config.query_sizes) {
+    const auto queries =
+        MakeQuerySet(youtube, size,
+                     size <= 4 ? QueryDensity::kAny : QueryDensity::kDense,
+                     config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+    PrintRow({FormatCount(size),
+              FormatDouble(MeanEnumerationMs(youtube, queries, config,
+                                             IntersectionMethod::kHybrid)),
+              FormatDouble(MeanEnumerationMs(youtube, queries, config,
+                                             IntersectionMethod::kQFilter))});
+  }
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

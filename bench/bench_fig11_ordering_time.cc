@@ -1,0 +1,98 @@
+// Figure 11: enumeration time of the ordering methods. All seven
+// algorithms run with the optimized engine (all-edges auxiliary structure +
+// Algorithm 5) and, for the direct-enumeration methods, GraphQL candidate
+// sets — the Section 5.3 protocol that isolates ordering quality. Failing
+// sets are disabled.
+#include "report.h"
+#include "runner.h"
+
+namespace sgm::bench {
+namespace {
+
+MatchOptions OrderingProtocolOptions(Algorithm algorithm,
+                                     const BenchConfig& config) {
+  MatchOptions options = MatchOptions::Optimized(algorithm);
+  options.max_matches = config.max_matches;
+  options.time_limit_ms = config.time_limit_ms;
+  return options;
+}
+
+std::vector<std::string> Header(const std::string& first) {
+  std::vector<std::string> columns = {first};
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    columns.push_back(AlgorithmName(algorithm));
+  }
+  return columns;
+}
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Figure 11",
+              "Enumeration time of ordering methods (mean ms, optimized"
+              " engines, no failing sets)",
+              config);
+
+  std::printf("\n(a) vary data graphs (dense queries)\n");
+  PrintHeaderRow(Header("dataset"));
+  Graph youtube;
+  for (const DatasetSpec& spec : SelectedAnalogs(config)) {
+    const Graph data = BuildDataset(spec, config.seed);
+    const auto queries =
+        MakeQuerySet(data, DefaultQuerySize(spec, config),
+                     QueryDensity::kDense, config.queries_per_set,
+                     config.seed);
+    if (queries.empty()) continue;
+    std::vector<std::string> row = {spec.code};
+    for (const Algorithm algorithm : kAllAlgorithms) {
+      const QuerySetRun run = RunQuerySet(
+          data, queries, OrderingProtocolOptions(algorithm, config));
+      row.push_back(FormatDouble(run.enumeration_ms.mean()));
+    }
+    PrintRow(row);
+    if (spec.code == "yt") youtube = data;
+  }
+  if (youtube.vertex_count() == 0) return;
+
+  std::printf("\n(b) vary |V(q)| on yt (dense queries)\n");
+  PrintHeaderRow(Header("|V(q)|"));
+  for (const uint32_t size : config.query_sizes) {
+    const auto queries =
+        MakeQuerySet(youtube, size,
+                     size <= 4 ? QueryDensity::kAny : QueryDensity::kDense,
+                     config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+    std::vector<std::string> row = {FormatCount(size)};
+    for (const Algorithm algorithm : kAllAlgorithms) {
+      const QuerySetRun run = RunQuerySet(
+          youtube, queries, OrderingProtocolOptions(algorithm, config));
+      row.push_back(FormatDouble(run.enumeration_ms.mean()));
+    }
+    PrintRow(row);
+  }
+
+  std::printf("\n(c) dense vs sparse on yt (default size)\n");
+  PrintHeaderRow(Header("density"));
+  const uint32_t default_size =
+      DefaultQuerySize(AnalogByCode("yt", config.full_scale), config);
+  for (const QueryDensity density :
+       {QueryDensity::kDense, QueryDensity::kSparse}) {
+    const auto queries = MakeQuerySet(youtube, default_size, density,
+                                      config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+    std::vector<std::string> row = {QueryDensityName(density)};
+    for (const Algorithm algorithm : kAllAlgorithms) {
+      const QuerySetRun run = RunQuerySet(
+          youtube, queries, OrderingProtocolOptions(algorithm, config));
+      row.push_back(FormatDouble(run.enumeration_ms.mean()));
+    }
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 12: standard deviation of the enumeration time across the queries
+// of each query set on the Youtube analog — large SD shows that per-query
+// times vary wildly within a set. Same Section 5.3 protocol as Figure 11.
+#include "report.h"
+#include "runner.h"
+
+namespace sgm::bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Figure 12",
+              "Standard deviation of enumeration time on yt (ms)", config);
+
+  const DatasetSpec spec = AnalogByCode("yt", config.full_scale);
+  const Graph data = BuildDataset(spec, config.seed);
+
+  std::vector<std::string> header = {"query-set"};
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    header.push_back(AlgorithmName(algorithm));
+  }
+  PrintHeaderRow(header);
+
+  for (const QueryDensity density :
+       {QueryDensity::kDense, QueryDensity::kSparse}) {
+    for (const uint32_t size : config.query_sizes) {
+      if (size <= 4 && density == QueryDensity::kSparse) continue;
+      const auto queries =
+          MakeQuerySet(data, size,
+                       size <= 4 ? QueryDensity::kAny : density,
+                       config.queries_per_set, config.seed);
+      if (queries.empty()) continue;
+      std::string label = "Q" + std::to_string(size);
+      label += size <= 4 ? "" : (density == QueryDensity::kDense ? "D" : "S");
+      std::vector<std::string> row = {label};
+      for (const Algorithm algorithm : kAllAlgorithms) {
+        MatchOptions options = MatchOptions::Optimized(algorithm);
+        options.max_matches = config.max_matches;
+        options.time_limit_ms = config.time_limit_ms;
+        const QuerySetRun run = RunQuerySet(data, queries, options);
+        row.push_back(FormatDouble(run.enumeration_ms.stddev()));
+      }
+      PrintRow(row);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

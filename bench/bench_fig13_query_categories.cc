@@ -1,0 +1,85 @@
+// Figure 13: percentage of short / median / long / unsolved queries per
+// algorithm on the Youtube analog (dense and sparse sets). The paper's
+// categories (<1s, <60s, <300s, killed) are kept proportional to the
+// configured per-query time limit: short < limit/300, median < limit/5,
+// long <= limit, unsolved = killed.
+#include "report.h"
+#include "runner.h"
+
+namespace sgm::bench {
+namespace {
+
+struct Categories {
+  uint32_t short_count = 0;
+  uint32_t median_count = 0;
+  uint32_t long_count = 0;
+  uint32_t unsolved_count = 0;
+};
+
+Categories Categorize(const QuerySetRun& run, double limit_ms) {
+  Categories categories;
+  for (size_t i = 0; i < run.per_query_enumeration_ms.size(); ++i) {
+    if (run.per_query_unsolved[i]) {
+      ++categories.unsolved_count;
+    } else if (run.per_query_enumeration_ms[i] < limit_ms / 300.0) {
+      ++categories.short_count;
+    } else if (run.per_query_enumeration_ms[i] < limit_ms / 5.0) {
+      ++categories.median_count;
+    } else {
+      ++categories.long_count;
+    }
+  }
+  return categories;
+}
+
+std::string Percent(uint32_t part, uint32_t whole) {
+  if (whole == 0) return "-";
+  return FormatDouble(100.0 * part / whole, 1) + "%";
+}
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Figure 13",
+              "Query categories by enumeration time on yt "
+              "(short/median/long/unsolved)",
+              config);
+
+  const DatasetSpec spec = AnalogByCode("yt", config.full_scale);
+  const Graph data = BuildDataset(spec, config.seed);
+
+  for (const QueryDensity density :
+       {QueryDensity::kDense, QueryDensity::kSparse}) {
+    std::printf("\n%s queries\n", QueryDensityName(density));
+    PrintHeaderRow({"query-set", "algo", "short", "median", "long",
+                    "unsolved"});
+    for (const uint32_t size : config.query_sizes) {
+      if (size <= 8) continue;  // the paper omits Q4/Q8: all short
+      const auto queries = MakeQuerySet(data, size, density,
+                                        config.queries_per_set, config.seed);
+      if (queries.empty()) continue;
+      const std::string label =
+          "Q" + std::to_string(size) +
+          (density == QueryDensity::kDense ? "D" : "S");
+      for (const Algorithm algorithm : kAllAlgorithms) {
+        MatchOptions options = MatchOptions::Optimized(algorithm);
+        options.max_matches = config.max_matches;
+        options.time_limit_ms = config.time_limit_ms;
+        const QuerySetRun run = RunQuerySet(data, queries, options);
+        const Categories c = Categorize(run, config.time_limit_ms);
+        PrintRow({label, AlgorithmName(algorithm),
+                  Percent(c.short_count, run.executed),
+                  Percent(c.median_count, run.executed),
+                  Percent(c.long_count, run.executed),
+                  Percent(c.unsolved_count, run.executed)});
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

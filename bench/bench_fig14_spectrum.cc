@@ -1,0 +1,76 @@
+// Figure 14: spectrum analysis — the distribution of enumeration times over
+// randomly sampled matching orders for selected dense and sparse queries,
+// compared with the orders GQL and RI generate.
+#include <algorithm>
+
+#include "report.h"
+#include "runner.h"
+#include "sgm/core/spectrum.h"
+
+namespace sgm::bench {
+namespace {
+
+double EnumerationMsOf(Algorithm algorithm, const Graph& query,
+                       const Graph& data, const BenchConfig& config) {
+  MatchOptions options = MatchOptions::Optimized(algorithm);
+  options.max_matches = config.max_matches;
+  options.time_limit_ms = config.time_limit_ms;
+  const MatchResult result = MatchQuery(query, data, options);
+  return result.unsolved() ? config.time_limit_ms : result.enumeration_ms;
+}
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Figure 14",
+              "Spectrum analysis: random matching orders vs GQL and RI",
+              config);
+
+  const uint32_t num_orders = config.full_scale ? 1000 : 100;
+  for (const char* code : {"yt", "hu"}) {
+    const DatasetSpec spec = AnalogByCode(code, config.full_scale);
+    const Graph data = BuildDataset(spec, config.seed);
+    const uint32_t size = DefaultQuerySize(spec, config);
+    std::printf("\ndataset %s (one dense and one sparse query, |V(q)|=%u,"
+                " %u sampled orders)\n",
+                code, size, num_orders);
+    PrintHeaderRow({"query", "orders-ok", "best", "median", "worst", "GQL",
+                    "RI"});
+    for (const QueryDensity density :
+         {QueryDensity::kDense, QueryDensity::kSparse}) {
+      const auto queries = MakeQuerySet(data, size, density, 1, config.seed);
+      if (queries.empty()) continue;
+      const Graph& query = queries.front();
+
+      SpectrumOptions spectrum_options;
+      spectrum_options.num_orders = num_orders;
+      spectrum_options.per_order_time_limit_ms = config.time_limit_ms / 5.0;
+      spectrum_options.max_matches = config.max_matches;
+      Prng prng(config.seed + 99);
+      const SpectrumResult spectrum =
+          RunSpectrum(query, data, spectrum_options, &prng);
+
+      std::vector<double> times = spectrum.completed_times_ms;
+      std::sort(times.begin(), times.end());
+      const double median =
+          times.empty() ? 0.0 : times[times.size() / 2];
+      PrintRow({std::string("q_") +
+                    (density == QueryDensity::kDense ? "dense" : "sparse"),
+                FormatCount(spectrum.completed),
+                FormatDouble(spectrum.best_ms),
+                FormatDouble(median),
+                FormatDouble(spectrum.worst_completed_ms),
+                FormatDouble(
+                    EnumerationMsOf(Algorithm::kGraphQL, query, data, config)),
+                FormatDouble(
+                    EnumerationMsOf(Algorithm::kRI, query, data, config))});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 15: effect of the failing-sets pruning — (a) DP-iso with and
+// without the optimization across query sizes on the Youtube analog
+// (w/fs hurts on small queries, helps by orders of magnitude on large
+// ones); (b) the optimization applied to every algorithm at the default
+// query size.
+#include "report.h"
+#include "runner.h"
+
+namespace sgm::bench {
+namespace {
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Figure 15",
+              "Failing-set pruning: mean enumeration time wo/fs vs w/fs (ms)",
+              config);
+
+  const DatasetSpec spec = AnalogByCode("yt", config.full_scale);
+  const Graph data = BuildDataset(spec, config.seed);
+
+  std::printf("\n(a) DP with/without failing sets, vary |V(q)| on yt\n");
+  PrintHeaderRow({"|V(q)|", "wo/fs", "w/fs", "prunes"});
+  for (const uint32_t size : config.query_sizes) {
+    const auto queries =
+        MakeQuerySet(data, size,
+                     size <= 4 ? QueryDensity::kAny : QueryDensity::kDense,
+                     config.queries_per_set, config.seed);
+    if (queries.empty()) continue;
+    MatchOptions without = MatchOptions::Optimized(Algorithm::kDPiso);
+    without.max_matches = config.max_matches;
+    without.time_limit_ms = config.time_limit_ms;
+    MatchOptions with = without;
+    with.use_failing_sets = true;
+    const QuerySetRun a = RunQuerySet(data, queries, without);
+    const QuerySetRun b = RunQuerySet(data, queries, with);
+    PrintRow({FormatCount(size), FormatDouble(a.enumeration_ms.mean()),
+              FormatDouble(b.enumeration_ms.mean()),
+              FormatCount(b.failing_set_prunes)});
+  }
+
+  std::printf("\n(b) all algorithms at the default size on yt\n");
+  PrintHeaderRow({"algo", "wo/fs", "w/fs", "unsolved-wo", "unsolved-w"});
+  const uint32_t default_size = DefaultQuerySize(spec, config);
+  const auto queries = MakeQuerySet(data, default_size, QueryDensity::kDense,
+                                    config.queries_per_set, config.seed);
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    MatchOptions without = MatchOptions::Optimized(algorithm);
+    without.max_matches = config.max_matches;
+    without.time_limit_ms = config.time_limit_ms;
+    MatchOptions with = without;
+    with.use_failing_sets = true;
+    const QuerySetRun a = RunQuerySet(data, queries, without);
+    const QuerySetRun b = RunQuerySet(data, queries, with);
+    PrintRow({AlgorithmName(algorithm), FormatDouble(a.enumeration_ms.mean()),
+              FormatDouble(b.enumeration_ms.mean()), FormatCount(a.unsolved),
+              FormatCount(b.unsolved)});
+  }
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Table 5: number of unsolved queries per algorithm on yt, up, hu and wn,
+// without and with failing-set pruning, plus the fail-all row (queries no
+// algorithm solves). Section 5.3 protocol (optimized engines, GraphQL
+// candidates for the direct-enumeration methods).
+#include <array>
+
+#include "report.h"
+#include "runner.h"
+
+namespace sgm::bench {
+namespace {
+
+constexpr const char* kDatasets[] = {"yt", "up", "hu", "wn"};
+
+void Run() {
+  const BenchConfig config = LoadBenchConfig();
+  PrintBanner("Table 5",
+              "Number of unsolved queries (wo/fs and w/fs per dataset)",
+              config);
+
+  // This bench runs 7 algorithms x 2 settings over several query sets per
+  // dataset; cap the per-set query count to keep the default run short.
+  const uint32_t queries_per_set = std::min(config.queries_per_set, 10u);
+
+  std::vector<std::string> header = {"algo"};
+  for (const char* code : kDatasets) {
+    header.push_back(std::string(code) + " wo/fs");
+    header.push_back(std::string(code) + " w/fs");
+  }
+  PrintHeaderRow(header);
+
+  constexpr size_t kAlgorithmCount = std::size(kAllAlgorithms);
+  // unsolved[d][a][fs]
+  std::vector<std::array<std::array<uint32_t, 2>, kAlgorithmCount>> unsolved(
+      std::size(kDatasets));
+  std::vector<std::array<uint32_t, 2>> fail_all(std::size(kDatasets),
+                                                {0, 0});
+  std::vector<uint32_t> total_queries(std::size(kDatasets), 0);
+
+  for (size_t d = 0; d < std::size(kDatasets); ++d) {
+    for (auto& per_algo : unsolved[d]) per_algo = {0, 0};
+    const DatasetSpec spec = AnalogByCode(kDatasets[d], config.full_scale);
+    const Graph data = BuildDataset(spec, config.seed);
+    const uint32_t largest = DefaultQuerySize(spec, config);
+    for (const QueryDensity density :
+         {QueryDensity::kDense, QueryDensity::kSparse}) {
+      for (const uint32_t size : config.query_sizes) {
+        if (size <= 4) continue;
+        if (size > largest) continue;
+        const auto queries =
+            MakeQuerySet(data, size, density, queries_per_set, config.seed);
+        total_queries[d] += static_cast<uint32_t>(queries.size());
+        // per-query fail-all bookkeeping
+        std::vector<std::array<bool, 2>> all_failed(queries.size(),
+                                                    {true, true});
+        for (size_t a = 0; a < kAlgorithmCount; ++a) {
+          for (const int fs : {0, 1}) {
+            MatchOptions options = MatchOptions::Optimized(kAllAlgorithms[a]);
+            options.use_failing_sets = fs == 1;
+            options.max_matches = config.max_matches;
+            options.time_limit_ms = config.time_limit_ms;
+            const QuerySetRun run = RunQuerySet(data, queries, options);
+            unsolved[d][a][fs] += run.unsolved;
+            for (size_t q = 0; q < queries.size(); ++q) {
+              if (!run.per_query_unsolved[q]) all_failed[q][fs] = false;
+            }
+          }
+        }
+        for (const auto& flags : all_failed) {
+          if (flags[0]) ++fail_all[d][0];
+          if (flags[1]) ++fail_all[d][1];
+        }
+      }
+    }
+  }
+
+  for (size_t a = 0; a < kAlgorithmCount; ++a) {
+    std::vector<std::string> row = {AlgorithmName(kAllAlgorithms[a])};
+    for (size_t d = 0; d < std::size(kDatasets); ++d) {
+      row.push_back(FormatCount(unsolved[d][a][0]));
+      row.push_back(FormatCount(unsolved[d][a][1]));
+    }
+    PrintRow(row);
+  }
+  std::vector<std::string> fail_row = {"Fail-All"};
+  for (size_t d = 0; d < std::size(kDatasets); ++d) {
+    fail_row.push_back(FormatCount(fail_all[d][0]));
+    fail_row.push_back(FormatCount(fail_all[d][1]));
+  }
+  PrintRow(fail_row);
+
+  std::printf("\nqueries per dataset: ");
+  for (size_t d = 0; d < std::size(kDatasets); ++d) {
+    std::printf("%s=%u ", kDatasets[d], total_queries[d]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace sgm::bench
+
+int main() {
+  sgm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sgm::bench {
+
+namespace {
+constexpr int kColumnWidth = 12;
+}  // namespace
+
+void PrintBanner(const std::string& experiment_id,
+                 const std::string& description, const BenchConfig& config) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), description.c_str());
+  std::printf("scale=%s seed=%" PRIu64 " queries/set=%u time-limit=%.0fms max-matches=%" PRIu64 "\n",
+              config.full_scale ? "paper(full)" : "scaled", config.seed,
+              config.queries_per_set, config.time_limit_ms,
+              config.max_matches);
+  std::printf("================================================================\n");
+}
+
+void PrintHeaderRow(const std::vector<std::string>& columns) {
+  for (const std::string& column : columns) {
+    std::printf("%-*s", kColumnWidth, column.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size() * kColumnWidth; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", kColumnWidth, cell.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string FormatCount(uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+}  // namespace sgm::bench

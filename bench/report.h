@@ -1,0 +1,31 @@
+// Minimal table/report printing for the bench harness. Every bench binary
+// prints (a) a provenance header with seed and scale so runs are
+// reproducible, and (b) fixed-width rows mirroring the series of the
+// corresponding paper table/figure.
+#ifndef SGM_BENCH_REPORT_H_
+#define SGM_BENCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "workloads.h"
+
+namespace sgm::bench {
+
+/// Prints the standard provenance banner: experiment id, what the paper
+/// figure/table shows, and the active configuration.
+void PrintBanner(const std::string& experiment_id,
+                 const std::string& description, const BenchConfig& config);
+
+/// Prints one fixed-width table row; the first call with the same column
+/// set should be preceded by PrintHeaderRow.
+void PrintHeaderRow(const std::vector<std::string>& columns);
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Formats helpers.
+std::string FormatDouble(double value, int precision = 2);
+std::string FormatCount(uint64_t value);
+
+}  // namespace sgm::bench
+
+#endif  // SGM_BENCH_REPORT_H_

@@ -1,0 +1,27 @@
+#include "runner.h"
+
+namespace sgm::bench {
+
+QuerySetRun RunQuerySet(const Graph& data, const std::vector<Graph>& queries,
+                        const MatchOptions& options) {
+  QuerySetRun run;
+  for (const Graph& query : queries) {
+    const MatchResult result = MatchQuery(query, data, options);
+    ++run.executed;
+    const bool unsolved = result.unsolved();
+    const double enumeration_ms =
+        unsolved ? options.time_limit_ms : result.enumeration_ms;
+    run.enumeration_ms.Add(enumeration_ms);
+    run.preprocessing_ms.Add(result.preprocessing_ms);
+    run.total_ms.Add(result.preprocessing_ms + enumeration_ms);
+    run.average_candidates.Add(result.average_candidates);
+    run.match_counts.Add(static_cast<double>(result.match_count));
+    if (unsolved) ++run.unsolved;
+    run.failing_set_prunes += result.enumerate.failing_set_prunes;
+    run.per_query_enumeration_ms.push_back(enumeration_ms);
+    run.per_query_unsolved.push_back(unsolved);
+  }
+  return run;
+}
+
+}  // namespace sgm::bench

@@ -1,0 +1,39 @@
+// Query-set execution helper shared by the workload benches: runs every
+// query of a set under one MatchOptions configuration and aggregates the
+// per-query metrics the paper reports (mean/SD enumeration time, unsolved
+// counts, candidate counts).
+#ifndef SGM_BENCH_RUNNER_H_
+#define SGM_BENCH_RUNNER_H_
+
+#include <vector>
+
+#include "sgm/matcher.h"
+#include "sgm/util/stats.h"
+
+namespace sgm::bench {
+
+/// Aggregated outcome of running one query set under one configuration.
+struct QuerySetRun {
+  RunningStats enumeration_ms;
+  RunningStats preprocessing_ms;
+  RunningStats total_ms;
+  RunningStats average_candidates;
+  RunningStats match_counts;
+  uint32_t unsolved = 0;
+  uint32_t executed = 0;
+  /// Total candidate extensions skipped by failing-set pruning.
+  uint64_t failing_set_prunes = 0;
+  std::vector<double> per_query_enumeration_ms;
+  std::vector<bool> per_query_unsolved;
+};
+
+/// Runs all queries against the data graph. Unsolved (timed-out) queries
+/// enter the time statistics at the full time limit, following Section 4 of
+/// the paper ("we recorded the enumeration time of killed queries as five
+/// minutes").
+QuerySetRun RunQuerySet(const Graph& data, const std::vector<Graph>& queries,
+                        const MatchOptions& options);
+
+}  // namespace sgm::bench
+
+#endif  // SGM_BENCH_RUNNER_H_

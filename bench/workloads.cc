@@ -1,0 +1,121 @@
+#include "workloads.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sgm::bench {
+
+namespace {
+
+uint64_t EnvUint(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace
+
+BenchConfig LoadBenchConfig() {
+  BenchConfig config;
+  config.full_scale = EnvUint("SGM_BENCH_FULL", 0) != 0;
+  if (config.full_scale) {
+    config.queries_per_set = 200;
+    config.time_limit_ms = 300000.0;  // five minutes, as in the paper
+    config.query_sizes = {4, 8, 16, 24, 32};
+  }
+  config.seed = EnvUint("SGM_BENCH_SEED", config.seed);
+  config.queries_per_set = static_cast<uint32_t>(
+      EnvUint("SGM_BENCH_QUERIES", config.queries_per_set));
+  config.time_limit_ms = static_cast<double>(
+      EnvUint("SGM_BENCH_TIME_LIMIT_MS",
+              static_cast<uint64_t>(config.time_limit_ms)));
+  return config;
+}
+
+std::vector<DatasetSpec> RealWorldAnalogs(bool full_scale) {
+  // Table 3 of the paper. Scaled-down sizes keep each dataset's |Σ| and
+  // average degree while bounding |E| for a single-core machine; the four
+  // small graphs run at full scale in both modes.
+  if (full_scale) {
+    return {
+        {"Yeast", "ye", 3112, 12519, 71, true, 0.0},
+        {"Human", "hu", 4674, 86282, 44, true, 0.0},
+        {"HPRD", "hp", 9460, 34998, 307, true, 0.0},
+        {"WordNet", "wn", 76853, 120399, 5, true, 0.8},
+        {"US Patents", "up", 3774768, 16518947, 20, true, 0.0},
+        {"Youtube", "yt", 1134890, 2987624, 25, true, 0.0},
+        {"DBLP", "db", 317080, 1049866, 15, true, 0.0},
+        {"eu2005", "eu", 862664, 16138468, 40, true, 0.0},
+    };
+  }
+  // Scaled mode shrinks |V| and |E|; |Σ| shrinks by roughly the square root
+  // of the vertex scale factor so per-label candidate mass stays between
+  // the paper's and a trivially easy setting (see DESIGN.md).
+  return {
+      {"Yeast", "ye", 3112, 12519, 71, true, 0.0},
+      {"Human", "hu", 4674, 86282, 44, true, 0.0},
+      {"HPRD", "hp", 9460, 34998, 307, true, 0.0},
+      {"WordNet", "wn", 38426, 60200, 4, true, 0.8},
+      {"US Patents", "up", 58980, 258108, 3, true, 0.0},
+      {"Youtube", "yt", 70930, 186726, 6, true, 0.0},
+      {"DBLP", "db", 39635, 131233, 5, true, 0.0},
+      {"eu2005", "eu", 13479, 252163, 5, true, 0.0},
+  };
+}
+
+DatasetSpec AnalogByCode(const std::string& code, bool full_scale) {
+  for (const DatasetSpec& spec : RealWorldAnalogs(full_scale)) {
+    if (spec.code == code) return spec;
+  }
+  SGM_CHECK_MSG(false, "unknown dataset code");
+  return {};
+}
+
+std::vector<DatasetSpec> SelectedAnalogs(const BenchConfig& config) {
+  std::vector<DatasetSpec> all = RealWorldAnalogs(config.full_scale);
+  const char* selection = std::getenv("SGM_BENCH_DATASETS");
+  if (selection == nullptr || *selection == '\0') return all;
+  std::vector<DatasetSpec> picked;
+  std::stringstream stream(selection);
+  std::string code;
+  while (std::getline(stream, code, ',')) {
+    for (const DatasetSpec& spec : all) {
+      if (spec.code == code) picked.push_back(spec);
+    }
+  }
+  return picked.empty() ? all : picked;
+}
+
+Graph BuildDataset(const DatasetSpec& spec, uint64_t seed) {
+  // Derive a per-dataset seed so datasets are independent of each other.
+  uint64_t mix = seed;
+  for (const char c : spec.code) mix = mix * 1099511628211ULL + static_cast<unsigned char>(c);
+  Prng prng(mix);
+  Graph graph = spec.power_law
+                    ? GenerateRmat(spec.vertex_count, spec.edge_count,
+                                   spec.label_count, &prng)
+                    : GenerateErdosRenyi(spec.vertex_count, spec.edge_count,
+                                         spec.label_count, &prng);
+  if (spec.dominant_label_fraction > 0.0) {
+    graph = RelabelSkewed(graph, spec.label_count,
+                          spec.dominant_label_fraction, &prng);
+  }
+  return graph;
+}
+
+std::vector<Graph> MakeQuerySet(const Graph& data, uint32_t query_size,
+                                QueryDensity density, uint32_t count,
+                                uint64_t seed) {
+  Prng prng(seed ^ (static_cast<uint64_t>(query_size) << 32) ^
+            (static_cast<uint64_t>(density) << 16));
+  return GenerateQuerySet(data, query_size, density, count, &prng);
+}
+
+uint32_t DefaultQuerySize(const DatasetSpec& spec, const BenchConfig& config) {
+  uint32_t largest = config.query_sizes.back();
+  // The paper caps Human and WordNet at 20 query vertices.
+  if ((spec.code == "hu" || spec.code == "wn") && largest > 20) largest = 20;
+  return largest;
+}
+
+}  // namespace sgm::bench

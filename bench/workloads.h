@@ -1,0 +1,81 @@
+// Shared workload machinery for the bench harness: synthetic analogs of the
+// paper's eight real-world datasets (Table 3), the RMAT sweeps of Section
+// 5.6, query-set generation following Section 4, and the global bench
+// configuration (scaled down by default for a single-core machine; set
+// SGM_BENCH_FULL=1 for paper-scale parameters — see DESIGN.md).
+#ifndef SGM_BENCH_WORKLOADS_H_
+#define SGM_BENCH_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sgm/graph/generators.h"
+#include "sgm/graph/graph.h"
+#include "sgm/graph/query_generator.h"
+#include "sgm/util/prng.h"
+
+namespace sgm::bench {
+
+/// Blueprint of one synthetic dataset analog.
+struct DatasetSpec {
+  std::string name;  // full name, e.g. "Yeast"
+  std::string code;  // the paper's two-letter code, e.g. "ye"
+  uint32_t vertex_count;
+  uint32_t edge_count;
+  uint32_t label_count;
+  /// Power-law (RMAT) or uniform (Erdős–Rényi) topology.
+  bool power_law;
+  /// Fraction of vertices carrying label 0 (0 = uniform labels). WordNet's
+  /// analog uses 0.8, reproducing its "most vertices share one label"
+  /// property that drives the paper's Figure 8 finding on wn.
+  double dominant_label_fraction = 0.0;
+};
+
+/// Global knobs of a bench run.
+struct BenchConfig {
+  /// Queries per query set (the paper uses 200).
+  uint32_t queries_per_set = 10;
+  /// Per-query enumeration budget in ms (the paper kills at 5 minutes).
+  double time_limit_ms = 1000.0;
+  /// Match cap per query (the paper stops at 1e5).
+  uint64_t max_matches = 100000;
+  /// Default query sizes for the per-dataset experiments.
+  std::vector<uint32_t> query_sizes = {4, 8, 16, 24};
+  /// Master seed; every bench derives sub-seeds deterministically.
+  uint64_t seed = 20200614;  // SIGMOD'20 opening day
+  /// True when SGM_BENCH_FULL=1 restored paper-scale parameters.
+  bool full_scale = false;
+};
+
+/// Reads SGM_BENCH_FULL / SGM_BENCH_SEED / SGM_BENCH_QUERIES /
+/// SGM_BENCH_TIME_LIMIT_MS from the environment and returns the config.
+BenchConfig LoadBenchConfig();
+
+/// The eight analogs of Table 3. Scaled down unless full_scale; the paper's
+/// |Σ| and density are preserved in both modes.
+std::vector<DatasetSpec> RealWorldAnalogs(bool full_scale);
+
+/// Looks up one analog by its two-letter code ("ye", "yt", ...).
+DatasetSpec AnalogByCode(const std::string& code, bool full_scale);
+
+/// Returns the subset of RealWorldAnalogs selected by SGM_BENCH_DATASETS
+/// (comma-separated codes, e.g. "ye,hp"), or all of them.
+std::vector<DatasetSpec> SelectedAnalogs(const BenchConfig& config);
+
+/// Materializes a dataset (deterministic per spec + seed).
+Graph BuildDataset(const DatasetSpec& spec, uint64_t seed);
+
+/// Generates one query set following the paper's protocol. Returns fewer
+/// queries when extraction keeps failing (e.g., dense sets on sparse data).
+std::vector<Graph> MakeQuerySet(const Graph& data, uint32_t query_size,
+                                QueryDensity density, uint32_t count,
+                                uint64_t seed);
+
+/// Default query set per dataset (the paper uses Q32D/Q32S, or Q20D/Q20S on
+/// Human and WordNet; scaled runs use the largest configured size).
+uint32_t DefaultQuerySize(const DatasetSpec& spec, const BenchConfig& config);
+
+}  // namespace sgm::bench
+
+#endif  // SGM_BENCH_WORKLOADS_H_

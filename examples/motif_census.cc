@@ -1,0 +1,62 @@
+// Motif census: count distinct occurrences of the classic 3-5 vertex motifs
+// in a network, dividing out pattern symmetry — the standard network-science
+// application of subgraph matching. Demonstrates the pattern catalog, the
+// automorphism-aware counting API and the EXPLAIN plan inspector.
+#include <cstdio>
+
+#include "sgm/counting.h"
+#include "sgm/explain.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/graph_stats.h"
+#include "sgm/graph/pattern_catalog.h"
+
+int main() {
+  sgm::Prng prng(13);
+  const sgm::Graph network = sgm::GenerateRmat(30000, 150000, 1, &prng);
+  const sgm::GraphStats stats = sgm::ComputeGraphStats(network);
+  std::printf("network: |V|=%u |E|=%u avg-degree=%.1f clustering=%.4f\n\n",
+              stats.vertex_count, stats.edge_count, stats.average_degree,
+              stats.global_clustering);
+
+  struct MotifEntry {
+    const char* name;
+    sgm::Graph pattern;
+  };
+  const MotifEntry motifs[] = {
+      {"triangle", sgm::CliquePattern(3)},
+      {"3-path", sgm::PathPattern(3)},
+      {"4-cycle", sgm::CyclePattern(4)},
+      {"diamond", sgm::DiamondPattern()},
+      {"tailed-triangle", sgm::TailedTrianglePattern()},
+      {"4-clique", sgm::CliquePattern(4)},
+      {"bi-fan", sgm::BiFanPattern()},
+  };
+
+  std::printf("%-16s %14s %6s %14s %8s\n", "motif", "embeddings", "|Aut|",
+              "occurrences", "exact");
+  for (const MotifEntry& motif : motifs) {
+    sgm::MatchOptions options =
+        sgm::MatchOptions::Recommended(motif.pattern.vertex_count());
+    options.max_matches = 5000000;
+    options.time_limit_ms = 30000;
+    const sgm::OccurrenceCount count =
+        sgm::CountOccurrences(motif.pattern, network, options);
+    std::printf("%-16s %14llu %6llu %14llu %8s\n", motif.name,
+                static_cast<unsigned long long>(count.embeddings),
+                static_cast<unsigned long long>(count.automorphisms),
+                static_cast<unsigned long long>(count.occurrences),
+                count.exact ? "yes" : "no");
+  }
+
+  // Sanity anchor: triangle occurrences must equal the direct triangle
+  // count from the statistics module.
+  std::printf("\ntriangles via graph statistics: %llu\n",
+              static_cast<unsigned long long>(stats.triangle_count));
+
+  // Peek at the plan the engine uses for the diamond.
+  std::printf("\n%s", sgm::ExplainQuery(sgm::DiamondPattern(), network,
+                                        sgm::MatchOptions::Recommended(4))
+                          .ToString(sgm::DiamondPattern())
+                          .c_str());
+  return 0;
+}

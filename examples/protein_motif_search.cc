@@ -1,0 +1,71 @@
+// Protein-interaction motif search — the bioinformatics workload that
+// motivates algorithms like RI and VF2++ (Section 1 of the paper).
+//
+// Builds a synthetic protein-protein interaction network (power-law
+// topology, labels = protein families) and searches for three classic
+// motifs: a labeled triangle, a "bi-fan" (two regulators sharing two
+// targets), and a regulator hub. Each motif is searched with the paper's
+// recommended configuration; the run prints match counts and per-phase
+// timings.
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "sgm/graph/generators.h"
+#include "sgm/graph/graph_builder.h"
+#include "sgm/matcher.h"
+
+namespace {
+
+struct Motif {
+  const char* name;
+  sgm::Graph graph;
+};
+
+sgm::Graph MakeMotif(const std::vector<sgm::Label>& labels,
+                     const std::vector<std::pair<sgm::Vertex, sgm::Vertex>>&
+                         edges) {
+  sgm::GraphBuilder builder;
+  for (const sgm::Label label : labels) builder.AddVertex(label);
+  for (const auto& [a, b] : edges) builder.AddEdge(a, b);
+  return builder.Build();
+}
+
+}  // namespace
+
+int main() {
+  // A PPI-style network: 20k proteins, 120k interactions, 24 families.
+  sgm::Prng prng(7);
+  const sgm::Graph network = sgm::GenerateRmat(20000, 120000, 24, &prng);
+  std::printf("PPI network: %u proteins, %u interactions, %u families,"
+              " avg degree %.1f\n\n",
+              network.vertex_count(), network.edge_count(),
+              network.label_count(), network.average_degree());
+
+  // Families: 0 = kinase, 1 = phosphatase, 2 = scaffold (say).
+  std::vector<Motif> motifs;
+  motifs.push_back({"signaling triangle (kinase-phosphatase-scaffold)",
+                    MakeMotif({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}})});
+  motifs.push_back({"bi-fan (two kinases sharing two scaffolds)",
+                    MakeMotif({0, 0, 2, 2},
+                              {{0, 2}, {0, 3}, {1, 2}, {1, 3}})});
+  motifs.push_back({"regulator hub (kinase with 3 distinct partners)",
+                    MakeMotif({0, 1, 2, 3}, {{0, 1}, {0, 2}, {0, 3}})});
+
+  for (const Motif& motif : motifs) {
+    sgm::MatchOptions options =
+        sgm::MatchOptions::Recommended(motif.graph.vertex_count());
+    options.max_matches = 1000000;
+    const sgm::MatchResult result =
+        sgm::MatchQuery(motif.graph, network, options);
+    std::printf("%s\n", motif.name);
+    std::printf("  embeddings: %llu%s\n",
+                static_cast<unsigned long long>(result.match_count),
+                result.enumerate.reached_match_limit ? " (capped)" : "");
+    std::printf("  preprocessing %.2f ms, enumeration %.2f ms,"
+                " avg candidates %.1f\n\n",
+                result.preprocessing_ms, result.enumeration_ms,
+                result.average_candidates);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Social-network pattern query — the large-sparse-graph workload of the
+// paper's Youtube/DBLP experiments. Extracts a realistic 16-vertex pattern
+// from a synthetic social graph and answers it twice: without and with
+// failing-set pruning, demonstrating the paper's finding 4 (enable failing
+// sets on large queries).
+#include <cstdio>
+
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "sgm/matcher.h"
+
+int main() {
+  // A social graph: 100k users, 500k friendships, 16 community labels.
+  sgm::Prng prng(2020);
+  const sgm::Graph social = sgm::GenerateRmat(100000, 500000, 16, &prng);
+  std::printf("social graph: %u users, %u edges, %u communities\n\n",
+              social.vertex_count(), social.edge_count(),
+              social.label_count());
+
+  // A 16-vertex pattern sampled from the graph itself, as a recommender
+  // would look for "this constellation of roles around a seed group".
+  const auto pattern =
+      sgm::ExtractQuery(social, 16, sgm::QueryDensity::kSparse, &prng);
+  if (!pattern.has_value()) {
+    std::printf("could not extract a pattern (graph too sparse)\n");
+    return 1;
+  }
+  std::printf("pattern: %u vertices, %u edges, avg degree %.2f\n\n",
+              pattern->vertex_count(), pattern->edge_count(),
+              pattern->average_degree());
+
+  for (const bool failing_sets : {false, true}) {
+    sgm::MatchOptions options =
+        sgm::MatchOptions::Optimized(sgm::Algorithm::kGraphQL);
+    options.use_failing_sets = failing_sets;
+    options.max_matches = 100000;
+    options.time_limit_ms = 60000;
+    const sgm::MatchResult result =
+        sgm::MatchQuery(*pattern, social, options);
+    std::printf("failing sets %s: %llu matches in %.2f ms enumeration"
+                " (%llu search nodes, %llu sibling extensions pruned)%s\n",
+                failing_sets ? "ON " : "OFF",
+                static_cast<unsigned long long>(result.match_count),
+                result.enumeration_ms,
+                static_cast<unsigned long long>(
+                    result.enumerate.recursion_calls),
+                static_cast<unsigned long long>(
+                    result.enumerate.failing_set_prunes),
+                result.unsolved() ? " [timed out]" : "");
+  }
+  std::printf(
+      "\nPer the paper's recommendation 4, failing sets pay off on large"
+      " queries like this one and should be disabled for small ones.\n");
+  return 0;
+}

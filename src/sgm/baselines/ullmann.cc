@@ -1,0 +1,139 @@
+#include "sgm/baselines/ullmann.h"
+
+#include <vector>
+
+#include "sgm/util/bitset.h"
+#include "sgm/util/timer.h"
+
+namespace sgm {
+
+namespace {
+
+class UllmannEngine {
+ public:
+  UllmannEngine(const Graph& query, const Graph& data,
+                const UllmannOptions& options,
+                const UllmannCallback& callback)
+      : query_(query),
+        data_(data),
+        options_(options),
+        callback_(callback),
+        n_(query.vertex_count()) {}
+
+  UllmannResult Run() {
+    Timer timer;
+    // Initial candidate matrix from labels and degrees.
+    std::vector<Bitset> matrix(n_, Bitset(data_.vertex_count()));
+    for (Vertex u = 0; u < n_; ++u) {
+      for (Vertex v = 0; v < data_.vertex_count(); ++v) {
+        if (data_.label(v) == query_.label(u) &&
+            data_.degree(v) >= query_.degree(u)) {
+          matrix[u].Set(v);
+        }
+      }
+    }
+    mapping_.assign(n_, kInvalidVertex);
+    used_.assign(data_.vertex_count(), false);
+    timer_ = &timer;
+    if (Refine(&matrix)) Search(matrix, 0);
+    result_.total_ms = timer.ElapsedMillis();
+    return result_;
+  }
+
+ private:
+  // Ullmann's refinement: v remains a candidate of u only if, for every
+  // neighbor u' of u, some neighbor of v is still a candidate of u'.
+  // Iterates to a fixpoint; returns false when a row empties.
+  bool Refine(std::vector<Bitset>* matrix) {
+    ++result_.refinements;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (Vertex u = 0; u < n_; ++u) {
+        Bitset& row = (*matrix)[u];
+        std::vector<Vertex> dropped;
+        row.ForEach([&](uint32_t v) {
+          for (const Vertex u_prime : query_.neighbors(u)) {
+            bool supported = false;
+            for (const Vertex w : data_.neighbors(v)) {
+              if ((*matrix)[u_prime].Test(w)) {
+                supported = true;
+                break;
+              }
+            }
+            if (!supported) {
+              dropped.push_back(v);
+              return;
+            }
+          }
+        });
+        for (const Vertex v : dropped) {
+          row.Clear(v);
+          changed = true;
+        }
+        if (row.Empty()) return false;
+      }
+    }
+    return true;
+  }
+
+  void Search(const std::vector<Bitset>& matrix, Vertex u) {
+    if (stopped_) return;
+    ++result_.search_nodes;
+    if ((result_.search_nodes & 255) == 0 && options_.time_limit_ms > 0 &&
+        timer_->ElapsedMillis() > options_.time_limit_ms) {
+      result_.timed_out = true;
+      stopped_ = true;
+      return;
+    }
+    if (u == n_) {
+      ++result_.match_count;
+      if (callback_ && !callback_(mapping_)) stopped_ = true;
+      if (options_.max_matches > 0 &&
+          result_.match_count >= options_.max_matches) {
+        stopped_ = true;
+      }
+      return;
+    }
+    matrix[u].ForEach([&](uint32_t v) {
+      if (stopped_ || used_[v]) return;
+      // Restrict row u to {v}, refine, recurse.
+      std::vector<Bitset> child = matrix;
+      child[u].Reset();
+      child[u].Set(v);
+      // Remove v from deeper rows (injectivity).
+      for (Vertex w = u + 1; w < n_; ++w) {
+        if (child[w].Test(v)) child[w].Clear(v);
+      }
+      mapping_[u] = v;
+      used_[v] = true;
+      if (Refine(&child)) Search(child, u + 1);
+      used_[v] = false;
+      mapping_[u] = kInvalidVertex;
+    });
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const UllmannOptions& options_;
+  const UllmannCallback& callback_;
+  const uint32_t n_;
+
+  std::vector<Vertex> mapping_;
+  std::vector<bool> used_;
+  UllmannResult result_;
+  Timer* timer_ = nullptr;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+UllmannResult UllmannMatch(const Graph& query, const Graph& data,
+                           const UllmannOptions& options,
+                           const UllmannCallback& callback) {
+  SGM_CHECK(query.vertex_count() >= 1);
+  UllmannEngine engine(query, data, options, callback);
+  return engine.Run();
+}
+
+}  // namespace sgm

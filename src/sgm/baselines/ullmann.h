@@ -1,0 +1,50 @@
+// Ullmann's algorithm (J. R. Ullmann, "An Algorithm for Subgraph
+// Isomorphism", JACM 1976) — the original backtracking subgraph isomorphism
+// algorithm with boolean candidate-matrix refinement, listed in Table 1 of
+// the paper as the root of the state-space family.
+//
+// Kept deliberately close to the 1976 formulation: an n_q x n_G boolean
+// matrix M where M[u][v] = 1 means v is still a candidate for u, and the
+// classic refinement step — v stays a candidate of u only if every neighbor
+// of u has at least one candidate among v's neighbors — applied after every
+// assignment. Serves as a historically faithful baseline; the modern
+// algorithms in sgm/core should always beat it.
+#ifndef SGM_BASELINES_ULLMANN_H_
+#define SGM_BASELINES_ULLMANN_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "sgm/graph/graph.h"
+
+namespace sgm {
+
+/// Knobs of an Ullmann run.
+struct UllmannOptions {
+  uint64_t max_matches = 100000;  ///< 0 = unlimited
+  double time_limit_ms = 300000.0;  ///< 0 = unlimited
+};
+
+/// Outcome of an Ullmann run.
+struct UllmannResult {
+  uint64_t match_count = 0;
+  uint64_t search_nodes = 0;
+  uint64_t refinements = 0;
+  bool timed_out = false;
+  double total_ms = 0.0;
+};
+
+/// Called per match; mapping[u] is the data vertex assigned to query vertex
+/// u. Return false to stop.
+using UllmannCallback = std::function<bool(std::span<const Vertex>)>;
+
+/// Finds all subgraph isomorphisms from query to data with Ullmann's
+/// algorithm.
+UllmannResult UllmannMatch(const Graph& query, const Graph& data,
+                           const UllmannOptions& options = UllmannOptions{},
+                           const UllmannCallback& callback = {});
+
+}  // namespace sgm
+
+#endif  // SGM_BASELINES_ULLMANN_H_

@@ -1,0 +1,160 @@
+#include "sgm/baselines/vf2.h"
+
+#include <vector>
+
+#include "sgm/util/timer.h"
+
+namespace sgm {
+
+namespace {
+
+// Note on the problem variant: the paper's Definition 2.1 is non-induced
+// subgraph isomorphism (monomorphism), so the feasibility rules below are
+// the sound monomorphism adaptations of VF2's look-aheads: query-side
+// counts must not exceed data-side counts, and the absent-edge (induced)
+// check is omitted.
+class Vf2Engine {
+ public:
+  Vf2Engine(const Graph& query, const Graph& data, const Vf2Options& options,
+            const Vf2Callback& callback)
+      : query_(query),
+        data_(data),
+        options_(options),
+        callback_(callback),
+        n_(query.vertex_count()) {}
+
+  Vf2Result Run() {
+    Timer timer;
+    timer_ = &timer;
+    mapping_.assign(n_, kInvalidVertex);
+    inverse_.assign(data_.vertex_count(), kInvalidVertex);
+    query_frontier_.assign(n_, 0);
+    data_frontier_.assign(data_.vertex_count(), 0);
+    Search(0);
+    result_.total_ms = timer.ElapsedMillis();
+    return result_;
+  }
+
+ private:
+  bool Feasible(Vertex u, Vertex v) const {
+    if (data_.label(v) != query_.label(u) ||
+        data_.degree(v) < query_.degree(u)) {
+      return false;
+    }
+    // Consistency: every mapped neighbor of u maps to a neighbor of v.
+    uint32_t query_in_frontier = 0;
+    uint32_t query_fresh = 0;
+    for (const Vertex w : query_.neighbors(u)) {
+      if (mapping_[w] != kInvalidVertex) {
+        if (!data_.HasEdge(v, mapping_[w])) return false;
+      } else if (query_frontier_[w] > 0) {
+        ++query_in_frontier;
+      } else {
+        ++query_fresh;
+      }
+    }
+    // Look-ahead: unmapped neighbors of v, split by frontier membership.
+    uint32_t data_in_frontier = 0;
+    uint32_t data_fresh = 0;
+    for (const Vertex w : data_.neighbors(v)) {
+      if (inverse_[w] != kInvalidVertex) continue;
+      if (data_frontier_[w] > 0) {
+        ++data_in_frontier;
+      } else {
+        ++data_fresh;
+      }
+    }
+    // Frontier query neighbors must land on frontier data neighbors of v;
+    // fresh ones may land on any unmapped neighbor.
+    if (query_in_frontier > data_in_frontier) return false;
+    if (query_in_frontier + query_fresh > data_in_frontier + data_fresh) {
+      return false;
+    }
+    return true;
+  }
+
+  void Push(Vertex u, Vertex v) {
+    mapping_[u] = v;
+    inverse_[v] = u;
+    for (const Vertex w : query_.neighbors(u)) ++query_frontier_[w];
+    for (const Vertex w : data_.neighbors(v)) ++data_frontier_[w];
+  }
+
+  void Pop(Vertex u, Vertex v) {
+    for (const Vertex w : query_.neighbors(u)) --query_frontier_[w];
+    for (const Vertex w : data_.neighbors(v)) --data_frontier_[w];
+    mapping_[u] = kInvalidVertex;
+    inverse_[v] = kInvalidVertex;
+  }
+
+  // Candidate pair generation of VF2: the smallest-id query vertex in the
+  // frontier T1 (or the smallest unmapped one when the frontier is empty),
+  // paired with every data vertex of the matching class.
+  Vertex SelectQueryVertex() const {
+    Vertex fallback = kInvalidVertex;
+    for (Vertex u = 0; u < n_; ++u) {
+      if (mapping_[u] != kInvalidVertex) continue;
+      if (query_frontier_[u] > 0) return u;
+      if (fallback == kInvalidVertex) fallback = u;
+    }
+    return fallback;
+  }
+
+  void Search(uint32_t depth) {
+    if (stopped_) return;
+    ++result_.search_nodes;
+    if ((result_.search_nodes & 255) == 0 && options_.time_limit_ms > 0 &&
+        timer_->ElapsedMillis() > options_.time_limit_ms) {
+      result_.timed_out = true;
+      stopped_ = true;
+      return;
+    }
+    if (depth == n_) {
+      ++result_.match_count;
+      if (callback_ && !callback_(mapping_)) stopped_ = true;
+      if (options_.max_matches > 0 &&
+          result_.match_count >= options_.max_matches) {
+        stopped_ = true;
+      }
+      return;
+    }
+    const Vertex u = SelectQueryVertex();
+    SGM_CHECK(u != kInvalidVertex);
+    const bool frontier_pair = query_frontier_[u] > 0;
+    for (Vertex v = 0; v < data_.vertex_count(); ++v) {
+      if (stopped_) return;
+      if (inverse_[v] != kInvalidVertex) continue;
+      // VF2 pairs frontier query vertices only with frontier data vertices.
+      if (frontier_pair && data_frontier_[v] == 0) continue;
+      if (!Feasible(u, v)) continue;
+      Push(u, v);
+      Search(depth + 1);
+      Pop(u, v);
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const Vf2Options& options_;
+  const Vf2Callback& callback_;
+  const uint32_t n_;
+
+  std::vector<Vertex> mapping_;
+  std::vector<Vertex> inverse_;
+  std::vector<uint32_t> query_frontier_;  // mapped-neighbor counts (T1)
+  std::vector<uint32_t> data_frontier_;   // mapped-neighbor counts (T2)
+  Vf2Result result_;
+  Timer* timer_ = nullptr;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+Vf2Result Vf2Match(const Graph& query, const Graph& data,
+                   const Vf2Options& options, const Vf2Callback& callback) {
+  SGM_CHECK(query.vertex_count() >= 1);
+  Vf2Engine engine(query, data, options, callback);
+  return engine.Run();
+}
+
+}  // namespace sgm

@@ -1,0 +1,48 @@
+// The classic VF2 algorithm (Cordella, Foggia, Sansone and Vento, "A (Sub)
+// Graph Isomorphism Algorithm for Matching Large Graphs", TPAMI 2004) —
+// the state-space-representation baseline of Table 1 that VF2++ improves
+// on.
+//
+// Faithful to the published formulation for undirected graphs: candidate
+// pairs are drawn from the frontier sets T1 (unmapped query vertices
+// adjacent to the mapping) and T2 (unmapped data vertices adjacent to the
+// mapping), and a pair (u, v) is admitted by the feasibility rules —
+// consistency over mapped neighbors plus the one-look-ahead cardinality
+// rules comparing |N(u) ∩ T1| vs |N(v) ∩ T2| and the "rest" counts.
+#ifndef SGM_BASELINES_VF2_H_
+#define SGM_BASELINES_VF2_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "sgm/graph/graph.h"
+
+namespace sgm {
+
+/// Knobs of a VF2 run.
+struct Vf2Options {
+  uint64_t max_matches = 100000;  ///< 0 = unlimited
+  double time_limit_ms = 300000.0;  ///< 0 = unlimited
+};
+
+/// Outcome of a VF2 run.
+struct Vf2Result {
+  uint64_t match_count = 0;
+  uint64_t search_nodes = 0;
+  bool timed_out = false;
+  double total_ms = 0.0;
+};
+
+/// Called per match; mapping[u] is the data vertex assigned to query vertex
+/// u. Return false to stop.
+using Vf2Callback = std::function<bool(std::span<const Vertex>)>;
+
+/// Finds all subgraph isomorphisms from query to data with classic VF2.
+Vf2Result Vf2Match(const Graph& query, const Graph& data,
+                   const Vf2Options& options = Vf2Options{},
+                   const Vf2Callback& callback = {});
+
+}  // namespace sgm
+
+#endif  // SGM_BASELINES_VF2_H_

@@ -1,0 +1,99 @@
+#include "sgm/core/aux_structure.h"
+
+#include <algorithm>
+
+#include "sgm/util/set_intersection.h"
+
+namespace sgm {
+
+AuxStructure::AuxStructure(const Graph& query, const Graph& data,
+                           const CandidateSets& candidates,
+                           std::span<const std::pair<Vertex, Vertex>> edges)
+    : candidates_(&candidates),
+      query_vertex_count_(query.vertex_count()) {
+  SGM_CHECK(candidates.query_vertex_count() == query.vertex_count());
+  slot_.assign(static_cast<size_t>(query_vertex_count_) * query_vertex_count_,
+               -1);
+  indexes_.reserve(edges.size() * 2);
+
+  std::vector<Vertex> scratch;
+  for (const auto& [a, b] : edges) {
+    SGM_CHECK_MSG(query.HasEdge(a, b), "aux structure pair is not a query edge");
+    for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+      SGM_CHECK_MSG(SlotOf(from, to) < 0, "duplicate aux structure edge");
+      slot_[from * query_vertex_count_ + to] =
+          static_cast<int32_t>(indexes_.size());
+      DirectedIndex index;
+      const auto from_cands = candidates.candidates(from);
+      const auto to_cands = candidates.candidates(to);
+      index.offsets.reserve(from_cands.size() + 1);
+      index.offsets.push_back(0);
+      for (const Vertex v : from_cands) {
+        IntersectHybrid(data.neighbors(v), to_cands, &scratch);
+        index.lists.insert(index.lists.end(), scratch.begin(), scratch.end());
+        index.offsets.push_back(static_cast<uint32_t>(index.lists.size()));
+      }
+      indexes_.push_back(std::move(index));
+    }
+  }
+}
+
+AuxStructure AuxStructure::BuildAllEdges(const Graph& query, const Graph& data,
+                                         const CandidateSets& candidates) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    for (const Vertex w : query.neighbors(u)) {
+      if (u < w) edges.emplace_back(u, w);
+    }
+  }
+  return AuxStructure(query, data, candidates, edges);
+}
+
+AuxStructure AuxStructure::BuildTreeEdges(const Graph& query,
+                                          const Graph& data,
+                                          const CandidateSets& candidates,
+                                          std::span<const Vertex> parent) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    if (parent[u] != kInvalidVertex) edges.emplace_back(parent[u], u);
+  }
+  return AuxStructure(query, data, candidates, edges);
+}
+
+std::span<const Vertex> AuxStructure::NeighborsByIndex(Vertex from_u,
+                                                       uint32_t cand_index,
+                                                       Vertex to_u) const {
+  const int32_t slot = SlotOf(from_u, to_u);
+  SGM_CHECK_MSG(slot >= 0, "query edge not indexed in aux structure");
+  const DirectedIndex& index = indexes_[static_cast<size_t>(slot)];
+  SGM_CHECK(cand_index + 1 < index.offsets.size());
+  return {index.lists.data() + index.offsets[cand_index],
+          index.offsets[cand_index + 1] - index.offsets[cand_index]};
+}
+
+std::span<const Vertex> AuxStructure::NeighborsOfVertex(Vertex from_u,
+                                                        Vertex data_vertex,
+                                                        Vertex to_u) const {
+  const uint32_t cand_index = candidates_->IndexOf(from_u, data_vertex);
+  SGM_CHECK_MSG(cand_index < candidates_->Count(from_u),
+                "data vertex is not a candidate of from_u");
+  return NeighborsByIndex(from_u, cand_index, to_u);
+}
+
+uint64_t AuxStructure::CandidateEdgeCount() const {
+  uint64_t total = 0;
+  for (const auto& index : indexes_) total += index.lists.size();
+  return total;
+}
+
+size_t AuxStructure::MemoryBytes() const {
+  size_t bytes = slot_.capacity() * sizeof(int32_t) +
+                 indexes_.capacity() * sizeof(DirectedIndex);
+  for (const auto& index : indexes_) {
+    bytes += index.offsets.capacity() * sizeof(uint32_t) +
+             index.lists.capacity() * sizeof(Vertex);
+  }
+  return bytes;
+}
+
+}  // namespace sgm

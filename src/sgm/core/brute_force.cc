@@ -1,0 +1,72 @@
+#include "sgm/core/brute_force.h"
+
+#include "sgm/core/types.h"
+
+namespace sgm {
+
+namespace {
+
+struct BruteForceState {
+  const Graph& query;
+  const Graph& data;
+  uint64_t max_matches;
+  std::vector<Vertex> mapping;
+  std::vector<bool> used;
+  uint64_t count = 0;
+  std::vector<std::vector<Vertex>>* out = nullptr;
+
+  bool Done() const { return max_matches != 0 && count >= max_matches; }
+
+  void Recurse(Vertex u) {
+    if (Done()) return;
+    if (u == query.vertex_count()) {
+      ++count;
+      if (out != nullptr) out->push_back(mapping);
+      return;
+    }
+    for (Vertex v = 0; v < data.vertex_count(); ++v) {
+      if (used[v] || data.label(v) != query.label(u)) continue;
+      bool ok = true;
+      for (const Vertex w : query.neighbors(u)) {
+        if (w < u && !data.HasEdge(v, mapping[w])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      mapping[u] = v;
+      used[v] = true;
+      Recurse(u + 1);
+      used[v] = false;
+      mapping[u] = kInvalidVertex;
+      if (Done()) return;
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t BruteForceCount(const Graph& query, const Graph& data,
+                         uint64_t max_matches) {
+  BruteForceState state{query, data, max_matches,
+                        std::vector<Vertex>(query.vertex_count(),
+                                            kInvalidVertex),
+                        std::vector<bool>(data.vertex_count(), false)};
+  state.Recurse(0);
+  return state.count;
+}
+
+std::vector<std::vector<Vertex>> BruteForceMatches(const Graph& query,
+                                                   const Graph& data,
+                                                   uint64_t max_matches) {
+  std::vector<std::vector<Vertex>> matches;
+  BruteForceState state{query, data, max_matches,
+                        std::vector<Vertex>(query.vertex_count(),
+                                            kInvalidVertex),
+                        std::vector<bool>(data.vertex_count(), false)};
+  state.out = &matches;
+  state.Recurse(0);
+  return matches;
+}
+
+}  // namespace sgm

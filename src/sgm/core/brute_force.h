@@ -1,0 +1,31 @@
+// Deliberately simple reference enumerator used to cross-validate the
+// optimized framework in tests. It applies only the definition of subgraph
+// isomorphism (label equality, injectivity, edge preservation) with no
+// filtering, ordering heuristics or indexes, so its correctness is easy to
+// audit by eye.
+#ifndef SGM_CORE_BRUTE_FORCE_H_
+#define SGM_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sgm/graph/graph.h"
+
+namespace sgm {
+
+/// Counts all subgraph isomorphisms from query to data by naive
+/// backtracking. `max_matches` bounds the count (0 = unlimited). Intended
+/// for tests on small graphs only — exponential on purpose.
+uint64_t BruteForceCount(const Graph& query, const Graph& data,
+                         uint64_t max_matches = 0);
+
+/// Materializes all matches; element i of a match is the data vertex mapped
+/// to query vertex i. Matches are emitted in lexicographic order of the
+/// mapping vector.
+std::vector<std::vector<Vertex>> BruteForceMatches(const Graph& query,
+                                                   const Graph& data,
+                                                   uint64_t max_matches = 0);
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,52 @@
+#include "sgm/core/candidate_sets.h"
+
+#include <algorithm>
+
+namespace sgm {
+
+bool CandidateSets::Contains(Vertex u, Vertex v) const {
+  SGM_CHECK(u < sets_.size());
+  return std::binary_search(sets_[u].begin(), sets_[u].end(), v);
+}
+
+uint32_t CandidateSets::IndexOf(Vertex u, Vertex v) const {
+  SGM_CHECK(u < sets_.size());
+  const auto it = std::lower_bound(sets_[u].begin(), sets_[u].end(), v);
+  if (it == sets_[u].end() || *it != v) {
+    return static_cast<uint32_t>(sets_[u].size());
+  }
+  return static_cast<uint32_t>(it - sets_[u].begin());
+}
+
+void CandidateSets::SortAll() {
+  for (auto& set : sets_) {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+}
+
+bool CandidateSets::AnyEmpty() const {
+  for (const auto& set : sets_) {
+    if (set.empty()) return true;
+  }
+  return false;
+}
+
+uint64_t CandidateSets::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& set : sets_) total += set.size();
+  return total;
+}
+
+double CandidateSets::AverageCount() const {
+  if (sets_.empty()) return 0.0;
+  return static_cast<double>(TotalCount()) / static_cast<double>(sets_.size());
+}
+
+size_t CandidateSets::MemoryBytes() const {
+  size_t bytes = sets_.capacity() * sizeof(std::vector<Vertex>);
+  for (const auto& set : sets_) bytes += set.capacity() * sizeof(Vertex);
+  return bytes;
+}
+
+}  // namespace sgm

@@ -1,0 +1,74 @@
+// Candidate vertex sets C(u) — one sorted set of data vertices per query
+// vertex (Definition 2.2 of the paper). Produced by the filtering methods
+// and consumed by the ordering methods, the auxiliary structure and the
+// enumeration engine.
+#ifndef SGM_CORE_CANDIDATE_SETS_H_
+#define SGM_CORE_CANDIDATE_SETS_H_
+
+#include <span>
+#include <vector>
+
+#include "sgm/core/types.h"
+
+namespace sgm {
+
+/// Per-query-vertex candidate sets. All sets are kept sorted ascending;
+/// mutating accessors expect callers to restore that invariant (or call
+/// SortAll) before the sets are consumed.
+class CandidateSets {
+ public:
+  CandidateSets() = default;
+
+  /// Creates empty candidate sets for `query_vertex_count` query vertices.
+  explicit CandidateSets(uint32_t query_vertex_count)
+      : sets_(query_vertex_count) {}
+
+  uint32_t query_vertex_count() const {
+    return static_cast<uint32_t>(sets_.size());
+  }
+
+  /// Sorted candidates of query vertex u.
+  std::span<const Vertex> candidates(Vertex u) const {
+    SGM_CHECK(u < sets_.size());
+    return sets_[u];
+  }
+
+  /// Mutable access for filter construction.
+  std::vector<Vertex>& mutable_candidates(Vertex u) {
+    SGM_CHECK(u < sets_.size());
+    return sets_[u];
+  }
+
+  uint32_t Count(Vertex u) const {
+    SGM_CHECK(u < sets_.size());
+    return static_cast<uint32_t>(sets_[u].size());
+  }
+
+  /// True iff the sorted set C(u) contains the data vertex v.
+  bool Contains(Vertex u, Vertex v) const;
+
+  /// Index of v within C(u), or C(u).size() when absent (binary search).
+  uint32_t IndexOf(Vertex u, Vertex v) const;
+
+  /// Sorts every set ascending and drops duplicates.
+  void SortAll();
+
+  /// True iff some C(u) is empty — the query then has no match.
+  bool AnyEmpty() const;
+
+  /// Sum of |C(u)| over all query vertices.
+  uint64_t TotalCount() const;
+
+  /// (1/|V(q)|) * sum |C(u)| — the candidate-count metric of Section 4.
+  double AverageCount() const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<Vertex>> sets_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_CANDIDATE_SETS_H_

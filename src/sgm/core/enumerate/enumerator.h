@@ -1,0 +1,105 @@
+// The enumeration engine: the recursive backtracking procedure of
+// Algorithm 1 with pluggable local-candidate computation (Algorithms 2-5 of
+// Section 3.3), optional failing-set pruning (Section 3.4), optional
+// VF2++-style look-ahead filtering, and optional DP-iso adaptive vertex
+// selection.
+#ifndef SGM_CORE_ENUMERATE_ENUMERATOR_H_
+#define SGM_CORE_ENUMERATE_ENUMERATOR_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sgm/core/aux_structure.h"
+#include "sgm/core/candidate_sets.h"
+#include "sgm/core/enumerate/failing_set.h"
+#include "sgm/core/order/dpiso_order.h"
+#include "sgm/graph/graph.h"
+#include "sgm/util/set_intersection.h"
+
+namespace sgm {
+
+/// How local candidates LC(u, M) are computed (Section 3.3.1).
+enum class LocalCandidateMethod : uint8_t {
+  /// Algorithm 2 (QuickSI, RI): scan the data neighbors of the pivot's
+  /// image and verify label/degree plus the remaining backward edges.
+  kNeighborScan = 0,
+  /// Algorithm 3 (GraphQL): scan the whole candidate set C(u) and verify
+  /// every backward edge against the data graph.
+  kCandidateScan = 1,
+  /// Algorithm 4 (CFL): retrieve the pivot's candidate-adjacency list from
+  /// the auxiliary structure; verify the other backward edges in the data
+  /// graph. Requires the pivot edge to be indexed (tree edges suffice).
+  kPivotIndex = 2,
+  /// Algorithm 5 (CECI, DP-iso, optimized engines): intersect the
+  /// candidate-adjacency lists of all backward neighbors. Requires every
+  /// query edge to be indexed.
+  kIntersect = 3,
+};
+
+/// Returns a short name ("neighbor-scan", "intersect", ...).
+const char* LocalCandidateMethodName(LocalCandidateMethod method);
+
+/// Knobs of a single enumeration run.
+struct EnumerateOptions {
+  LocalCandidateMethod lc_method = LocalCandidateMethod::kIntersect;
+  /// Failing-set pruning (w/fs vs wo/fs in the paper's tables).
+  bool use_failing_sets = false;
+  /// DP-iso's adaptive vertex selection; requires weights and an all-edges
+  /// auxiliary structure. The static order then serves as the BFS order δ.
+  bool adaptive_order = false;
+  /// VF2++'s extra look-ahead filtering rules (classic 2PP only).
+  bool vf2pp_lookahead = false;
+  /// Restrict kNeighborScan to the candidate sets (binary search) instead
+  /// of the plain LDF predicate of Algorithm 2. Enable when candidate sets
+  /// are stronger than LDF.
+  bool restrict_neighbor_scan_to_candidates = false;
+  /// Stop after this many matches (the paper uses 10^5). 0 = unlimited.
+  uint64_t max_matches = 100000;
+  /// Wall-clock budget in milliseconds (the paper uses five minutes).
+  /// 0 = unlimited.
+  double time_limit_ms = 300000.0;
+  /// Set intersection kernel for kIntersect.
+  IntersectionMethod intersection = IntersectionMethod::kHybrid;
+  /// Restricts the first extension to candidates [root_slice_begin,
+  /// root_slice_end) of the start vertex — the work-partitioning hook used
+  /// by the parallel matcher. Defaults cover the whole candidate set.
+  uint32_t root_slice_begin = 0;
+  uint32_t root_slice_end = 0xffffffffu;
+};
+
+/// Outcome and search statistics of one enumeration run.
+struct EnumerateStats {
+  uint64_t match_count = 0;
+  /// Recursive Enumerate invocations (search-tree nodes).
+  uint64_t recursion_calls = 0;
+  /// Total size of all computed local candidate sets.
+  uint64_t local_candidates_scanned = 0;
+  /// Candidate extensions skipped by failing-set pruning.
+  uint64_t failing_set_prunes = 0;
+  bool timed_out = false;
+  bool reached_match_limit = false;
+  double enumeration_ms = 0.0;
+};
+
+/// Called for every match; mapping[i] is the data vertex assigned to the
+/// query vertex i (not order position). Return false to stop enumeration.
+using MatchCallback = std::function<bool(std::span<const Vertex>)>;
+
+/// Runs the backtracking enumeration.
+///
+/// `order` is the matching order (or the BFS order δ when adaptive ordering
+/// is on). `aux` may be null only for kNeighborScan / kCandidateScan.
+/// `weights` is required when options.adaptive_order is set.
+/// `callback` may be empty when only counting.
+EnumerateStats Enumerate(const Graph& query, const Graph& data,
+                         const CandidateSets& candidates,
+                         const AuxStructure* aux,
+                         std::span<const Vertex> order,
+                         const EnumerateOptions& options,
+                         const DpisoWeights* weights = nullptr,
+                         const MatchCallback& callback = {});
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_ENUMERATE_ENUMERATOR_H_

@@ -1,0 +1,44 @@
+// Failing-set pruning support (Section 3.4 of the paper, proposed by
+// DP-iso).
+//
+// Every node of the backtracking search tree returns a failing set: a set of
+// query vertices responsible for the absence of matches in the node's
+// subtree. If the exploration of a child extended on query vertex u returns
+// a failing set that does not contain u, re-extending u to a different data
+// vertex cannot help, so all remaining siblings are skipped (Example 3.5).
+//
+// Sets are 64-bit masks over query vertices, which is why queries are capped
+// at kMaxQueryVertices = 64.
+#ifndef SGM_CORE_ENUMERATE_FAILING_SET_H_
+#define SGM_CORE_ENUMERATE_FAILING_SET_H_
+
+#include <cstdint>
+
+#include "sgm/core/types.h"
+
+namespace sgm {
+
+/// A set of query vertices encoded as a bitmask.
+using QueryVertexSet = uint64_t;
+
+/// Singleton set {u}.
+inline QueryVertexSet QuerySetBit(Vertex u) {
+  SGM_CHECK(u < kMaxQueryVertices);
+  return 1ULL << u;
+}
+
+/// The full set over n query vertices. Returned when a subtree contains a
+/// match: no ancestor may prune based on it.
+inline QueryVertexSet QuerySetFull(uint32_t n) {
+  SGM_CHECK(n <= kMaxQueryVertices);
+  return n == 64 ? ~0ULL : (1ULL << n) - 1;
+}
+
+/// True iff u is a member of the set.
+inline bool QuerySetContains(QueryVertexSet set, Vertex u) {
+  return (set >> u) & 1;
+}
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_ENUMERATE_FAILING_SET_H_

@@ -1,0 +1,78 @@
+// CECI's candidate generation (Section 3.1.1): BFS traversal order δ from
+// the root argmin |C_NLF(u)|/d(u). Phase 1 constructs C(u) from the tree
+// parent's candidates (Generation Rule 3.1 with LDF/NLF admission checks)
+// and prunes bidirectionally along backward non-tree edges. Phase 2 refines
+// along the reverse of δ using the tree children (Filtering Rule 3.1).
+#include "sgm/core/filter/filter.h"
+
+#include <algorithm>
+
+namespace sgm {
+
+FilterResult RunCeciFilter(const Graph& query, const Graph& data) {
+  const uint32_t n = query.vertex_count();
+
+  // Root selection over NLF seed candidates.
+  const CandidateSets seed = BuildNlfCandidates(query, data);
+  const Vertex root = SelectRootMinCandidatesOverDegree(query, seed);
+  BfsTree tree = BuildBfsTree(query, root);
+
+  CandidateSets candidates(n);
+  std::vector<uint8_t> scratch(data.vertex_count(), 0);
+  std::vector<uint32_t> position(n, 0);
+  for (uint32_t i = 0; i < n; ++i) position[tree.order[i]] = i;
+
+  // --- Phase 1: construction and filtering along δ. ---
+  std::vector<uint32_t> stamp(data.vertex_count(), 0);
+  uint32_t stamp_epoch = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const Vertex u = tree.order[i];
+    auto& set = candidates.mutable_candidates(u);
+    if (u == root) {
+      set.assign(seed.candidates(u).begin(), seed.candidates(u).end());
+    } else {
+      // Generate from the tree parent: distinct neighbors of C(u.p) passing
+      // LDF and NLF.
+      const Vertex parent = tree.parent[u];
+      ++stamp_epoch;
+      for (const Vertex v_parent : candidates.candidates(parent)) {
+        for (const Vertex w : data.neighbors(v_parent)) {
+          if (stamp[w] == stamp_epoch) continue;
+          stamp[w] = stamp_epoch;
+          if (PassesLdf(query, data, u, w) && PassesNlf(query, data, u, w)) {
+            set.push_back(w);
+          }
+        }
+      }
+      std::sort(set.begin(), set.end());
+
+      // Rule out parent candidates with no neighbor in C(u).
+      PruneByNeighborConstraint(data, &candidates.mutable_candidates(parent),
+                                candidates.candidates(u), &scratch);
+
+      // Backward non-tree edges: prune C(u) against C(u_n) and vice versa.
+      for (const Vertex u_n : query.neighbors(u)) {
+        if (position[u_n] < i && u_n != parent) {
+          PruneByNeighborConstraint(data, &set, candidates.candidates(u_n),
+                                    &scratch);
+          PruneByNeighborConstraint(data, &candidates.mutable_candidates(u_n),
+                                    candidates.candidates(u), &scratch);
+        }
+      }
+    }
+    if (set.empty()) return {std::move(candidates), std::move(tree)};
+  }
+
+  // --- Phase 2: refinement along the reverse of δ using tree children. ---
+  for (uint32_t i = n; i-- > 0;) {
+    const Vertex u = tree.order[i];
+    for (const Vertex child : tree.children[u]) {
+      PruneByNeighborConstraint(data, &candidates.mutable_candidates(u),
+                                candidates.candidates(child), &scratch);
+    }
+  }
+
+  return {std::move(candidates), std::move(tree)};
+}
+
+}  // namespace sgm

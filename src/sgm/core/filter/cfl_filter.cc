@@ -1,0 +1,153 @@
+// CFL's candidate generation (Section 3.1.1): build a BFS tree q_t of the
+// query, generate candidate sets top-down level by level with Generation
+// Rule 3.1 (intersecting the neighborhoods of already-generated candidate
+// sets, with LDF and NLF checks on admission), prune backwards with
+// Filtering Rule 3.1 along non-tree edges at each level, then refine
+// bottom-up against down-level neighbors.
+#include "sgm/core/filter/filter.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace sgm {
+
+namespace {
+
+// CFL's root selection (also used by its path-based ordering): among core
+// vertices (all vertices when the 2-core is empty), take the three with the
+// smallest label-frequency/degree ratio, then pick the one with the fewest
+// NLF candidates.
+Vertex SelectCflRoot(const Graph& query, const Graph& data) {
+  std::vector<bool> in_core = TwoCoreMembership(query);
+  if (std::find(in_core.begin(), in_core.end(), true) == in_core.end()) {
+    in_core.assign(query.vertex_count(), true);
+  }
+  std::vector<std::pair<double, Vertex>> ranked;
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    if (!in_core[u]) continue;
+    const Label l = query.label(u);
+    const double freq =
+        l < data.label_count() ? data.LabelFrequency(l) : 0.0;
+    ranked.emplace_back(freq / std::max(1u, query.degree(u)), u);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  if (ranked.size() > 3) ranked.resize(3);
+
+  Vertex best = ranked.front().second;
+  uint64_t best_count = std::numeric_limits<uint64_t>::max();
+  for (const auto& [score, u] : ranked) {
+    uint64_t count = 0;
+    const Label l = query.label(u);
+    if (l < data.label_count()) {
+      for (const Vertex v : data.VerticesWithLabel(l)) {
+        if (data.degree(v) >= query.degree(u) &&
+            PassesNlf(query, data, u, v)) {
+          ++count;
+        }
+      }
+    }
+    if (count < best_count) {
+      best_count = count;
+      best = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+FilterResult RunCflFilter(const Graph& query, const Graph& data) {
+  const Vertex root = SelectCflRoot(query, data);
+  BfsTree tree = BuildBfsTree(query, root);
+  const uint32_t n = query.vertex_count();
+
+  CandidateSets candidates(n);
+  std::vector<uint8_t> scratch(data.vertex_count(), 0);
+
+  // Position of each vertex in the BFS order (earlier = processed first).
+  std::vector<uint32_t> position(n, 0);
+  for (uint32_t i = 0; i < n; ++i) position[tree.order[i]] = i;
+
+  // --- Generation phase (top-down along the BFS order). ---
+  // Count-based implementation of Generation Rule 3.1: cnt[w] counts how
+  // many already-processed neighbors u' of u have a candidate adjacent to w;
+  // w qualifies when cnt[w] equals the number of such neighbors and it
+  // passes LDF and NLF.
+  std::vector<uint32_t> cnt(data.vertex_count(), 0);
+  std::vector<uint32_t> stamp(data.vertex_count(), 0);
+  uint32_t stamp_epoch = 0;
+  std::vector<Vertex> touched;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const Vertex u = tree.order[i];
+    auto& set = candidates.mutable_candidates(u);
+    if (u == root) {
+      const Label l = query.label(u);
+      if (l < data.label_count()) {
+        for (const Vertex v : data.VerticesWithLabel(l)) {
+          if (data.degree(v) >= query.degree(u) &&
+              PassesNlf(query, data, u, v)) {
+            set.push_back(v);
+          }
+        }
+      }
+    } else {
+      // Collect already-processed neighbors of u.
+      std::vector<Vertex> processed;
+      for (const Vertex u_prime : query.neighbors(u)) {
+        if (position[u_prime] < i) processed.push_back(u_prime);
+      }
+      SGM_CHECK(!processed.empty());  // BFS parent is always processed
+      touched.clear();
+      for (const Vertex u_prime : processed) {
+        ++stamp_epoch;
+        for (const Vertex v_prime : candidates.candidates(u_prime)) {
+          for (const Vertex w : data.neighbors(v_prime)) {
+            if (stamp[w] == stamp_epoch) continue;  // dedup within u'
+            stamp[w] = stamp_epoch;
+            if (cnt[w] == 0) touched.push_back(w);
+            ++cnt[w];
+          }
+        }
+      }
+      for (const Vertex w : touched) {
+        if (cnt[w] == processed.size() && PassesLdf(query, data, u, w) &&
+            PassesNlf(query, data, u, w)) {
+          set.push_back(w);
+        }
+        cnt[w] = 0;
+      }
+      std::sort(set.begin(), set.end());
+
+      // Backward pruning along the non-tree edges just closed by u.
+      for (const Vertex u_prime : processed) {
+        if (u_prime == tree.parent[u]) continue;
+        PruneByNeighborConstraint(data,
+                                  &candidates.mutable_candidates(u_prime),
+                                  candidates.candidates(u), &scratch);
+      }
+    }
+    if (set.empty()) {
+      // Some query vertex has no candidate: the query has no match. Leave
+      // the remaining sets empty and return.
+      return {std::move(candidates), std::move(tree)};
+    }
+  }
+
+  // --- Refinement phase (bottom-up): prune C(u) against every neighbor at
+  // a deeper BFS level (tree children and downward non-tree edges). ---
+  for (uint32_t i = n; i-- > 0;) {
+    const Vertex u = tree.order[i];
+    for (const Vertex u_prime : query.neighbors(u)) {
+      if (tree.level[u_prime] > tree.level[u]) {
+        PruneByNeighborConstraint(data, &candidates.mutable_candidates(u),
+                                  candidates.candidates(u_prime), &scratch);
+      }
+    }
+  }
+
+  return {std::move(candidates), std::move(tree)};
+}
+
+}  // namespace sgm

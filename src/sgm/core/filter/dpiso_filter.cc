@@ -1,0 +1,60 @@
+// DP-iso's candidate-space construction (Section 3.1.1): candidates start
+// from LDF; k alternating refinement passes then apply Filtering Rule 3.1 —
+// odd passes walk the reverse BFS order δ and refine C(u) against the
+// neighbors positioned after u in δ (with an NLF check folded into the first
+// pass), even passes walk δ forward refining against the neighbors
+// positioned before u.
+#include "sgm/core/filter/filter.h"
+
+#include <vector>
+
+namespace sgm {
+
+FilterResult RunDpisoFilter(const Graph& query, const Graph& data,
+                            const FilterOptions& options) {
+  const uint32_t n = query.vertex_count();
+
+  const CandidateSets seed = BuildLdfCandidates(query, data);
+  const Vertex root = SelectRootMinCandidatesOverDegree(query, seed);
+  BfsTree tree = BuildBfsTree(query, root);
+
+  CandidateSets candidates(n);
+  for (Vertex u = 0; u < n; ++u) {
+    const auto s = seed.candidates(u);
+    candidates.mutable_candidates(u).assign(s.begin(), s.end());
+  }
+
+  std::vector<uint32_t> position(n, 0);
+  for (uint32_t i = 0; i < n; ++i) position[tree.order[i]] = i;
+
+  std::vector<uint8_t> scratch(data.vertex_count(), 0);
+  for (uint32_t pass = 0; pass < options.dpiso_refinement_rounds; ++pass) {
+    const bool reverse = (pass % 2 == 0);  // first pass walks reverse δ
+    for (uint32_t step = 0; step < n; ++step) {
+      const uint32_t i = reverse ? n - 1 - step : step;
+      const Vertex u = tree.order[i];
+      auto& set = candidates.mutable_candidates(u);
+      if (pass == 0) {
+        // Fold the NLF check into the first pass, as DP-iso does.
+        size_t out = 0;
+        for (const Vertex v : set) {
+          if (PassesNlf(query, data, u, v)) set[out++] = v;
+        }
+        set.resize(out);
+      }
+      for (const Vertex u_prime : query.neighbors(u)) {
+        const bool relevant = reverse ? position[u_prime] > i
+                                      : position[u_prime] < i;
+        if (relevant) {
+          PruneByNeighborConstraint(data, &set,
+                                    candidates.candidates(u_prime), &scratch);
+        }
+      }
+      if (set.empty()) return {std::move(candidates), std::move(tree)};
+    }
+  }
+
+  return {std::move(candidates), std::move(tree)};
+}
+
+}  // namespace sgm

@@ -1,0 +1,88 @@
+#include "sgm/core/filter/filter.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sgm {
+
+const char* FilterMethodName(FilterMethod method) {
+  switch (method) {
+    case FilterMethod::kLDF:
+      return "LDF";
+    case FilterMethod::kNLF:
+      return "NLF";
+    case FilterMethod::kGraphQL:
+      return "GQL";
+    case FilterMethod::kCFL:
+      return "CFL";
+    case FilterMethod::kCECI:
+      return "CECI";
+    case FilterMethod::kDPiso:
+      return "DP";
+    case FilterMethod::kSteady:
+      return "STEADY";
+  }
+  return "unknown";
+}
+
+FilterResult RunFilter(FilterMethod method, const Graph& query,
+                       const Graph& data, const FilterOptions& options) {
+  switch (method) {
+    case FilterMethod::kLDF:
+      return {BuildLdfCandidates(query, data), std::nullopt};
+    case FilterMethod::kNLF:
+      return {BuildNlfCandidates(query, data), std::nullopt};
+    case FilterMethod::kGraphQL:
+      return RunGraphQlFilter(query, data, options);
+    case FilterMethod::kCFL:
+      return RunCflFilter(query, data);
+    case FilterMethod::kCECI:
+      return RunCeciFilter(query, data);
+    case FilterMethod::kDPiso:
+      return RunDpisoFilter(query, data, options);
+    case FilterMethod::kSteady:
+      return RunSteadyFilter(query, data);
+  }
+  SGM_CHECK_MSG(false, "unreachable filter method");
+  return {};
+}
+
+bool PruneByNeighborConstraint(const Graph& data,
+                               std::vector<Vertex>* candidates_u,
+                               std::span<const Vertex> candidates_constraint,
+                               std::vector<uint8_t>* scratch) {
+  SGM_CHECK(scratch->size() == data.vertex_count());
+  for (const Vertex v : candidates_constraint) (*scratch)[v] = 1;
+  size_t out = 0;
+  for (const Vertex v : *candidates_u) {
+    bool has_neighbor = false;
+    for (const Vertex w : data.neighbors(v)) {
+      if ((*scratch)[w]) {
+        has_neighbor = true;
+        break;
+      }
+    }
+    if (has_neighbor) (*candidates_u)[out++] = v;
+  }
+  const bool pruned = out != candidates_u->size();
+  candidates_u->resize(out);
+  for (const Vertex v : candidates_constraint) (*scratch)[v] = 0;
+  return pruned;
+}
+
+Vertex SelectRootMinCandidatesOverDegree(const Graph& query,
+                                         const CandidateSets& seed) {
+  Vertex best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    const double score = static_cast<double>(seed.Count(u)) /
+                         static_cast<double>(std::max(1u, query.degree(u)));
+    if (score < best_score) {
+      best_score = score;
+      best = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace sgm

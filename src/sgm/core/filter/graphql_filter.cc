@@ -1,0 +1,221 @@
+// GraphQL's candidate generation (Section 3.1.1 of the paper):
+//
+//  1. Local pruning — the profile of u (lexicographically sorted labels of u
+//     and its neighbors within distance r = 1) must be a sub-sequence of the
+//     profile of v. With sorted profiles this is equivalent to a per-label
+//     count dominance test, which we evaluate using the precomputed
+//     neighbor-label-frequency tables.
+//  2. Global refinement — the pseudo subgraph isomorphism test: for
+//     v ∈ C(u), build the bipartite graph B between N(u) and N(v) with an
+//     edge (u', v') whenever v' ∈ C(u'), and require a semi-perfect matching
+//     (all of N(u) matched). Repeated for a user-specified number of rounds.
+#include "sgm/core/filter/filter.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace sgm {
+
+namespace {
+
+// Kuhn's augmenting-path algorithm deciding whether the bipartite graph
+// between left = N(u) and right = N(v) has a matching covering all of left.
+// adjacency[i] lists right indices reachable from left index i.
+class SemiPerfectMatcher {
+ public:
+  bool Covers(const std::vector<std::vector<uint32_t>>& adjacency,
+              uint32_t right_size) {
+    const auto left_size = static_cast<uint32_t>(adjacency.size());
+    right_match_.assign(right_size, kUnmatched);
+    for (uint32_t i = 0; i < left_size; ++i) {
+      visited_.assign(right_size, false);
+      if (!TryAugment(adjacency, i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kUnmatched = 0xffffffffu;
+
+  bool TryAugment(const std::vector<std::vector<uint32_t>>& adjacency,
+                  uint32_t left) {
+    for (const uint32_t right : adjacency[left]) {
+      if (visited_[right]) continue;
+      visited_[right] = true;
+      if (right_match_[right] == kUnmatched ||
+          TryAugment(adjacency, right_match_[right])) {
+        right_match_[right] = left;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<uint32_t> right_match_;
+  std::vector<bool> visited_;
+};
+
+// Profile dominance at r = 1: every label in {L(u)} ∪ L(N(u)) must occur in
+// {L(v)} ∪ L(N(v)) at least as many times. Labels of u and v are equal by
+// LDF, so comparing neighbor-label counts suffices — except the neighbor
+// multiset of u may contain L(u) itself, which v's own label also covers.
+bool ProfileDominates(const Graph& query, const Graph& data, Vertex u,
+                      Vertex v) {
+  for (const auto& [label, count] : query.NeighborLabelFrequency(u)) {
+    uint32_t available = data.NeighborCountWithLabel(v, label);
+    // v itself contributes one occurrence of its own label to the profile,
+    // matching the occurrence contributed by u (labels equal under LDF), so
+    // self labels cancel and no adjustment is needed.
+    if (available < count) return false;
+  }
+  return true;
+}
+
+// Generic radius-r profile: label counts of the distinct vertices within
+// distance <= radius of `center` (excluding the center; its own label
+// cancels against the other side's under LDF). Stamp-based BFS, O(edges
+// explored) per call.
+class ProfileCollector {
+ public:
+  explicit ProfileCollector(const Graph& graph)
+      : graph_(graph), stamp_(graph.vertex_count(), 0) {}
+
+  // Returns counts indexed by label in a small sorted vector.
+  std::vector<std::pair<Label, uint32_t>> Collect(Vertex center,
+                                                  uint32_t radius) {
+    ++epoch_;
+    counts_.clear();
+    frontier_ = {center};
+    stamp_[center] = epoch_;
+    for (uint32_t hop = 0; hop < radius; ++hop) {
+      next_.clear();
+      for (const Vertex v : frontier_) {
+        for (const Vertex w : graph_.neighbors(v)) {
+          if (stamp_[w] == epoch_) continue;
+          stamp_[w] = epoch_;
+          next_.push_back(w);
+          AddLabel(graph_.label(w));
+        }
+      }
+      frontier_.swap(next_);
+    }
+    std::sort(counts_.begin(), counts_.end());
+    return counts_;
+  }
+
+ private:
+  void AddLabel(Label label) {
+    for (auto& [l, c] : counts_) {
+      if (l == label) {
+        ++c;
+        return;
+      }
+    }
+    counts_.emplace_back(label, 1);
+  }
+
+  const Graph& graph_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  std::vector<Vertex> frontier_;
+  std::vector<Vertex> next_;
+  std::vector<std::pair<Label, uint32_t>> counts_;
+};
+
+// Sub-multiset test over sorted (label, count) vectors.
+bool CountsDominated(const std::vector<std::pair<Label, uint32_t>>& needed,
+                     const std::vector<std::pair<Label, uint32_t>>& have) {
+  size_t j = 0;
+  for (const auto& [label, count] : needed) {
+    while (j < have.size() && have[j].first < label) ++j;
+    if (j == have.size() || have[j].first != label || have[j].second < count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+FilterResult RunGraphQlFilter(const Graph& query, const Graph& data,
+                              const FilterOptions& options) {
+  // Step 1: local pruning over the LDF candidates. Radius 1 uses the
+  // precomputed neighbor-label tables; larger radii additionally require
+  // profile dominance at every hop count up to the radius (each check is
+  // individually complete, so the conjunction is too, and radius r strictly
+  // refines radius r-1).
+  SGM_CHECK(options.graphql_profile_radius >= 1);
+  ProfileCollector query_profiles(query);
+  ProfileCollector data_profiles(data);
+  CandidateSets candidates(query.vertex_count());
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    const Label l = query.label(u);
+    if (l >= data.label_count()) continue;
+    std::vector<std::vector<std::pair<Label, uint32_t>>> needed_per_radius;
+    for (uint32_t r = 2; r <= options.graphql_profile_radius; ++r) {
+      needed_per_radius.push_back(query_profiles.Collect(u, r));
+    }
+    auto& set = candidates.mutable_candidates(u);
+    for (const Vertex v : data.VerticesWithLabel(l)) {
+      if (data.degree(v) < query.degree(u)) continue;
+      bool dominated = ProfileDominates(query, data, u, v);
+      for (uint32_t r = 2; dominated && r <= options.graphql_profile_radius;
+           ++r) {
+        dominated = CountsDominated(needed_per_radius[r - 2],
+                                    data_profiles.Collect(v, r));
+      }
+      if (dominated) set.push_back(v);
+    }
+  }
+
+  // Step 2: global refinement. Membership flags over the data graph are kept
+  // per query vertex and updated as candidates are pruned, so a check
+  // "v' ∈ C(u')" is O(1).
+  std::vector<std::vector<uint8_t>> member(query.vertex_count());
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    member[u].assign(data.vertex_count(), 0);
+    for (const Vertex v : candidates.candidates(u)) member[u][v] = 1;
+  }
+
+  SemiPerfectMatcher matcher;
+  std::vector<std::vector<uint32_t>> adjacency;
+  for (uint32_t round = 0; round < options.graphql_refinement_rounds; ++round) {
+    bool changed = false;
+    for (Vertex u = 0; u < query.vertex_count(); ++u) {
+      auto& set = candidates.mutable_candidates(u);
+      const auto query_nbrs = query.neighbors(u);
+      size_t out = 0;
+      for (const Vertex v : set) {
+        const auto data_nbrs = data.neighbors(v);
+        adjacency.assign(query_nbrs.size(), {});
+        bool feasible = true;
+        for (size_t i = 0; i < query_nbrs.size(); ++i) {
+          const Vertex u_prime = query_nbrs[i];
+          for (size_t j = 0; j < data_nbrs.size(); ++j) {
+            if (member[u_prime][data_nbrs[j]]) {
+              adjacency[i].push_back(static_cast<uint32_t>(j));
+            }
+          }
+          if (adjacency[i].empty()) {
+            feasible = false;  // some neighbor of u has no candidate near v
+            break;
+          }
+        }
+        if (feasible &&
+            matcher.Covers(adjacency, static_cast<uint32_t>(data_nbrs.size()))) {
+          set[out++] = v;
+        } else {
+          member[u][v] = 0;
+          changed = true;
+        }
+      }
+      set.resize(out);
+    }
+    if (!changed) break;
+  }
+
+  return {std::move(candidates), std::nullopt};
+}
+
+}  // namespace sgm

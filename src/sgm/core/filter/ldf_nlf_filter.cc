@@ -1,0 +1,49 @@
+// The basic filters of Section 3.1.1: label-and-degree filtering (LDF) and
+// neighbor-label-frequency filtering (NLF).
+#include "sgm/core/filter/filter.h"
+
+namespace sgm {
+
+bool PassesLdf(const Graph& query, const Graph& data, Vertex u, Vertex v) {
+  const Label l = query.label(u);
+  if (l >= data.label_count()) return false;
+  return data.label(v) == l && data.degree(v) >= query.degree(u);
+}
+
+bool PassesNlf(const Graph& query, const Graph& data, Vertex u, Vertex v) {
+  for (const auto& [label, count] : query.NeighborLabelFrequency(u)) {
+    if (data.NeighborCountWithLabel(v, label) < count) return false;
+  }
+  return true;
+}
+
+CandidateSets BuildLdfCandidates(const Graph& query, const Graph& data) {
+  CandidateSets candidates(query.vertex_count());
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    const Label l = query.label(u);
+    if (l >= data.label_count()) continue;  // label absent from data graph
+    auto& set = candidates.mutable_candidates(u);
+    for (const Vertex v : data.VerticesWithLabel(l)) {
+      if (data.degree(v) >= query.degree(u)) set.push_back(v);
+    }
+    // VerticesWithLabel is sorted, so the set already is.
+  }
+  return candidates;
+}
+
+CandidateSets BuildNlfCandidates(const Graph& query, const Graph& data) {
+  CandidateSets candidates(query.vertex_count());
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    const Label l = query.label(u);
+    if (l >= data.label_count()) continue;
+    auto& set = candidates.mutable_candidates(u);
+    for (const Vertex v : data.VerticesWithLabel(l)) {
+      if (data.degree(v) >= query.degree(u) && PassesNlf(query, data, u, v)) {
+        set.push_back(v);
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace sgm

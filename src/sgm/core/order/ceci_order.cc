@@ -1,0 +1,26 @@
+// CECI's ordering (Section 3.2): the BFS traversal order of the query from
+// the root u_r = argmin |C(u)|/d(u).
+#include "sgm/core/order/order.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sgm {
+
+std::vector<Vertex> CeciOrder(const Graph& query,
+                              const CandidateSets& candidates) {
+  SGM_CHECK(candidates.query_vertex_count() == query.vertex_count());
+  Vertex root = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    const double score = static_cast<double>(candidates.Count(u)) /
+                         static_cast<double>(std::max(1u, query.degree(u)));
+    if (score < best) {
+      best = score;
+      root = u;
+    }
+  }
+  return BuildBfsTree(query, root).order;
+}
+
+}  // namespace sgm

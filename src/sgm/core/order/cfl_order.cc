@@ -1,0 +1,210 @@
+// CFL's path-based ordering (Section 3.2): decompose the BFS tree q_t into
+// root-to-leaf paths, estimate the number of path embeddings in the
+// auxiliary structure by dynamic programming, and emit the paths greedily —
+// first the path minimizing c(P)/|NT(P)| (non-tree edges terminate invalid
+// branches early), then repeatedly the path minimizing c(P^u)/|C(u)| where u
+// is the vertex connecting the path to the current order.
+#include "sgm/core/order/order.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sgm/util/set_intersection.h"
+
+namespace sgm {
+
+namespace {
+
+// Root selection when no BFS tree was handed down from the CFL filter:
+// highest-degree core vertex with the rarest label (the filter's own rule
+// lives in cfl_filter.cc; this standalone fallback only needs the data
+// graph's label statistics).
+Vertex FallbackRoot(const Graph& query, const Graph& data) {
+  std::vector<bool> in_core = TwoCoreMembership(query);
+  if (std::find(in_core.begin(), in_core.end(), true) == in_core.end()) {
+    in_core.assign(query.vertex_count(), true);
+  }
+  Vertex best = kInvalidVertex;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    if (!in_core[u]) continue;
+    const Label l = query.label(u);
+    const double freq = l < data.label_count() ? data.LabelFrequency(l) : 0.0;
+    const double score = freq / std::max(1u, query.degree(u));
+    if (score < best_score) {
+      best_score = score;
+      best = u;
+    }
+  }
+  return best == kInvalidVertex ? 0 : best;
+}
+
+}  // namespace
+
+std::vector<Vertex> CflOrder(const Graph& query, const Graph& data,
+                             const CandidateSets& candidates,
+                             const BfsTree* tree, const AuxStructure* aux) {
+  const uint32_t n = query.vertex_count();
+  SGM_CHECK(candidates.query_vertex_count() == n);
+
+  BfsTree local_tree;
+  if (tree == nullptr) {
+    local_tree = BuildBfsTree(query, FallbackRoot(query, data));
+    tree = &local_tree;
+  }
+
+  // Candidate adjacency accessor: prefer the prebuilt auxiliary structure,
+  // fall back to an on-the-fly intersection against the data graph.
+  std::vector<Vertex> scratch;
+  const auto candidate_neighbors =
+      [&](Vertex u, uint32_t cand_index,
+          Vertex child) -> std::span<const Vertex> {
+    if (aux != nullptr && aux->HasIndex(u, child)) {
+      return aux->NeighborsByIndex(u, cand_index, child);
+    }
+    const Vertex v = candidates.candidates(u)[cand_index];
+    IntersectHybrid(data.neighbors(v), candidates.candidates(child), &scratch);
+    return scratch;
+  };
+
+  // Enumerate root-to-leaf paths of q_t.
+  std::vector<std::vector<Vertex>> paths;
+  {
+    std::vector<Vertex> stack_path;
+    // Iterative DFS carrying the current path.
+    struct Frame {
+      Vertex vertex;
+      size_t child_index;
+    };
+    std::vector<Frame> stack{{tree->root, 0}};
+    stack_path.push_back(tree->root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& children = tree->children[frame.vertex];
+      if (children.empty()) {
+        paths.push_back(stack_path);
+        stack.pop_back();
+        stack_path.pop_back();
+      } else if (frame.child_index < children.size()) {
+        const Vertex child = children[frame.child_index++];
+        stack.push_back({child, 0});
+        stack_path.push_back(child);
+      } else {
+        stack.pop_back();
+        stack_path.pop_back();
+      }
+    }
+  }
+
+  // Per-path dynamic programming: weight[i][ci] estimates the number of
+  // embeddings of the path suffix starting at path vertex i rooted at the
+  // ci-th candidate. c(P^u) is then the sum over C(u).
+  std::vector<std::vector<std::vector<double>>> weights(paths.size());
+  for (size_t p = 0; p < paths.size(); ++p) {
+    const auto& path = paths[p];
+    auto& w = weights[p];
+    w.resize(path.size());
+    w.back().assign(candidates.Count(path.back()), 1.0);
+    for (size_t i = path.size() - 1; i-- > 0;) {
+      const Vertex u = path[i];
+      const Vertex child = path[i + 1];
+      w[i].assign(candidates.Count(u), 0.0);
+      for (uint32_t ci = 0; ci < candidates.Count(u); ++ci) {
+        double sum = 0.0;
+        for (const Vertex v_child : candidate_neighbors(u, ci, child)) {
+          const uint32_t child_index = candidates.IndexOf(child, v_child);
+          if (child_index < candidates.Count(child)) {
+            sum += w[i + 1][child_index];
+          }
+        }
+        w[i][ci] = sum;
+      }
+    }
+  }
+
+  const auto suffix_cardinality = [&](size_t p, size_t i) -> double {
+    double total = 0.0;
+    for (const double x : weights[p][i]) total += x;
+    return total;
+  };
+
+  // Non-tree edges adjacent to a path's vertices.
+  const auto non_tree_edge_count = [&](const std::vector<Vertex>& path) {
+    std::vector<bool> on_path(n, false);
+    for (const Vertex u : path) on_path[u] = true;
+    uint32_t count = 0;
+    for (Vertex u = 0; u < n; ++u) {
+      for (const Vertex w : query.neighbors(u)) {
+        if (u < w && (on_path[u] || on_path[w]) &&
+            tree->parent[u] != w && tree->parent[w] != u) {
+          ++count;
+        }
+      }
+    }
+    return count;
+  };
+
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> in_order(n, false);
+  std::vector<bool> path_used(paths.size(), false);
+
+  // First path: argmin c(P) / |NT(P)|.
+  size_t first = 0;
+  double first_score = std::numeric_limits<double>::infinity();
+  for (size_t p = 0; p < paths.size(); ++p) {
+    const double nt = std::max(1u, non_tree_edge_count(paths[p]));
+    const double score = suffix_cardinality(p, 0) / nt;
+    if (score < first_score) {
+      first_score = score;
+      first = p;
+    }
+  }
+  for (const Vertex u : paths[first]) {
+    order.push_back(u);
+    in_order[u] = true;
+  }
+  path_used[first] = true;
+
+  // Remaining paths: argmin c(P^u)/|C(u)| at the connection vertex u (the
+  // deepest path vertex already ordered; paths share prefixes with the
+  // ordered set, so the connection vertex is well defined).
+  while (order.size() < n) {
+    size_t best_path = paths.size();
+    size_t best_connect = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (size_t p = 0; p < paths.size(); ++p) {
+      if (path_used[p]) continue;
+      size_t connect = 0;
+      for (size_t i = 0; i < paths[p].size(); ++i) {
+        if (in_order[paths[p][i]]) connect = i;
+      }
+      if (connect + 1 == paths[p].size()) {
+        // Entire path already ordered through shared prefixes.
+        path_used[p] = true;
+        continue;
+      }
+      const Vertex u = paths[p][connect];
+      const double denom = std::max(1u, candidates.Count(u));
+      const double score = suffix_cardinality(p, connect) / denom;
+      if (score < best_score) {
+        best_score = score;
+        best_path = p;
+        best_connect = connect;
+      }
+    }
+    if (best_path == paths.size()) break;  // all paths consumed
+    for (size_t i = best_connect + 1; i < paths[best_path].size(); ++i) {
+      const Vertex u = paths[best_path][i];
+      if (!in_order[u]) {
+        order.push_back(u);
+        in_order[u] = true;
+      }
+    }
+    path_used[best_path] = true;
+  }
+  SGM_CHECK_MSG(order.size() == n, "CFL order must cover all query vertices");
+  return order;
+}
+
+}  // namespace sgm

@@ -1,0 +1,71 @@
+#include "sgm/core/order/dpiso_order.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sgm/core/order/order.h"
+
+namespace sgm {
+
+std::vector<Vertex> DpisoStaticOrder(const Graph& query,
+                                     const CandidateSets& candidates) {
+  // DP-iso's underlying BFS order δ starts from argmin |C(u)|/d(u), the
+  // same rule as CECI; the adaptive vertex selection that refines δ at run
+  // time lives in the enumeration engine (see DpisoWeights).
+  return CeciOrder(query, candidates);
+}
+
+DpisoWeights DpisoWeights::Build(const Graph& query,
+                                 const CandidateSets& candidates,
+                                 const AuxStructure& aux,
+                                 std::span<const Vertex> delta) {
+  const uint32_t n = query.vertex_count();
+  SGM_CHECK(delta.size() == n);
+
+  std::vector<uint32_t> position(n, 0);
+  for (uint32_t i = 0; i < n; ++i) position[delta[i]] = i;
+
+  // Tree-like children of u: forward neighbors (w.r.t. δ) whose only
+  // backward neighbor is u itself.
+  std::vector<std::vector<Vertex>> tree_like_children(n);
+  for (Vertex u_prime = 0; u_prime < n; ++u_prime) {
+    uint32_t backward = 0;
+    Vertex parent = kInvalidVertex;
+    for (const Vertex w : query.neighbors(u_prime)) {
+      if (position[w] < position[u_prime]) {
+        ++backward;
+        parent = w;
+      }
+    }
+    if (backward == 1) tree_like_children[parent].push_back(u_prime);
+  }
+
+  DpisoWeights result;
+  result.weights_.resize(n);
+  for (Vertex u = 0; u < n; ++u) {
+    result.weights_[u].assign(candidates.Count(u), 1.0);
+  }
+
+  // Reverse-δ dynamic programming: W[u][v] = min over tree-like children u'
+  // of the summed weights of v's candidate neighbors in C(u').
+  for (uint32_t i = n; i-- > 0;) {
+    const Vertex u = delta[i];
+    if (tree_like_children[u].empty()) continue;
+    auto& weights_u = result.weights_[u];
+    for (uint32_t ci = 0; ci < weights_u.size(); ++ci) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Vertex child : tree_like_children[u]) {
+        double sum = 0.0;
+        for (const Vertex v_child : aux.NeighborsByIndex(u, ci, child)) {
+          const uint32_t child_index = candidates.IndexOf(child, v_child);
+          sum += result.weights_[child][child_index];
+        }
+        best = std::min(best, sum);
+      }
+      weights_u[ci] = best;
+    }
+  }
+  return result;
+}
+
+}  // namespace sgm

@@ -1,0 +1,47 @@
+// DP-iso's adaptive ordering support (Section 3.2): the static BFS order δ
+// plus the weight array that estimates, for each candidate v of each query
+// vertex u, the number of embeddings of the maximal tree-like path starting
+// at u when u is mapped to v. The enumeration engine uses these weights to
+// pick the next extendable vertex at run time.
+#ifndef SGM_CORE_ORDER_DPISO_ORDER_H_
+#define SGM_CORE_ORDER_DPISO_ORDER_H_
+
+#include <span>
+#include <vector>
+
+#include "sgm/core/aux_structure.h"
+#include "sgm/core/candidate_sets.h"
+#include "sgm/graph/graph.h"
+
+namespace sgm {
+
+/// Weight array over candidates, built by dynamic programming along the
+/// reverse of δ over maximal tree-like paths.
+class DpisoWeights {
+ public:
+  DpisoWeights() = default;
+
+  /// Builds the weights. `aux` must index every query edge; `delta` is the
+  /// BFS traversal order underlying the adaptive strategy.
+  static DpisoWeights Build(const Graph& query,
+                            const CandidateSets& candidates,
+                            const AuxStructure& aux,
+                            std::span<const Vertex> delta);
+
+  /// Estimated tree-like-path embeddings when u is mapped to its
+  /// cand_index-th candidate.
+  double WeightByIndex(Vertex u, uint32_t cand_index) const {
+    SGM_CHECK(u < weights_.size());
+    SGM_CHECK(cand_index < weights_[u].size());
+    return weights_[u][cand_index];
+  }
+
+  bool empty() const { return weights_.empty(); }
+
+ private:
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_ORDER_DPISO_ORDER_H_

@@ -1,0 +1,48 @@
+// GraphQL's left-deep-join ordering (Section 3.2): start from the query
+// vertex with the smallest candidate set, then repeatedly append the
+// neighbor of the ordered prefix with the smallest candidate set.
+#include "sgm/core/order/order.h"
+
+#include <limits>
+
+namespace sgm {
+
+std::vector<Vertex> GraphQlOrder(const Graph& query,
+                                 const CandidateSets& candidates) {
+  const uint32_t n = query.vertex_count();
+  SGM_CHECK(candidates.query_vertex_count() == n);
+
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> in_order(n, false);
+
+  Vertex start = 0;
+  uint32_t best = std::numeric_limits<uint32_t>::max();
+  for (Vertex u = 0; u < n; ++u) {
+    if (candidates.Count(u) < best) {
+      best = candidates.Count(u);
+      start = u;
+    }
+  }
+  order.push_back(start);
+  in_order[start] = true;
+
+  while (order.size() < n) {
+    Vertex next = kInvalidVertex;
+    uint32_t next_count = std::numeric_limits<uint32_t>::max();
+    for (const Vertex u : order) {
+      for (const Vertex w : query.neighbors(u)) {
+        if (!in_order[w] && candidates.Count(w) < next_count) {
+          next_count = candidates.Count(w);
+          next = w;
+        }
+      }
+    }
+    SGM_CHECK_MSG(next != kInvalidVertex, "query must be connected");
+    order.push_back(next);
+    in_order[next] = true;
+  }
+  return order;
+}
+
+}  // namespace sgm

@@ -1,0 +1,130 @@
+#include "sgm/core/order/order.h"
+
+#include <algorithm>
+
+namespace sgm {
+
+const char* OrderMethodName(OrderMethod method) {
+  switch (method) {
+    case OrderMethod::kQuickSI:
+      return "QSI";
+    case OrderMethod::kGraphQL:
+      return "GQL";
+    case OrderMethod::kCFL:
+      return "CFL";
+    case OrderMethod::kCECI:
+      return "CECI";
+    case OrderMethod::kDPiso:
+      return "DP";
+    case OrderMethod::kRI:
+      return "RI";
+    case OrderMethod::kVF2pp:
+      return "2PP";
+  }
+  return "unknown";
+}
+
+std::vector<Vertex> ComputeOrder(OrderMethod method, const Graph& query,
+                                 const Graph& data,
+                                 const OrderInputs& inputs) {
+  switch (method) {
+    case OrderMethod::kQuickSI:
+      return QuickSiOrder(query, data);
+    case OrderMethod::kGraphQL:
+      SGM_CHECK_MSG(inputs.candidates != nullptr,
+                    "GraphQL ordering needs candidate sets");
+      return GraphQlOrder(query, *inputs.candidates);
+    case OrderMethod::kCFL:
+      SGM_CHECK_MSG(inputs.candidates != nullptr,
+                    "CFL ordering needs candidate sets");
+      return CflOrder(query, data, *inputs.candidates, inputs.tree,
+                      inputs.aux);
+    case OrderMethod::kCECI:
+      SGM_CHECK_MSG(inputs.candidates != nullptr,
+                    "CECI ordering needs candidate sets");
+      return CeciOrder(query, *inputs.candidates);
+    case OrderMethod::kDPiso:
+      SGM_CHECK_MSG(inputs.candidates != nullptr,
+                    "DP-iso ordering needs candidate sets");
+      return DpisoStaticOrder(query, *inputs.candidates);
+    case OrderMethod::kRI:
+      return RiOrder(query);
+    case OrderMethod::kVF2pp:
+      return Vf2ppOrder(query, data);
+  }
+  SGM_CHECK_MSG(false, "unreachable order method");
+  return {};
+}
+
+std::vector<Vertex> PostponeDegreeOneVertices(const Graph& query,
+                                              std::span<const Vertex> order) {
+  const uint32_t n = query.vertex_count();
+  SGM_CHECK(order.size() == n);
+  std::vector<Vertex> core;
+  std::vector<Vertex> leaves;
+  for (const Vertex u : order) {
+    (query.degree(u) == 1 ? leaves : core).push_back(u);
+  }
+  if (leaves.empty() || core.empty()) {
+    return {order.begin(), order.end()};
+  }
+
+  // Re-emit the core greedily in (approximately) its original order while
+  // keeping the connectivity invariant: each emitted vertex after the first
+  // must have a neighbor among the already-emitted ones. The core of a
+  // connected graph is connected once leaves are stripped, so this always
+  // makes progress.
+  std::vector<Vertex> result;
+  result.reserve(n);
+  std::vector<bool> emitted(n, false);
+  std::vector<bool> taken(core.size(), false);
+  for (size_t emitted_count = 0; emitted_count < core.size();) {
+    bool progressed = false;
+    for (size_t i = 0; i < core.size(); ++i) {
+      if (taken[i]) continue;
+      const Vertex u = core[i];
+      bool ok = result.empty();
+      for (const Vertex w : query.neighbors(u)) {
+        if (emitted[w]) {
+          ok = true;
+          break;
+        }
+      }
+      if (ok) {
+        result.push_back(u);
+        emitted[u] = true;
+        taken[i] = true;
+        ++emitted_count;
+        progressed = true;
+        break;
+      }
+    }
+    SGM_CHECK_MSG(progressed, "core of a connected query must be connected");
+  }
+  for (const Vertex u : leaves) result.push_back(u);
+  return result;
+}
+
+bool IsValidMatchingOrder(const Graph& query, std::span<const Vertex> order) {
+  const uint32_t n = query.vertex_count();
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Vertex u = order[i];
+    if (u >= n || seen[u]) return false;
+    if (i > 0) {
+      bool has_backward = false;
+      for (const Vertex w : query.neighbors(u)) {
+        if (seen[w]) {
+          has_backward = true;
+          break;
+        }
+      }
+      if (!has_backward) return false;
+    }
+    seen[u] = true;
+  }
+  return true;
+}
+
+}  // namespace sgm

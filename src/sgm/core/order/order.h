@@ -1,0 +1,74 @@
+// Ordering methods: generation of matching orders (Section 3.2 of the
+// paper). A matching order is a permutation of the query vertices in which
+// every vertex after the first has at least one backward neighbor
+// ("connected" orders), so the enumeration never takes a Cartesian product
+// between disconnected partial matches.
+#ifndef SGM_CORE_ORDER_ORDER_H_
+#define SGM_CORE_ORDER_ORDER_H_
+
+#include <vector>
+
+#include "sgm/core/aux_structure.h"
+#include "sgm/core/candidate_sets.h"
+#include "sgm/graph/graph.h"
+#include "sgm/graph/graph_utils.h"
+
+namespace sgm {
+
+/// Identifies an ordering method.
+enum class OrderMethod : uint8_t {
+  kQuickSI = 0,  ///< infrequent-edge first (weighted spanning order)
+  kGraphQL = 1,  ///< left-deep join: greedy min |C(u)|
+  kCFL = 2,      ///< path-based order over q_t with DP cardinality estimates
+  kCECI = 3,     ///< BFS traversal order from argmin |C(u)|/d(u)
+  kDPiso = 4,    ///< static BFS order; adaptive selection happens at run time
+  kRI = 5,       ///< structure-based: max backward neighbors + tie breakers
+  kVF2pp = 6,    ///< BFS level-wise, rare labels and large degrees first
+};
+
+/// Returns the paper's abbreviation ("QSI", "GQL", "CFL", ...).
+const char* OrderMethodName(OrderMethod method);
+
+/// Inputs available to the ordering methods. `candidates` must be non-null
+/// for candidate-based methods (GraphQL, CFL, CECI, DP-iso). `tree` and
+/// `aux` are optional accelerators for CFL (they are rebuilt when absent).
+struct OrderInputs {
+  const CandidateSets* candidates = nullptr;
+  const BfsTree* tree = nullptr;      // q_t from the filtering phase
+  const AuxStructure* aux = nullptr;  // candidate edges for CFL's estimates
+};
+
+/// Computes a matching order with the selected method.
+std::vector<Vertex> ComputeOrder(OrderMethod method, const Graph& query,
+                                 const Graph& data, const OrderInputs& inputs);
+
+// ---- Individual methods. ----
+
+std::vector<Vertex> QuickSiOrder(const Graph& query, const Graph& data);
+std::vector<Vertex> GraphQlOrder(const Graph& query,
+                                 const CandidateSets& candidates);
+std::vector<Vertex> CflOrder(const Graph& query, const Graph& data,
+                             const CandidateSets& candidates,
+                             const BfsTree* tree, const AuxStructure* aux);
+std::vector<Vertex> CeciOrder(const Graph& query,
+                              const CandidateSets& candidates);
+std::vector<Vertex> DpisoStaticOrder(const Graph& query,
+                                     const CandidateSets& candidates);
+std::vector<Vertex> RiOrder(const Graph& query);
+std::vector<Vertex> Vf2ppOrder(const Graph& query, const Graph& data);
+
+/// Validates the "connected permutation" invariant of a matching order.
+bool IsValidMatchingOrder(const Graph& query, std::span<const Vertex> order);
+
+/// DP-iso's leaf decomposition: rebuilds the order so that all degree-one
+/// query vertices come last (their only constraint is one already-mapped
+/// neighbor, so matching them early only multiplies the search). The
+/// relative order of the remaining (core) vertices is preserved as far as
+/// the connectivity invariant allows. Requires a valid input order of a
+/// connected query; returns a valid order.
+std::vector<Vertex> PostponeDegreeOneVertices(const Graph& query,
+                                              std::span<const Vertex> order);
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_ORDER_ORDER_H_

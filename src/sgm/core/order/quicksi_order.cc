@@ -1,0 +1,87 @@
+// QuickSI's infrequent-edge-first ordering (Section 3.2): weight each query
+// vertex by the frequency of its label in the data graph and each query edge
+// by the number of data edges whose endpoint labels match; start from the
+// globally lightest edge and grow a spanning order by repeatedly taking the
+// lightest edge leaving the ordered set.
+#include "sgm/core/order/order.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace sgm {
+
+namespace {
+
+// Key for an unordered label pair.
+uint64_t LabelPairKey(Label a, Label b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::vector<Vertex> QuickSiOrder(const Graph& query, const Graph& data) {
+  const uint32_t n = query.vertex_count();
+
+  // Edge-label-pair frequencies over the data graph.
+  std::unordered_map<uint64_t, uint64_t> pair_frequency;
+  for (Vertex v = 0; v < data.vertex_count(); ++v) {
+    for (const Vertex w : data.neighbors(v)) {
+      if (v < w) {
+        ++pair_frequency[LabelPairKey(data.label(v), data.label(w))];
+      }
+    }
+  }
+  const auto edge_weight = [&](Vertex u, Vertex w) -> uint64_t {
+    const auto it =
+        pair_frequency.find(LabelPairKey(query.label(u), query.label(w)));
+    return it == pair_frequency.end() ? 0 : it->second;
+  };
+  const auto vertex_weight = [&](Vertex u) -> uint64_t {
+    const Label l = query.label(u);
+    return l < data.label_count() ? data.LabelFrequency(l) : 0;
+  };
+
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> in_order(n, false);
+
+  // Seed: the globally lightest query edge; its endpoints enter in ascending
+  // vertex-weight order.
+  uint64_t best_weight = std::numeric_limits<uint64_t>::max();
+  Vertex best_u = 0, best_w = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex w : query.neighbors(u)) {
+      if (u < w && edge_weight(u, w) < best_weight) {
+        best_weight = edge_weight(u, w);
+        best_u = u;
+        best_w = w;
+      }
+    }
+  }
+  if (vertex_weight(best_w) < vertex_weight(best_u)) std::swap(best_u, best_w);
+  order.push_back(best_u);
+  order.push_back(best_w);
+  in_order[best_u] = in_order[best_w] = true;
+
+  // Grow: lightest edge from the ordered set to an unordered vertex.
+  while (order.size() < n) {
+    uint64_t grow_weight = std::numeric_limits<uint64_t>::max();
+    Vertex next = kInvalidVertex;
+    for (const Vertex u : order) {
+      for (const Vertex w : query.neighbors(u)) {
+        if (!in_order[w] && edge_weight(u, w) < grow_weight) {
+          grow_weight = edge_weight(u, w);
+          next = w;
+        }
+      }
+    }
+    SGM_CHECK_MSG(next != kInvalidVertex, "query must be connected");
+    order.push_back(next);
+    in_order[next] = true;
+  }
+  return order;
+}
+
+}  // namespace sgm

@@ -1,0 +1,82 @@
+// RI's structure-based ordering (Section 3.2): start from the query vertex
+// of maximum degree; then repeatedly pick, among the unordered neighbors of
+// the ordered prefix, the vertex with the most backward neighbors. Ties are
+// broken by (1) the number of ordered vertices that are adjacent to the
+// candidate and have a neighbor outside the order, then (2) the number of
+// the candidate's neighbors that are outside the order and not adjacent to
+// any ordered vertex. RI never consults the data graph.
+#include "sgm/core/order/order.h"
+
+#include <tuple>
+
+namespace sgm {
+
+std::vector<Vertex> RiOrder(const Graph& query) {
+  const uint32_t n = query.vertex_count();
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> in_order(n, false);
+
+  Vertex start = 0;
+  for (Vertex u = 1; u < n; ++u) {
+    if (query.degree(u) > query.degree(start)) start = u;
+  }
+  order.push_back(start);
+  in_order[start] = true;
+
+  while (order.size() < n) {
+    Vertex next = kInvalidVertex;
+    std::tuple<uint32_t, uint32_t, uint32_t> best_score{0, 0, 0};
+    for (Vertex u = 0; u < n; ++u) {
+      if (in_order[u]) continue;
+      // Primary: number of backward neighbors (vertices of the prefix
+      // adjacent to u); 0 means u is not adjacent to the prefix yet.
+      uint32_t backward = 0;
+      for (const Vertex w : query.neighbors(u)) {
+        if (in_order[w]) ++backward;
+      }
+      if (backward == 0) continue;
+
+      // Tie breaker 1: ordered vertices adjacent to u that still have an
+      // unordered neighbor.
+      uint32_t frontier = 0;
+      for (const Vertex w : query.neighbors(u)) {
+        if (!in_order[w]) continue;
+        for (const Vertex x : query.neighbors(w)) {
+          if (!in_order[x]) {
+            ++frontier;
+            break;
+          }
+        }
+      }
+
+      // Tie breaker 2: neighbors of u outside the order with no ordered
+      // neighbor at all.
+      uint32_t lookahead = 0;
+      for (const Vertex w : query.neighbors(u)) {
+        if (in_order[w]) continue;
+        bool touches_order = false;
+        for (const Vertex x : query.neighbors(w)) {
+          if (in_order[x]) {
+            touches_order = true;
+            break;
+          }
+        }
+        if (!touches_order) ++lookahead;
+      }
+
+      const std::tuple<uint32_t, uint32_t, uint32_t> score{backward, frontier,
+                                                           lookahead};
+      if (next == kInvalidVertex || score > best_score) {
+        best_score = score;
+        next = u;
+      }
+    }
+    SGM_CHECK_MSG(next != kInvalidVertex, "query must be connected");
+    order.push_back(next);
+    in_order[next] = true;
+  }
+  return order;
+}
+
+}  // namespace sgm

@@ -1,0 +1,67 @@
+// VF2++'s ordering (Section 3.2): root at the query vertex whose label is
+// rarest in the data graph (largest degree breaking ties), build a BFS tree,
+// and emit vertices depth by depth; within a depth, repeatedly pick the
+// vertex with the most already-ordered neighbors, breaking ties by larger
+// degree and then by rarer label.
+#include "sgm/core/order/order.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace sgm {
+
+std::vector<Vertex> Vf2ppOrder(const Graph& query, const Graph& data) {
+  const uint32_t n = query.vertex_count();
+  const auto label_frequency = [&](Vertex u) -> uint32_t {
+    const Label l = query.label(u);
+    return l < data.label_count() ? data.LabelFrequency(l) : 0;
+  };
+
+  Vertex root = 0;
+  for (Vertex u = 1; u < n; ++u) {
+    const auto score = std::tuple{label_frequency(u),
+                                  ~uint64_t{query.degree(u)}};
+    const auto best = std::tuple{label_frequency(root),
+                                 ~uint64_t{query.degree(root)}};
+    if (score < best) root = u;
+  }
+
+  const BfsTree tree = BuildBfsTree(query, root);
+  const uint32_t depth = tree.depth();
+
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> in_order(n, false);
+  for (uint32_t level = 0; level < depth; ++level) {
+    std::vector<Vertex> level_vertices;
+    for (Vertex u = 0; u < n; ++u) {
+      if (tree.level[u] == level) level_vertices.push_back(u);
+    }
+    while (!level_vertices.empty()) {
+      size_t best_pos = 0;
+      std::tuple<uint32_t, uint32_t, int64_t> best_score{0, 0, 0};
+      for (size_t i = 0; i < level_vertices.size(); ++i) {
+        const Vertex u = level_vertices[i];
+        uint32_t backward = 0;
+        for (const Vertex w : query.neighbors(u)) {
+          if (in_order[w]) ++backward;
+        }
+        const std::tuple<uint32_t, uint32_t, int64_t> score{
+            backward, query.degree(u),
+            -static_cast<int64_t>(label_frequency(u))};
+        if (i == 0 || score > best_score) {
+          best_score = score;
+          best_pos = i;
+        }
+      }
+      const Vertex chosen = level_vertices[best_pos];
+      level_vertices.erase(level_vertices.begin() +
+                           static_cast<ptrdiff_t>(best_pos));
+      order.push_back(chosen);
+      in_order[chosen] = true;
+    }
+  }
+  return order;
+}
+
+}  // namespace sgm

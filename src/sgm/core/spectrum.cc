@@ -1,0 +1,75 @@
+#include "sgm/core/spectrum.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sgm {
+
+std::vector<Vertex> RandomConnectedOrder(const Graph& query, Prng* prng) {
+  const uint32_t n = query.vertex_count();
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> in_order(n, false);
+
+  const auto start = static_cast<Vertex>(prng->NextBounded(n));
+  order.push_back(start);
+  in_order[start] = true;
+
+  std::vector<Vertex> frontier;
+  while (order.size() < n) {
+    frontier.clear();
+    for (Vertex u = 0; u < n; ++u) {
+      if (in_order[u]) continue;
+      for (const Vertex w : query.neighbors(u)) {
+        if (in_order[w]) {
+          frontier.push_back(u);
+          break;
+        }
+      }
+    }
+    SGM_CHECK_MSG(!frontier.empty(), "query must be connected");
+    const Vertex next = frontier[prng->NextBounded(frontier.size())];
+    order.push_back(next);
+    in_order[next] = true;
+  }
+  return order;
+}
+
+SpectrumResult RunSpectrum(const Graph& query, const Graph& data,
+                           const SpectrumOptions& options, Prng* prng) {
+  SpectrumResult result;
+
+  FilterResult filtered = RunFilter(options.filter, query, data);
+  if (filtered.candidates.AnyEmpty()) {
+    // No matches under any order; every order completes instantly.
+    result.attempted = result.completed = options.num_orders;
+    result.completed_times_ms.assign(options.num_orders, 0.0);
+    return result;
+  }
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+
+  EnumerateOptions enumerate_options;
+  enumerate_options.lc_method = LocalCandidateMethod::kIntersect;
+  enumerate_options.max_matches = options.max_matches;
+  enumerate_options.time_limit_ms = options.per_order_time_limit_ms;
+  enumerate_options.intersection = options.intersection;
+
+  result.best_ms = std::numeric_limits<double>::infinity();
+  for (uint32_t i = 0; i < options.num_orders; ++i) {
+    const std::vector<Vertex> order = RandomConnectedOrder(query, prng);
+    const EnumerateStats stats = Enumerate(
+        query, data, filtered.candidates, &aux, order, enumerate_options);
+    ++result.attempted;
+    if (stats.timed_out) continue;  // omit orders exceeding their budget
+    ++result.completed;
+    result.completed_times_ms.push_back(stats.enumeration_ms);
+    result.best_ms = std::min(result.best_ms, stats.enumeration_ms);
+    result.worst_completed_ms =
+        std::max(result.worst_completed_ms, stats.enumeration_ms);
+  }
+  if (result.completed == 0) result.best_ms = 0.0;
+  return result;
+}
+
+}  // namespace sgm

@@ -1,0 +1,47 @@
+// Spectrum analysis (Section 5.3, Figure 14 / Table 6): evaluate a query
+// under many randomly sampled matching orders to measure how far a given
+// ordering method is from the best order the search could have used.
+#ifndef SGM_CORE_SPECTRUM_H_
+#define SGM_CORE_SPECTRUM_H_
+
+#include <vector>
+
+#include "sgm/matcher.h"
+#include "sgm/util/prng.h"
+
+namespace sgm {
+
+/// Configuration of a spectrum run. The candidate sets and the auxiliary
+/// structure are built once (per `filter`), then every sampled order is
+/// enumerated with the set-intersection method under its own time budget.
+struct SpectrumOptions {
+  uint32_t num_orders = 1000;
+  double per_order_time_limit_ms = 60000.0;  // the paper uses one minute
+  uint64_t max_matches = 100000;
+  FilterMethod filter = FilterMethod::kGraphQL;
+  IntersectionMethod intersection = IntersectionMethod::kHybrid;
+};
+
+/// Outcome of a spectrum run.
+struct SpectrumResult {
+  /// Enumeration time of every sampled order that finished in its budget.
+  std::vector<double> completed_times_ms;
+  uint32_t attempted = 0;
+  uint32_t completed = 0;
+  double best_ms = 0.0;
+  double worst_completed_ms = 0.0;
+};
+
+/// Samples `options.num_orders` random connected matching orders and
+/// enumerates the query under each.
+SpectrumResult RunSpectrum(const Graph& query, const Graph& data,
+                           const SpectrumOptions& options, Prng* prng);
+
+/// Uniformly samples a valid (connected) matching order: a random start
+/// vertex, then repeatedly a uniformly random unordered vertex adjacent to
+/// the prefix.
+std::vector<Vertex> RandomConnectedOrder(const Graph& query, Prng* prng);
+
+}  // namespace sgm
+
+#endif  // SGM_CORE_SPECTRUM_H_

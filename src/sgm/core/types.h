@@ -1,0 +1,49 @@
+// Fundamental types and invariant-checking macros shared by every sgm module.
+#ifndef SGM_CORE_TYPES_H_
+#define SGM_CORE_TYPES_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace sgm {
+
+/// Identifier of a vertex in a query or data graph.
+using Vertex = uint32_t;
+/// Vertex label. Labels are dense integers in [0, label_count).
+using Label = uint32_t;
+
+/// Sentinel for "no vertex" (e.g., an unmapped query vertex).
+inline constexpr Vertex kInvalidVertex = std::numeric_limits<Vertex>::max();
+/// Sentinel for "no label".
+inline constexpr Label kInvalidLabel = std::numeric_limits<Label>::max();
+
+/// Maximum number of query vertices supported by the enumeration engine.
+/// Failing sets are stored as one 64-bit mask per search node, so queries are
+/// capped at 64 vertices (the paper evaluates up to 32).
+inline constexpr uint32_t kMaxQueryVertices = 64;
+
+}  // namespace sgm
+
+/// Invariant check that stays active in release builds. Database-engine style:
+/// a violated invariant is a bug, so fail fast with a location message.
+#define SGM_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SGM_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SGM_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SGM_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // SGM_CORE_TYPES_H_

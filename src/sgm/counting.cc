@@ -1,0 +1,30 @@
+#include "sgm/counting.h"
+
+namespace sgm {
+
+uint64_t CountAutomorphisms(const Graph& query) {
+  MatchOptions options;
+  // Self-matching is tiny; run the recommended configuration uncapped.
+  options = MatchOptions::Recommended(query.vertex_count());
+  options.max_matches = 0;
+  options.time_limit_ms = 0;
+  const MatchResult result = MatchQuery(query, query, options);
+  SGM_CHECK_MSG(result.match_count >= 1, "identity automorphism must exist");
+  return result.match_count;
+}
+
+OccurrenceCount CountOccurrences(const Graph& query, const Graph& data,
+                                 MatchOptions options) {
+  OccurrenceCount count;
+  count.automorphisms = CountAutomorphisms(query);
+  const MatchResult result = MatchQuery(query, data, options);
+  count.embeddings = result.match_count;
+  count.exact = !result.unsolved() && !result.enumerate.reached_match_limit;
+  // Embedding counts of completed enumerations are divisible by |Aut(q)|
+  // (the automorphism group acts freely on embeddings); integer division is
+  // exact then, and a floor (lower bound) under caps or timeouts.
+  count.occurrences = count.embeddings / count.automorphisms;
+  return count;
+}
+
+}  // namespace sgm

@@ -1,0 +1,43 @@
+// Subgraph counting on top of the matching engine: automorphism counting of
+// query graphs and distinct (unordered) occurrence counts.
+//
+// Subgraph matching enumerates *embeddings* (injective mappings), so a data
+// subgraph isomorphic to q is reported once per automorphism of q — e.g.,
+// every triangle occurrence shows up 6 times with an unlabeled triangle
+// query. Motif-counting applications usually want occurrences, which is
+// match_count / |Aut(q)|.
+#ifndef SGM_COUNTING_H_
+#define SGM_COUNTING_H_
+
+#include <cstdint>
+
+#include "sgm/matcher.h"
+
+namespace sgm {
+
+/// Number of label-preserving automorphisms of the query graph (>= 1: the
+/// identity always counts). Computed by matching the query against itself;
+/// queries are small (<= 64 vertices), so this is fast in practice.
+uint64_t CountAutomorphisms(const Graph& query);
+
+/// Result of a distinct-occurrence count.
+struct OccurrenceCount {
+  /// Number of embeddings found (possibly capped by options.max_matches).
+  uint64_t embeddings = 0;
+  /// |Aut(q)|.
+  uint64_t automorphisms = 1;
+  /// embeddings / automorphisms — exact when the enumeration completed
+  /// (no cap, no timeout), a lower bound otherwise.
+  uint64_t occurrences = 0;
+  /// True when the count is exact.
+  bool exact = false;
+};
+
+/// Counts distinct occurrences of the query in the data graph: enumerates
+/// embeddings with the given options and divides by |Aut(q)|.
+OccurrenceCount CountOccurrences(const Graph& query, const Graph& data,
+                                 MatchOptions options = MatchOptions{});
+
+}  // namespace sgm
+
+#endif  // SGM_COUNTING_H_

@@ -1,0 +1,96 @@
+#include "sgm/explain.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "sgm/core/order/dpiso_order.h"
+#include "sgm/util/timer.h"
+
+namespace sgm {
+
+QueryPlan ExplainQuery(const Graph& query, const Graph& data,
+                       const MatchOptions& options) {
+  QueryPlan plan;
+  plan.filter = options.filter;
+  plan.order = options.order;
+  plan.lc_method = options.lc_method;
+  plan.use_failing_sets = options.use_failing_sets;
+  plan.adaptive_order = options.adaptive_order;
+
+  Timer phase_timer;
+  FilterResult filtered =
+      RunFilter(options.filter, query, data, options.filter_options);
+  plan.filter_ms = phase_timer.ElapsedMillis();
+  plan.candidate_memory_bytes = filtered.candidates.MemoryBytes();
+  plan.candidate_counts.resize(query.vertex_count());
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    plan.candidate_counts[u] = filtered.candidates.Count(u);
+    plan.log10_cartesian_bound +=
+        std::log10(std::max<uint32_t>(1, plan.candidate_counts[u]));
+  }
+  if (filtered.candidates.AnyEmpty()) {
+    plan.no_match_possible = true;
+    return plan;
+  }
+
+  // The explanation always builds the all-edges structure: it is what the
+  // tree-embedding estimate needs, and a superset of every scope.
+  phase_timer.Reset();
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+  plan.aux_build_ms = phase_timer.ElapsedMillis();
+  plan.aux_memory_bytes = aux.MemoryBytes();
+
+  phase_timer.Reset();
+  OrderInputs order_inputs;
+  order_inputs.candidates = &filtered.candidates;
+  order_inputs.tree =
+      filtered.bfs_tree.has_value() ? &*filtered.bfs_tree : nullptr;
+  order_inputs.aux = &aux;
+  plan.matching_order = ComputeOrder(options.order, query, data, order_inputs);
+  if (options.postpone_degree_one) {
+    plan.matching_order =
+        PostponeDegreeOneVertices(query, plan.matching_order);
+  }
+  plan.order_ms = phase_timer.ElapsedMillis();
+
+  // Tree-embedding estimate: DP-iso's weight array over the chosen order;
+  // summing the root weights over its candidates estimates the number of
+  // embeddings of the order's tree-like skeleton.
+  const DpisoWeights weights = DpisoWeights::Build(
+      query, filtered.candidates, aux, plan.matching_order);
+  const Vertex root = plan.matching_order.front();
+  double total = 0.0;
+  for (uint32_t ci = 0; ci < filtered.candidates.Count(root); ++ci) {
+    total += weights.WeightByIndex(root, ci);
+  }
+  plan.estimated_tree_embeddings = total;
+  return plan;
+}
+
+std::string QueryPlan::ToString(const Graph& query) const {
+  std::ostringstream out;
+  out << "plan: filter=" << FilterMethodName(filter)
+      << " order=" << OrderMethodName(order)
+      << " lc=" << LocalCandidateMethodName(lc_method)
+      << (adaptive_order ? " adaptive" : "")
+      << (use_failing_sets ? " failing-sets" : "") << "\n";
+  if (no_match_possible) {
+    out << "  no match possible: some candidate set is empty\n";
+  }
+  out << "  candidates:";
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    out << " C(u" << u << ")=" << candidate_counts[u];
+  }
+  out << "\n  order:";
+  for (const Vertex u : matching_order) out << " u" << u;
+  out << "\n  log10 cartesian bound = " << log10_cartesian_bound
+      << ", est. tree embeddings = " << estimated_tree_embeddings << "\n";
+  out << "  memory: candidates " << candidate_memory_bytes << " B, aux "
+      << aux_memory_bytes << " B\n";
+  out << "  preprocessing: filter " << filter_ms << " ms, aux "
+      << aux_build_ms << " ms, order " << order_ms << " ms\n";
+  return out.str();
+}
+
+}  // namespace sgm

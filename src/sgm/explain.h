@@ -1,0 +1,57 @@
+// EXPLAIN for subgraph queries: runs only the preprocessing phases of a
+// configuration and reports the plan the engine would execute — per-vertex
+// candidate counts, the matching order, memory of the auxiliary structure,
+// and two search-space estimates. Useful for understanding why a query is
+// slow and which configuration knob to turn, without paying for the
+// enumeration.
+#ifndef SGM_EXPLAIN_H_
+#define SGM_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "sgm/matcher.h"
+
+namespace sgm {
+
+/// The inspectable plan of a matching configuration for one query.
+struct QueryPlan {
+  FilterMethod filter = FilterMethod::kGraphQL;
+  OrderMethod order = OrderMethod::kGraphQL;
+  LocalCandidateMethod lc_method = LocalCandidateMethod::kIntersect;
+  bool use_failing_sets = false;
+  bool adaptive_order = false;
+
+  /// |C(u)| per query vertex u.
+  std::vector<uint32_t> candidate_counts;
+  /// The matching order φ.
+  std::vector<Vertex> matching_order;
+  /// log10 of the Cartesian bound Π |C(u)| — the search space before any
+  /// edge constraint.
+  double log10_cartesian_bound = 0.0;
+  /// Estimated embeddings of the order's spanning tree in the auxiliary
+  /// structure (DP estimate, the quantity DP-iso's weight array computes);
+  /// a much tighter indicator of enumeration effort.
+  double estimated_tree_embeddings = 0.0;
+
+  size_t candidate_memory_bytes = 0;
+  size_t aux_memory_bytes = 0;
+  double filter_ms = 0.0;
+  double aux_build_ms = 0.0;
+  double order_ms = 0.0;
+
+  /// True when some candidate set is empty (the query has no match and
+  /// enumeration would be skipped entirely).
+  bool no_match_possible = false;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const Graph& query) const;
+};
+
+/// Builds the plan for the given configuration without enumerating.
+QueryPlan ExplainQuery(const Graph& query, const Graph& data,
+                       const MatchOptions& options = MatchOptions{});
+
+}  // namespace sgm
+
+#endif  // SGM_EXPLAIN_H_

@@ -1,0 +1,312 @@
+#include "sgm/glasgow/glasgow.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sgm/util/bitset.h"
+#include "sgm/util/timer.h"
+
+namespace sgm {
+
+const char* GlasgowStatusName(GlasgowStatus status) {
+  switch (status) {
+    case GlasgowStatus::kComplete:
+      return "complete";
+    case GlasgowStatus::kMatchLimit:
+      return "match-limit";
+    case GlasgowStatus::kTimedOut:
+      return "timeout";
+    case GlasgowStatus::kOutOfMemory:
+      return "oom";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Bit-parallel relation over the data graph: one bitset row per data vertex.
+using RelationRows = std::vector<Bitset>;
+
+// Builds rows for "shares at least `threshold` common neighbours" (the
+// supplemental path-of-length-2 relation). threshold == 0 builds plain
+// adjacency.
+RelationRows BuildRelation(const Graph& graph, uint32_t threshold) {
+  const uint32_t n = graph.vertex_count();
+  RelationRows rows(n, Bitset(n));
+  if (threshold == 0) {
+    for (Vertex v = 0; v < n; ++v) {
+      for (const Vertex w : graph.neighbors(v)) rows[v].Set(w);
+    }
+    return rows;
+  }
+  std::vector<uint32_t> count(n, 0);
+  std::vector<Vertex> touched;
+  for (Vertex v = 0; v < n; ++v) {
+    touched.clear();
+    for (const Vertex w : graph.neighbors(v)) {
+      for (const Vertex x : graph.neighbors(w)) {
+        if (x == v) continue;
+        if (count[x]++ == 0) touched.push_back(x);
+      }
+    }
+    for (const Vertex x : touched) {
+      if (count[x] >= threshold) rows[v].Set(x);
+      count[x] = 0;
+    }
+  }
+  return rows;
+}
+
+// Adjacency under a relation on the query side, as a dense boolean matrix
+// (queries are tiny).
+std::vector<uint8_t> QueryRelationMatrix(const RelationRows& rows) {
+  const auto n = static_cast<uint32_t>(rows.size());
+  std::vector<uint8_t> matrix(static_cast<size_t>(n) * n, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    rows[u].ForEach([&](uint32_t w) { matrix[u * n + w] = 1; });
+  }
+  return matrix;
+}
+
+// Descending neighbour-degree sequence of a vertex.
+std::vector<uint32_t> NeighborDegreeSequence(const Graph& graph, Vertex v) {
+  std::vector<uint32_t> degrees;
+  degrees.reserve(graph.degree(v));
+  for (const Vertex w : graph.neighbors(v)) degrees.push_back(graph.degree(w));
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  return degrees;
+}
+
+class GlasgowSolver {
+ public:
+  GlasgowSolver(const Graph& query, const Graph& data,
+                const GlasgowOptions& options, const GlasgowCallback& callback)
+      : query_(query),
+        data_(data),
+        options_(options),
+        callback_(callback),
+        n_(query.vertex_count()) {}
+
+  GlasgowResult Run() {
+    GlasgowResult result;
+    Timer timer;
+
+    // Memory accounting: one adjacency relation plus two supplemental
+    // relations, each |V(G)|^2 bits.
+    const uint32_t dn = data_.vertex_count();
+    const size_t row_bytes = static_cast<size_t>((dn + 63) / 64) * 8;
+    const size_t relation_count = options_.use_supplemental_graphs ? 3 : 1;
+    result.estimated_relation_bytes = relation_count * row_bytes * dn;
+    if (options_.memory_limit_bytes != 0 &&
+        result.estimated_relation_bytes > options_.memory_limit_bytes) {
+      result.status = GlasgowStatus::kOutOfMemory;
+      result.total_ms = timer.ElapsedMillis();
+      return result;
+    }
+
+    // Relations over the data and query graphs.
+    data_relations_.push_back(BuildRelation(data_, 0));
+    query_relations_.push_back(QueryRelationMatrix(BuildRelation(query_, 0)));
+    if (options_.use_supplemental_graphs) {
+      for (const uint32_t threshold : {1u, 2u}) {
+        data_relations_.push_back(BuildRelation(data_, threshold));
+        query_relations_.push_back(
+            QueryRelationMatrix(BuildRelation(query_, threshold)));
+      }
+    }
+
+    // Initial domains: label, degree, neighbourhood degree sequence.
+    std::vector<std::vector<uint32_t>> data_nds(dn);
+    for (Vertex v = 0; v < dn; ++v) {
+      data_nds[v] = NeighborDegreeSequence(data_, v);
+    }
+    std::vector<Bitset> domains(n_, Bitset(dn));
+    for (Vertex u = 0; u < n_; ++u) {
+      const auto query_nds = NeighborDegreeSequence(query_, u);
+      for (Vertex v = 0; v < dn; ++v) {
+        if (data_.label(v) != query_.label(u) ||
+            data_.degree(v) < query_.degree(u)) {
+          continue;
+        }
+        bool dominated = true;
+        for (size_t i = 0; i < query_nds.size(); ++i) {
+          if (data_nds[v][i] < query_nds[i]) {
+            dominated = false;
+            break;
+          }
+        }
+        if (dominated) domains[u].Set(v);
+      }
+      if (domains[u].Empty()) {
+        result.status = GlasgowStatus::kComplete;
+        result.total_ms = timer.ElapsedMillis();
+        return result;
+      }
+    }
+
+    assigned_.assign(n_, kInvalidVertex);
+    timer_ = &timer;
+    Search(domains, 0);
+
+    result.match_count = match_count_;
+    result.search_nodes = search_nodes_;
+    result.propagations = propagations_;
+    if (timed_out_) {
+      result.status = GlasgowStatus::kTimedOut;
+    } else if (match_limit_hit_) {
+      result.status = GlasgowStatus::kMatchLimit;
+    } else {
+      result.status = GlasgowStatus::kComplete;
+    }
+    result.total_ms = timer.ElapsedMillis();
+    return result;
+  }
+
+ private:
+  bool Aborted() { return timed_out_ || match_limit_hit_ || stopped_; }
+
+  // Propagates the assignment u := v into `domains`: removes v everywhere
+  // (all-different) and intersects the domains of u's relation neighbours
+  // with v's relation rows. Unit domains cascade. Returns false on wipeout.
+  bool Propagate(std::vector<Bitset>* domains, Vertex u, Vertex v) {
+    std::vector<std::pair<Vertex, Vertex>> queue{{u, v}};
+    while (!queue.empty()) {
+      const auto [qu, qv] = queue.back();
+      queue.pop_back();
+      ++propagations_;
+      for (Vertex other = 0; other < n_; ++other) {
+        if (other == qu || assigned_[other] != kInvalidVertex) continue;
+        Bitset& domain = (*domains)[other];
+        const uint32_t before = domain.Count();
+        if (domain.Test(qv)) domain.Clear(qv);
+        for (size_t r = 0; r < query_relations_.size(); ++r) {
+          if (query_relations_[r][qu * n_ + other]) {
+            domain.AndWith(data_relations_[r][qv]);
+          }
+        }
+        const uint32_t after = domain.Count();
+        if (after == 0) return false;
+        if (after == 1 && before != 1) {
+          // Unit propagation: `other` is now forced. Propagation entries
+          // only reach *unassigned* variables, so a variable forced in this
+          // pass must be validated directly against every assignment made so
+          // far — both for all-different and for the relation constraints.
+          const Vertex forced = domain.FindFirst();
+          for (Vertex w = 0; w < n_; ++w) {
+            if (w == other || assigned_[w] == kInvalidVertex) continue;
+            if (assigned_[w] == forced) return false;
+            for (size_t r = 0; r < query_relations_.size(); ++r) {
+              if (query_relations_[r][other * n_ + w] &&
+                  !data_relations_[r][assigned_[w]].Test(forced)) {
+                return false;
+              }
+            }
+          }
+          assigned_[other] = forced;
+          forced_stack_.push_back(other);
+          queue.emplace_back(other, forced);
+        }
+      }
+    }
+    return true;
+  }
+
+  void Search(const std::vector<Bitset>& domains, uint32_t assigned_count) {
+    if (Aborted()) return;
+    ++search_nodes_;
+    if ((search_nodes_ & 255) == 0 && options_.time_limit_ms > 0 &&
+        timer_->ElapsedMillis() > options_.time_limit_ms) {
+      timed_out_ = true;
+      return;
+    }
+    if (assigned_count == n_) {
+      RecordMatch();
+      return;
+    }
+
+    // Smallest-domain-first variable selection, ties by larger query degree.
+    Vertex u = kInvalidVertex;
+    uint32_t best_size = std::numeric_limits<uint32_t>::max();
+    for (Vertex cand = 0; cand < n_; ++cand) {
+      if (assigned_[cand] != kInvalidVertex) continue;
+      const uint32_t size = domains[cand].Count();
+      if (size < best_size ||
+          (size == best_size && u != kInvalidVertex &&
+           query_.degree(cand) > query_.degree(u))) {
+        best_size = size;
+        u = cand;
+      }
+    }
+    SGM_CHECK(u != kInvalidVertex);
+
+    // Values in degree-descending order.
+    std::vector<Vertex> values;
+    values.reserve(best_size);
+    domains[u].ForEach([&](uint32_t v) { values.push_back(v); });
+    std::sort(values.begin(), values.end(), [&](Vertex a, Vertex b) {
+      return data_.degree(a) > data_.degree(b);
+    });
+
+    for (const Vertex v : values) {
+      if (Aborted()) return;
+      std::vector<Bitset> child = domains;
+      child[u].Reset();
+      child[u].Set(v);
+      assigned_[u] = v;
+      const size_t forced_mark = forced_stack_.size();
+      const bool consistent = Propagate(&child, u, v);
+      if (consistent) {
+        uint32_t count = 0;
+        for (Vertex w = 0; w < n_; ++w) {
+          if (assigned_[w] != kInvalidVertex) ++count;
+        }
+        Search(child, count);
+      }
+      // Undo the assignment and everything unit propagation forced.
+      while (forced_stack_.size() > forced_mark) {
+        assigned_[forced_stack_.back()] = kInvalidVertex;
+        forced_stack_.pop_back();
+      }
+      assigned_[u] = kInvalidVertex;
+    }
+  }
+
+  void RecordMatch() {
+    ++match_count_;
+    if (callback_ && !callback_(assigned_)) stopped_ = true;
+    if (options_.max_matches > 0 && match_count_ >= options_.max_matches) {
+      match_limit_hit_ = true;
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const GlasgowOptions& options_;
+  const GlasgowCallback& callback_;
+  const uint32_t n_;
+
+  std::vector<RelationRows> data_relations_;
+  std::vector<std::vector<uint8_t>> query_relations_;
+
+  std::vector<Vertex> assigned_;
+  std::vector<Vertex> forced_stack_;
+  uint64_t match_count_ = 0;
+  uint64_t search_nodes_ = 0;
+  uint64_t propagations_ = 0;
+  bool timed_out_ = false;
+  bool match_limit_hit_ = false;
+  bool stopped_ = false;
+  Timer* timer_ = nullptr;
+};
+
+}  // namespace
+
+GlasgowResult GlasgowMatch(const Graph& query, const Graph& data,
+                           const GlasgowOptions& options,
+                           const GlasgowCallback& callback) {
+  SGM_CHECK(query.vertex_count() >= 1);
+  GlasgowSolver solver(query, data, options, callback);
+  return solver.Run();
+}
+
+}  // namespace sgm

@@ -1,0 +1,135 @@
+#include "sgm/graph/generators.h"
+
+#include <utility>
+#include <vector>
+
+#include "sgm/graph/graph_builder.h"
+
+namespace sgm {
+
+namespace {
+
+// Assigns uniform random labels from [0, label_count) to every vertex.
+void AssignUniformLabels(GraphBuilder* builder, uint32_t label_count,
+                         Prng* prng) {
+  SGM_CHECK(label_count > 0);
+  for (Vertex v = 0; v < builder->vertex_count(); ++v) {
+    builder->SetLabel(v, static_cast<Label>(prng->NextBounded(label_count)));
+  }
+}
+
+// Draws one RMAT endpoint pair within a 2^levels x 2^levels adjacency matrix.
+std::pair<Vertex, Vertex> DrawRmatEdge(uint32_t levels,
+                                       const RmatParams& params, Prng* prng) {
+  uint32_t row = 0;
+  uint32_t col = 0;
+  for (uint32_t level = 0; level < levels; ++level) {
+    const double r = prng->NextDouble();
+    row <<= 1;
+    col <<= 1;
+    if (r < params.a) {
+      // top-left: nothing to add
+    } else if (r < params.a + params.b) {
+      col |= 1;
+    } else if (r < params.a + params.b + params.c) {
+      row |= 1;
+    } else {
+      row |= 1;
+      col |= 1;
+    }
+  }
+  return {row, col};
+}
+
+}  // namespace
+
+Graph GenerateRmat(uint32_t vertex_count, uint32_t edge_count,
+                   uint32_t label_count, Prng* prng,
+                   const RmatParams& params) {
+  SGM_CHECK(vertex_count >= 2);
+  uint32_t levels = 0;
+  while ((1ULL << levels) < vertex_count) ++levels;
+
+  GraphBuilder builder(vertex_count);
+  AssignUniformLabels(&builder, label_count, prng);
+
+  // Re-draw until the requested number of distinct, loop-free edges inside
+  // the vertex range is reached. A generous retry budget guards against
+  // pathological parameterizations (e.g., more edges than the graph can
+  // hold) turning into an infinite loop.
+  const uint64_t max_possible =
+      static_cast<uint64_t>(vertex_count) * (vertex_count - 1) / 2;
+  SGM_CHECK_MSG(edge_count <= max_possible, "edge_count exceeds simple-graph capacity");
+  uint64_t attempts = 0;
+  const uint64_t attempt_budget = 100ULL * edge_count + 1000000ULL;
+  while (builder.edge_count() < edge_count) {
+    SGM_CHECK_MSG(++attempts <= attempt_budget,
+                  "RMAT generator exceeded retry budget");
+    const auto [u, v] = DrawRmatEdge(levels, params, prng);
+    if (u >= vertex_count || v >= vertex_count) continue;
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph GenerateErdosRenyi(uint32_t vertex_count, uint32_t edge_count,
+                         uint32_t label_count, Prng* prng) {
+  SGM_CHECK(vertex_count >= 2);
+  const uint64_t max_possible =
+      static_cast<uint64_t>(vertex_count) * (vertex_count - 1) / 2;
+  SGM_CHECK_MSG(edge_count <= max_possible, "edge_count exceeds simple-graph capacity");
+
+  GraphBuilder builder(vertex_count);
+  AssignUniformLabels(&builder, label_count, prng);
+  while (builder.edge_count() < edge_count) {
+    const auto u = static_cast<Vertex>(prng->NextBounded(vertex_count));
+    const auto v = static_cast<Vertex>(prng->NextBounded(vertex_count));
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph RelabelUniform(const Graph& graph, uint32_t label_count, Prng* prng) {
+  GraphBuilder builder(graph.vertex_count());
+  AssignUniformLabels(&builder, label_count, prng);
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    for (const Vertex w : graph.neighbors(v)) {
+      if (v < w) builder.AddEdge(v, w);
+    }
+  }
+  return builder.Build();
+}
+
+Graph RelabelSkewed(const Graph& graph, uint32_t label_count,
+                    double dominant_fraction, Prng* prng) {
+  SGM_CHECK(label_count >= 2);
+  GraphBuilder builder(graph.vertex_count());
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    const Label label =
+        prng->NextBernoulli(dominant_fraction)
+            ? 0
+            : static_cast<Label>(1 + prng->NextBounded(label_count - 1));
+    builder.SetLabel(v, label);
+  }
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    for (const Vertex w : graph.neighbors(v)) {
+      if (v < w) builder.AddEdge(v, w);
+    }
+  }
+  return builder.Build();
+}
+
+Graph SampleEdges(const Graph& graph, double keep_ratio, Prng* prng) {
+  GraphBuilder builder(graph.vertex_count());
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    builder.SetLabel(v, graph.label(v));
+  }
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    for (const Vertex w : graph.neighbors(v)) {
+      if (v < w && prng->NextBernoulli(keep_ratio)) builder.AddEdge(v, w);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace sgm

@@ -1,0 +1,60 @@
+// Synthetic data-graph generators.
+//
+// The paper evaluates on RMAT power-law graphs (Chakrabarti et al., SDM 2004)
+// with parameters a=0.45, b=0.22, c=0.22, d=0.11 and uniform random vertex
+// labels, and labels its unlabeled real-world datasets the same way. These
+// generators reproduce that protocol and additionally provide Erdős–Rényi
+// graphs used to synthesize analogs of the paper's real-world datasets.
+#ifndef SGM_GRAPH_GENERATORS_H_
+#define SGM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "sgm/graph/graph.h"
+#include "sgm/util/prng.h"
+
+namespace sgm {
+
+/// Parameters of the RMAT recursive edge generator.
+struct RmatParams {
+  /// Quadrant probabilities; must sum to ~1. Defaults are the paper's.
+  double a = 0.45;
+  double b = 0.22;
+  double c = 0.22;
+  double d = 0.11;
+};
+
+/// Generates an RMAT graph with vertex_count vertices (rounded up to a power
+/// of two internally, then truncated), edge_count distinct undirected edges,
+/// and uniform random labels from [0, label_count). Self loops and duplicate
+/// edges are re-drawn, matching the "distinct labels to vertices" protocol of
+/// Section 4. Isolated vertices may exist (as in real RMAT output).
+Graph GenerateRmat(uint32_t vertex_count, uint32_t edge_count,
+                   uint32_t label_count, Prng* prng,
+                   const RmatParams& params = RmatParams{});
+
+/// Generates a uniform random graph G(n, m) with edge_count distinct edges
+/// and uniform random labels from [0, label_count).
+Graph GenerateErdosRenyi(uint32_t vertex_count, uint32_t edge_count,
+                         uint32_t label_count, Prng* prng);
+
+/// Returns a copy of the graph with labels re-drawn uniformly at random from
+/// [0, label_count) — the relabeling protocol the paper applies to its
+/// unlabeled datasets when varying |Σ|.
+Graph RelabelUniform(const Graph& graph, uint32_t label_count, Prng* prng);
+
+/// Returns a copy of the graph with skewed labels: label 0 with probability
+/// `dominant_fraction`, the rest uniform over [1, label_count). Models
+/// datasets like WordNet where most vertices share one label (Section 4 of
+/// the paper notes more than 80% of wn vertices do).
+Graph RelabelSkewed(const Graph& graph, uint32_t label_count,
+                    double dominant_fraction, Prng* prng);
+
+/// Returns the subgraph obtained by keeping each edge independently with
+/// probability keep_ratio (the edge-sampling protocol of Figure 18). Vertex
+/// set and labels are preserved.
+Graph SampleEdges(const Graph& graph, double keep_ratio, Prng* prng);
+
+}  // namespace sgm
+
+#endif  // SGM_GRAPH_GENERATORS_H_

@@ -1,0 +1,114 @@
+#include "sgm/graph/graph.h"
+
+#include <algorithm>
+
+namespace sgm {
+
+Graph::Graph(std::vector<Label> labels,
+             std::span<const std::pair<Vertex, Vertex>> edges)
+    : vertex_count_(static_cast<uint32_t>(labels.size())),
+      edge_count_(static_cast<uint32_t>(edges.size())),
+      labels_(std::move(labels)) {
+  // Degree counting pass.
+  offsets_.assign(vertex_count_ + 1, 0);
+  for (const auto& [u, v] : edges) {
+    SGM_CHECK(u < vertex_count_ && v < vertex_count_);
+    SGM_CHECK_MSG(u != v, "self loops are not allowed");
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  for (uint32_t v = 0; v < vertex_count_; ++v) offsets_[v + 1] += offsets_[v];
+
+  // Fill pass.
+  neighbors_.resize(2ULL * edge_count_);
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    neighbors_[cursor[u]++] = v;
+    neighbors_[cursor[v]++] = u;
+  }
+
+  // Sort each adjacency list and validate uniqueness.
+  for (uint32_t v = 0; v < vertex_count_; ++v) {
+    const auto begin = neighbors_.begin() + offsets_[v];
+    const auto end = neighbors_.begin() + offsets_[v + 1];
+    std::sort(begin, end);
+    SGM_CHECK_MSG(std::adjacent_find(begin, end) == end,
+                  "parallel edges are not allowed");
+    max_degree_ = std::max(max_degree_, offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Label index.
+  for (const Label l : labels_) {
+    SGM_CHECK_MSG(l != kInvalidLabel, "invalid label");
+    label_count_ = std::max(label_count_, l + 1);
+  }
+  label_offsets_.assign(label_count_ + 1, 0);
+  for (const Label l : labels_) ++label_offsets_[l + 1];
+  for (uint32_t l = 0; l < label_count_; ++l) {
+    max_label_frequency_ = std::max(max_label_frequency_, label_offsets_[l + 1]);
+    label_offsets_[l + 1] += label_offsets_[l];
+  }
+  vertices_by_label_.resize(vertex_count_);
+  {
+    std::vector<uint32_t> label_cursor(label_offsets_.begin(),
+                                       label_offsets_.end() - 1);
+    for (Vertex v = 0; v < vertex_count_; ++v) {
+      vertices_by_label_[label_cursor[labels_[v]]++] = v;
+    }
+  }
+
+  // Neighbor-label frequency tables. Neighbor lists are sorted by vertex id,
+  // so we collect (label, count) pairs per vertex and sort them by label.
+  nlf_offsets_.assign(vertex_count_ + 1, 0);
+  std::vector<LabelCount> scratch;
+  for (Vertex v = 0; v < vertex_count_; ++v) {
+    scratch.clear();
+    for (const Vertex w : neighbors(v)) {
+      scratch.push_back({labels_[w], 1});
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const LabelCount& a, const LabelCount& b) {
+                return a.label < b.label;
+              });
+    // Run-length compress equal labels.
+    size_t out = 0;
+    for (size_t i = 0; i < scratch.size();) {
+      size_t j = i + 1;
+      while (j < scratch.size() && scratch[j].label == scratch[i].label) ++j;
+      scratch[out++] = {scratch[i].label, static_cast<uint32_t>(j - i)};
+      i = j;
+    }
+    scratch.resize(out);
+    nlf_offsets_[v + 1] = nlf_offsets_[v] + static_cast<uint32_t>(out);
+    nlf_data_.insert(nlf_data_.end(), scratch.begin(), scratch.end());
+  }
+}
+
+bool Graph::HasEdge(Vertex u, Vertex v) const {
+  SGM_CHECK(u < vertex_count_ && v < vertex_count_);
+  // Search the shorter list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t Graph::NeighborCountWithLabel(Vertex v, Label l) const {
+  const auto nlf = NeighborLabelFrequency(v);
+  const auto it = std::lower_bound(
+      nlf.begin(), nlf.end(), l,
+      [](const LabelCount& entry, Label value) { return entry.label < value; });
+  if (it == nlf.end() || it->label != l) return 0;
+  return it->count;
+}
+
+size_t Graph::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(uint32_t) +
+         neighbors_.capacity() * sizeof(Vertex) +
+         labels_.capacity() * sizeof(Label) +
+         label_offsets_.capacity() * sizeof(uint32_t) +
+         vertices_by_label_.capacity() * sizeof(Vertex) +
+         nlf_offsets_.capacity() * sizeof(uint32_t) +
+         nlf_data_.capacity() * sizeof(LabelCount);
+}
+
+}  // namespace sgm

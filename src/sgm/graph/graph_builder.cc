@@ -1,0 +1,39 @@
+#include "sgm/graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace sgm {
+
+Vertex GraphBuilder::AddVertex(Label label) {
+  labels_.push_back(label);
+  return static_cast<Vertex>(labels_.size() - 1);
+}
+
+void GraphBuilder::SetLabel(Vertex v, Label label) {
+  SGM_CHECK(v < labels_.size());
+  labels_[v] = label;
+}
+
+uint64_t GraphBuilder::EdgeKey(Vertex u, Vertex v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+bool GraphBuilder::AddEdge(Vertex u, Vertex v) {
+  SGM_CHECK(u < labels_.size() && v < labels_.size());
+  if (u == v) return false;
+  const auto [it, inserted] = edge_keys_.insert(EdgeKey(u, v));
+  (void)it;
+  if (!inserted) return false;
+  edges_.emplace_back(u, v);
+  return true;
+}
+
+bool GraphBuilder::HasEdge(Vertex u, Vertex v) const {
+  if (u == v) return false;
+  return edge_keys_.contains(EdgeKey(u, v));
+}
+
+Graph GraphBuilder::Build() const { return Graph(labels_, edges_); }
+
+}  // namespace sgm

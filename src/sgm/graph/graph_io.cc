@@ -1,0 +1,132 @@
+#include "sgm/graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sgm/graph/graph_builder.h"
+
+namespace sgm {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
+  std::string line;
+  uint32_t declared_vertices = 0;
+  uint32_t declared_edges = 0;
+  bool saw_header = false;
+  GraphBuilder builder;
+  std::vector<bool> vertex_seen;
+  size_t line_number = 0;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    char tag = 0;
+    fields >> tag;
+    if (tag == 't') {
+      if (saw_header) {
+        SetError(error, "duplicate header at line " + std::to_string(line_number));
+        return std::nullopt;
+      }
+      if (!(fields >> declared_vertices >> declared_edges)) {
+        SetError(error, "malformed header at line " + std::to_string(line_number));
+        return std::nullopt;
+      }
+      saw_header = true;
+      builder = GraphBuilder(declared_vertices);
+      vertex_seen.assign(declared_vertices, false);
+    } else if (tag == 'v') {
+      uint32_t id = 0;
+      Label label = 0;
+      uint32_t degree = 0;
+      if (!saw_header || !(fields >> id >> label)) {
+        SetError(error, "malformed vertex at line " + std::to_string(line_number));
+        return std::nullopt;
+      }
+      fields >> degree;  // optional and validated post hoc
+      if (id >= declared_vertices || vertex_seen[id]) {
+        SetError(error, "bad vertex id at line " + std::to_string(line_number));
+        return std::nullopt;
+      }
+      vertex_seen[id] = true;
+      builder.SetLabel(id, label);
+    } else if (tag == 'e') {
+      Vertex u = 0, v = 0;
+      if (!saw_header || !(fields >> u >> v)) {
+        SetError(error, "malformed edge at line " + std::to_string(line_number));
+        return std::nullopt;
+      }
+      if (u >= declared_vertices || v >= declared_vertices || u == v) {
+        SetError(error, "bad edge at line " + std::to_string(line_number));
+        return std::nullopt;
+      }
+      builder.AddEdge(u, v);
+    } else {
+      SetError(error, "unknown record '" + std::string(1, tag) + "' at line " +
+                          std::to_string(line_number));
+      return std::nullopt;
+    }
+  }
+
+  if (!saw_header) {
+    SetError(error, "missing 't' header");
+    return std::nullopt;
+  }
+  if (builder.edge_count() != declared_edges) {
+    SetError(error, "edge count mismatch: header declares " +
+                        std::to_string(declared_edges) + ", found " +
+                        std::to_string(builder.edge_count()));
+    return std::nullopt;
+  }
+  return builder.Build();
+}
+
+std::optional<Graph> LoadGraphFile(const std::string& path,
+                                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadGraph(in, error);
+}
+
+void WriteGraph(const Graph& graph, std::ostream& out) {
+  out << "t " << graph.vertex_count() << ' ' << graph.edge_count() << '\n';
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    out << "v " << v << ' ' << graph.label(v) << ' ' << graph.degree(v)
+        << '\n';
+  }
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    for (const Vertex w : graph.neighbors(v)) {
+      if (v < w) out << "e " << v << ' ' << w << '\n';
+    }
+  }
+}
+
+bool SaveGraphFile(const Graph& graph, const std::string& path,
+                   std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    SetError(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  WriteGraph(graph, out);
+  out.flush();
+  if (!out) {
+    SetError(error, "write failure on " + path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sgm

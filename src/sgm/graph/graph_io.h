@@ -1,0 +1,38 @@
+// Text serialization of labeled graphs.
+//
+// The format is the one used by the paper's published datasets and code:
+//
+//   t <vertex-count> <edge-count>
+//   v <id> <label> <degree>          (one line per vertex, ids dense from 0)
+//   e <u> <v>                        (one line per undirected edge)
+//
+// The degree column is redundant and is validated, not trusted. Lines
+// starting with '#' or '%' are treated as comments.
+#ifndef SGM_GRAPH_GRAPH_IO_H_
+#define SGM_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sgm/graph/graph.h"
+
+namespace sgm {
+
+/// Parses a graph from a stream. On failure returns std::nullopt and, if
+/// error is non-null, stores a human-readable description.
+std::optional<Graph> ReadGraph(std::istream& in, std::string* error);
+
+/// Loads a graph from a file path.
+std::optional<Graph> LoadGraphFile(const std::string& path, std::string* error);
+
+/// Writes a graph in the same text format.
+void WriteGraph(const Graph& graph, std::ostream& out);
+
+/// Saves a graph to a file path. Returns false (and sets error) on IO failure.
+bool SaveGraphFile(const Graph& graph, const std::string& path,
+                   std::string* error);
+
+}  // namespace sgm
+
+#endif  // SGM_GRAPH_GRAPH_IO_H_

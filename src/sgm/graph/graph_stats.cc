@@ -1,0 +1,80 @@
+#include "sgm/graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sgm/util/set_intersection.h"
+
+namespace sgm {
+
+uint64_t CountTriangles(const Graph& graph) {
+  // For every edge (u, v) with u < v, count common neighbors w > v — each
+  // triangle is counted exactly once at its smallest-id vertex pair... more
+  // precisely, counting common neighbors w with w > v over edges u < v
+  // counts each triangle {a < b < c} once, at the edge (a, b).
+  uint64_t triangles = 0;
+  std::vector<Vertex> scratch;
+  for (Vertex u = 0; u < graph.vertex_count(); ++u) {
+    const auto u_nbrs = graph.neighbors(u);
+    for (const Vertex v : u_nbrs) {
+      if (v <= u) continue;
+      IntersectHybrid(u_nbrs, graph.neighbors(v), &scratch);
+      for (const Vertex w : scratch) {
+        if (w > v) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+std::vector<uint32_t> LabelHistogram(const Graph& graph) {
+  std::vector<uint32_t> histogram(graph.label_count(), 0);
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    ++histogram[graph.label(v)];
+  }
+  return histogram;
+}
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.vertex_count = graph.vertex_count();
+  stats.edge_count = graph.edge_count();
+  stats.label_count = graph.label_count();
+  stats.average_degree = graph.average_degree();
+  stats.max_degree = graph.max_degree();
+
+  if (graph.vertex_count() > 0) {
+    std::vector<uint32_t> degrees(graph.vertex_count());
+    for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+      degrees[v] = graph.degree(v);
+    }
+    std::nth_element(degrees.begin(),
+                     degrees.begin() + degrees.size() / 2, degrees.end());
+    stats.median_degree = degrees[degrees.size() / 2];
+  }
+
+  stats.triangle_count = CountTriangles(graph);
+  // Open wedges: sum over vertices of C(d, 2).
+  uint64_t wedges = 0;
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    const uint64_t d = graph.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  stats.global_clustering =
+      wedges == 0 ? 0.0
+                  : 3.0 * static_cast<double>(stats.triangle_count) /
+                        static_cast<double>(wedges);
+
+  const auto histogram = LabelHistogram(graph);
+  double entropy = 0.0;
+  for (const uint32_t count : histogram) {
+    if (count == 0) continue;
+    const double p =
+        static_cast<double>(count) / static_cast<double>(graph.vertex_count());
+    entropy -= p * std::log2(p);
+  }
+  stats.label_entropy_bits = entropy;
+  return stats;
+}
+
+}  // namespace sgm

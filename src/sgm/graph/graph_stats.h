@@ -1,0 +1,45 @@
+// Structural statistics of labeled graphs: degree distribution summaries,
+// label histograms, triangle counts and clustering coefficients. Used by the
+// bench harness to audit how closely the synthetic dataset analogs track the
+// paper's real graphs (Table 3), and generally useful for workload
+// characterization.
+#ifndef SGM_GRAPH_GRAPH_STATS_H_
+#define SGM_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sgm/graph/graph.h"
+
+namespace sgm {
+
+/// Summary statistics of a graph.
+struct GraphStats {
+  uint32_t vertex_count = 0;
+  uint32_t edge_count = 0;
+  uint32_t label_count = 0;
+  double average_degree = 0.0;
+  uint32_t max_degree = 0;
+  /// Degree such that at least half the vertices have degree <= median.
+  uint32_t median_degree = 0;
+  uint64_t triangle_count = 0;
+  /// Global clustering coefficient: 3 * triangles / open wedges.
+  double global_clustering = 0.0;
+  /// Entropy (bits) of the label distribution — 0 when one label dominates,
+  /// log2(|Σ|) when uniform.
+  double label_entropy_bits = 0.0;
+};
+
+/// Computes all statistics in one pass family. Triangle counting is
+/// O(sum over edges of min-degree endpoints) via neighborhood merging.
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// Number of triangles in the graph.
+uint64_t CountTriangles(const Graph& graph);
+
+/// Histogram of vertex labels (size label_count()).
+std::vector<uint32_t> LabelHistogram(const Graph& graph);
+
+}  // namespace sgm
+
+#endif  // SGM_GRAPH_GRAPH_STATS_H_

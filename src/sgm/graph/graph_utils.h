@@ -1,0 +1,65 @@
+// Structural graph helpers shared by the filtering and ordering methods:
+// connectivity, BFS trees (the q_t of Section 2.1), 2-core extraction, and
+// vertex-induced subgraphs.
+#ifndef SGM_GRAPH_GRAPH_UTILS_H_
+#define SGM_GRAPH_GRAPH_UTILS_H_
+
+#include <span>
+#include <vector>
+
+#include "sgm/graph/graph.h"
+
+namespace sgm {
+
+/// BFS spanning tree of a connected graph, rooted at `root`. This is the
+/// q_t structure used by CFL, CECI and DP-iso: `order` is the BFS traversal
+/// order δ; `parent[v]` is the tree parent (kInvalidVertex for the root);
+/// `level[v]` is the depth; `children[v]` lists tree children in δ order.
+struct BfsTree {
+  Vertex root = kInvalidVertex;
+  std::vector<Vertex> order;
+  std::vector<Vertex> parent;
+  std::vector<uint32_t> level;
+  std::vector<std::vector<Vertex>> children;
+
+  /// Number of BFS levels (max level + 1).
+  uint32_t depth() const;
+};
+
+/// Builds the BFS tree of `graph` from `root`. Requires a connected graph
+/// (every vertex must be reached).
+BfsTree BuildBfsTree(const Graph& graph, Vertex root);
+
+/// True iff the graph is connected (the paper assumes connected queries).
+bool IsConnected(const Graph& graph);
+
+/// Returns a marker per vertex: true iff the vertex belongs to the 2-core of
+/// the graph (maximal subgraph with minimum degree 2, Section 2.1). Computed
+/// by iteratively peeling degree<2 vertices.
+std::vector<bool> TwoCoreMembership(const Graph& graph);
+
+/// Number of vertices in the 2-core.
+uint32_t TwoCoreSize(const Graph& graph);
+
+/// Vertex-induced subgraph g[vertices]. `vertices` need not be sorted; the
+/// i-th entry becomes vertex i of the result. If old_to_new is non-null it
+/// receives the mapping (kInvalidVertex for vertices outside the selection).
+Graph InducedSubgraph(const Graph& graph, std::span<const Vertex> vertices,
+                      std::vector<Vertex>* old_to_new = nullptr);
+
+/// The largest connected component as its own graph (ties broken by the
+/// smallest contained vertex id). Useful for normalizing loaded real-world
+/// data before matching. old_to_new as in InducedSubgraph.
+Graph LargestConnectedComponent(const Graph& graph,
+                                std::vector<Vertex>* old_to_new = nullptr);
+
+/// Remaps the labels to a dense range [0, #used-labels) in order of first
+/// appearance by vertex id — loaded graphs may use sparse label values,
+/// which waste label-index space. If label_mapping is non-null it receives
+/// old-label -> new-label (kInvalidLabel for unused labels).
+Graph CompactLabels(const Graph& graph,
+                    std::vector<Label>* label_mapping = nullptr);
+
+}  // namespace sgm
+
+#endif  // SGM_GRAPH_GRAPH_UTILS_H_

@@ -1,0 +1,84 @@
+#include "sgm/graph/pattern_catalog.h"
+
+#include <utility>
+
+#include "sgm/graph/graph_builder.h"
+
+namespace sgm {
+
+namespace {
+
+Graph BuildPattern(uint32_t vertex_count, std::span<const Label> labels,
+                   std::span<const std::pair<Vertex, Vertex>> edges) {
+  SGM_CHECK_MSG(labels.empty() || labels.size() == vertex_count,
+                "label count must match pattern size");
+  GraphBuilder builder(vertex_count);
+  for (uint32_t v = 0; v < vertex_count && !labels.empty(); ++v) {
+    builder.SetLabel(v, labels[v]);
+  }
+  for (const auto& [a, b] : edges) builder.AddEdge(a, b);
+  return builder.Build();
+}
+
+}  // namespace
+
+Graph PathPattern(uint32_t vertex_count, std::span<const Label> labels) {
+  SGM_CHECK(vertex_count >= 2);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex v = 0; v + 1 < vertex_count; ++v) edges.emplace_back(v, v + 1);
+  return BuildPattern(vertex_count, labels, edges);
+}
+
+Graph CyclePattern(uint32_t vertex_count, std::span<const Label> labels) {
+  SGM_CHECK(vertex_count >= 3);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex v = 0; v < vertex_count; ++v) {
+    edges.emplace_back(v, (v + 1) % vertex_count);
+  }
+  return BuildPattern(vertex_count, labels, edges);
+}
+
+Graph CliquePattern(uint32_t vertex_count, std::span<const Label> labels) {
+  SGM_CHECK(vertex_count >= 2);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex u = 0; u < vertex_count; ++u) {
+    for (Vertex v = u + 1; v < vertex_count; ++v) edges.emplace_back(u, v);
+  }
+  return BuildPattern(vertex_count, labels, edges);
+}
+
+Graph StarPattern(uint32_t leaves, std::span<const Label> labels) {
+  SGM_CHECK(leaves >= 1);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex leaf = 1; leaf <= leaves; ++leaf) edges.emplace_back(0, leaf);
+  return BuildPattern(leaves + 1, labels, edges);
+}
+
+Graph DiamondPattern(std::span<const Label> labels) {
+  return BuildPattern(4, labels, std::vector<std::pair<Vertex, Vertex>>{
+                                     {0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+}
+
+Graph TailedTrianglePattern(std::span<const Label> labels) {
+  return BuildPattern(4, labels, std::vector<std::pair<Vertex, Vertex>>{
+                                     {0, 1}, {1, 2}, {0, 2}, {0, 3}});
+}
+
+Graph HousePattern(std::span<const Label> labels) {
+  return BuildPattern(5, labels,
+                      std::vector<std::pair<Vertex, Vertex>>{
+                          {0, 1}, {1, 2}, {2, 3}, {3, 0}, {2, 4}, {3, 4}});
+}
+
+Graph BiFanPattern(std::span<const Label> labels) {
+  return BuildPattern(4, labels, std::vector<std::pair<Vertex, Vertex>>{
+                                     {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+}
+
+Graph BowTiePattern(std::span<const Label> labels) {
+  return BuildPattern(5, labels,
+                      std::vector<std::pair<Vertex, Vertex>>{
+                          {0, 1}, {1, 2}, {0, 2}, {0, 3}, {3, 4}, {0, 4}});
+}
+
+}  // namespace sgm

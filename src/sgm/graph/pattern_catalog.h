@@ -1,0 +1,47 @@
+// Catalog of named query patterns — the standard motifs used across the
+// subgraph matching literature (and this library's examples and tests):
+// paths, cycles, cliques, stars, and the classic 4-5 vertex motifs
+// (diamond, tailed triangle, house, bi-fan, bi-triangle).
+//
+// All constructors take a label assignment; pass {} for unlabeled (all
+// label 0) patterns.
+#ifndef SGM_GRAPH_PATTERN_CATALOG_H_
+#define SGM_GRAPH_PATTERN_CATALOG_H_
+
+#include <span>
+#include <vector>
+
+#include "sgm/graph/graph.h"
+
+namespace sgm {
+
+/// A path u0-u1-...-u{k-1}. Requires k >= 2.
+Graph PathPattern(uint32_t vertex_count, std::span<const Label> labels = {});
+
+/// A cycle of k vertices. Requires k >= 3.
+Graph CyclePattern(uint32_t vertex_count, std::span<const Label> labels = {});
+
+/// A complete graph on k vertices. Requires k >= 2.
+Graph CliquePattern(uint32_t vertex_count, std::span<const Label> labels = {});
+
+/// A star: vertex 0 adjacent to `leaves` leaves. Requires leaves >= 1.
+Graph StarPattern(uint32_t leaves, std::span<const Label> labels = {});
+
+/// The diamond: a 4-cycle plus one chord (K4 minus one edge).
+Graph DiamondPattern(std::span<const Label> labels = {});
+
+/// The tailed triangle: a triangle with a pendant vertex on vertex 0.
+Graph TailedTrianglePattern(std::span<const Label> labels = {});
+
+/// The house: a 4-cycle (0-1-2-3) with a roof vertex 4 adjacent to 2 and 3.
+Graph HousePattern(std::span<const Label> labels = {});
+
+/// The bi-fan: vertices {0,1} each adjacent to both of {2,3}.
+Graph BiFanPattern(std::span<const Label> labels = {});
+
+/// Two triangles sharing one vertex (the bow-tie), 5 vertices.
+Graph BowTiePattern(std::span<const Label> labels = {});
+
+}  // namespace sgm
+
+#endif  // SGM_GRAPH_PATTERN_CATALOG_H_

@@ -1,0 +1,44 @@
+// Query-graph extraction following the paper's protocol (Section 4):
+// perform a random walk on the data graph until the requested number of
+// distinct vertices is collected, take the vertex-induced subgraph, and keep
+// it if its density matches the requested class (dense: d(q) >= 3, sparse:
+// d(q) < 3). Extracted queries are connected by construction and are
+// guaranteed to have at least one match in the data graph.
+#ifndef SGM_GRAPH_QUERY_GENERATOR_H_
+#define SGM_GRAPH_QUERY_GENERATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "sgm/graph/graph.h"
+#include "sgm/util/prng.h"
+
+namespace sgm {
+
+/// Density class of a query set. The paper's Q_iD sets are dense
+/// (average degree >= 3), Q_iS sparse (< 3); Q_4 is unconstrained.
+enum class QueryDensity : uint8_t { kAny = 0, kDense = 1, kSparse = 2 };
+
+/// Returns "any" / "dense" / "sparse".
+const char* QueryDensityName(QueryDensity density);
+
+/// True iff the graph's average degree matches the density class.
+bool MatchesDensity(const Graph& query, QueryDensity density);
+
+/// Extracts one connected query of exactly `vertex_count` vertices by random
+/// walk + induced subgraph. Returns std::nullopt when no walk satisfying the
+/// density class is found within `max_attempts` walks (e.g., asking for
+/// dense queries on a tree-like data graph).
+std::optional<Graph> ExtractQuery(const Graph& data, uint32_t vertex_count,
+                                  QueryDensity density, Prng* prng,
+                                  uint32_t max_attempts = 1000);
+
+/// Generates a query set of `count` queries with the same configuration.
+/// May return fewer than `count` queries when extraction keeps failing.
+std::vector<Graph> GenerateQuerySet(const Graph& data, uint32_t vertex_count,
+                                    QueryDensity density, uint32_t count,
+                                    Prng* prng);
+
+}  // namespace sgm
+
+#endif  // SGM_GRAPH_QUERY_GENERATOR_H_

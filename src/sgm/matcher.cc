@@ -1,0 +1,221 @@
+#include "sgm/matcher.h"
+
+#include <utility>
+
+#include "sgm/core/order/dpiso_order.h"
+#include "sgm/util/timer.h"
+
+namespace sgm {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kQuickSI:
+      return "QSI";
+    case Algorithm::kGraphQL:
+      return "GQL";
+    case Algorithm::kCFL:
+      return "CFL";
+    case Algorithm::kCECI:
+      return "CECI";
+    case Algorithm::kDPiso:
+      return "DP";
+    case Algorithm::kRI:
+      return "RI";
+    case Algorithm::kVF2pp:
+      return "2PP";
+  }
+  return "unknown";
+}
+
+MatchOptions MatchOptions::Classic(Algorithm algorithm) {
+  MatchOptions options;
+  switch (algorithm) {
+    case Algorithm::kQuickSI:
+      options.filter = FilterMethod::kLDF;
+      options.order = OrderMethod::kQuickSI;
+      options.lc_method = LocalCandidateMethod::kNeighborScan;
+      options.aux_scope = AuxEdgeScope::kNone;
+      break;
+    case Algorithm::kGraphQL:
+      options.filter = FilterMethod::kGraphQL;
+      options.order = OrderMethod::kGraphQL;
+      options.lc_method = LocalCandidateMethod::kCandidateScan;
+      options.aux_scope = AuxEdgeScope::kNone;
+      break;
+    case Algorithm::kCFL:
+      options.filter = FilterMethod::kCFL;
+      options.order = OrderMethod::kCFL;
+      options.lc_method = LocalCandidateMethod::kPivotIndex;
+      options.aux_scope = AuxEdgeScope::kTreeEdges;
+      break;
+    case Algorithm::kCECI:
+      options.filter = FilterMethod::kCECI;
+      options.order = OrderMethod::kCECI;
+      options.lc_method = LocalCandidateMethod::kIntersect;
+      options.aux_scope = AuxEdgeScope::kAllEdges;
+      break;
+    case Algorithm::kDPiso:
+      options.filter = FilterMethod::kDPiso;
+      options.order = OrderMethod::kDPiso;
+      options.lc_method = LocalCandidateMethod::kIntersect;
+      options.aux_scope = AuxEdgeScope::kAllEdges;
+      options.adaptive_order = true;
+      options.use_failing_sets = true;  // DP-iso proposed and ships with it
+      options.postpone_degree_one = true;  // DP-iso's leaf decomposition
+      break;
+    case Algorithm::kRI:
+      options.filter = FilterMethod::kLDF;
+      options.order = OrderMethod::kRI;
+      options.lc_method = LocalCandidateMethod::kNeighborScan;
+      options.aux_scope = AuxEdgeScope::kNone;
+      break;
+    case Algorithm::kVF2pp:
+      options.filter = FilterMethod::kLDF;
+      options.order = OrderMethod::kVF2pp;
+      options.lc_method = LocalCandidateMethod::kNeighborScan;
+      options.aux_scope = AuxEdgeScope::kNone;
+      options.vf2pp_lookahead = true;
+      break;
+  }
+  return options;
+}
+
+MatchOptions MatchOptions::Optimized(Algorithm algorithm) {
+  MatchOptions options = Classic(algorithm);
+  // The §5.2 optimization: maintain candidate edges for every query edge and
+  // compute local candidates by set intersection; drop VF2++'s extra rules.
+  options.lc_method = LocalCandidateMethod::kIntersect;
+  options.aux_scope = AuxEdgeScope::kAllEdges;
+  options.vf2pp_lookahead = false;
+  options.use_failing_sets = false;
+  // §5.3: the direct-enumeration algorithms get GraphQL's candidate sets so
+  // the comparison isolates the ordering method.
+  if (algorithm == Algorithm::kQuickSI || algorithm == Algorithm::kRI ||
+      algorithm == Algorithm::kVF2pp) {
+    options.filter = FilterMethod::kGraphQL;
+  }
+  // The optimized DP keeps its adaptive ordering but, like the others in
+  // §5.3, failing sets stay off unless the caller turns them on.
+  return options;
+}
+
+MatchOptions MatchOptions::Recommended(uint32_t query_vertex_count) {
+  MatchOptions options = Optimized(Algorithm::kGraphQL);
+  options.use_failing_sets = query_vertex_count > 8;
+  return options;
+}
+
+MatchResult MatchQuery(const Graph& query, const Graph& data,
+                       const MatchOptions& options,
+                       const MatchCallback& callback) {
+  SGM_CHECK_MSG(query.vertex_count() >= 1 &&
+                    query.vertex_count() <= kMaxQueryVertices,
+                "query size out of supported range");
+
+  MatchResult result;
+  Timer total_timer;
+
+  // ---- Filtering (line 1 of Algorithm 1). ----
+  Timer phase_timer;
+  FilterResult filtered = RunFilter(options.filter, query, data,
+                                    options.filter_options);
+  result.filter_ms = phase_timer.ElapsedMillis();
+  result.average_candidates = filtered.candidates.AverageCount();
+  result.candidate_memory_bytes = filtered.candidates.MemoryBytes();
+
+  if (filtered.candidates.AnyEmpty()) {
+    // Some query vertex has no candidate: no match exists.
+    result.preprocessing_ms = result.filter_ms;
+    result.total_ms = total_timer.ElapsedMillis();
+    return result;
+  }
+
+  // ---- Auxiliary structure. ----
+  phase_timer.Reset();
+  AuxStructure aux;
+  switch (options.aux_scope) {
+    case AuxEdgeScope::kNone:
+      break;
+    case AuxEdgeScope::kTreeEdges: {
+      SGM_CHECK_MSG(filtered.bfs_tree.has_value(),
+                    "tree-edge aux scope needs a filter that builds q_t");
+      aux = AuxStructure::BuildTreeEdges(query, data, filtered.candidates,
+                                         filtered.bfs_tree->parent);
+      break;
+    }
+    case AuxEdgeScope::kAllEdges:
+      aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+      break;
+  }
+  result.aux_build_ms = phase_timer.ElapsedMillis();
+  result.aux_memory_bytes = aux.MemoryBytes();
+
+  // ---- Ordering (line 2 of Algorithm 1). ----
+  phase_timer.Reset();
+  OrderInputs order_inputs;
+  order_inputs.candidates = &filtered.candidates;
+  order_inputs.tree =
+      filtered.bfs_tree.has_value() ? &*filtered.bfs_tree : nullptr;
+  order_inputs.aux = options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux;
+  result.matching_order = ComputeOrder(options.order, query, data,
+                                       order_inputs);
+  if (options.postpone_degree_one) {
+    result.matching_order =
+        PostponeDegreeOneVertices(query, result.matching_order);
+  }
+  SGM_CHECK(IsValidMatchingOrder(query, result.matching_order));
+
+  DpisoWeights weights;
+  if (options.adaptive_order) {
+    SGM_CHECK_MSG(options.aux_scope == AuxEdgeScope::kAllEdges,
+                  "adaptive ordering needs an all-edges aux structure");
+    weights = DpisoWeights::Build(query, filtered.candidates, aux,
+                                  result.matching_order);
+  }
+  result.order_ms = phase_timer.ElapsedMillis();
+  result.preprocessing_ms =
+      result.filter_ms + result.aux_build_ms + result.order_ms;
+
+  // ---- Enumeration (line 3 of Algorithm 1). ----
+  EnumerateOptions enumerate_options;
+  enumerate_options.lc_method = options.lc_method;
+  enumerate_options.use_failing_sets = options.use_failing_sets;
+  enumerate_options.adaptive_order = options.adaptive_order;
+  enumerate_options.vf2pp_lookahead = options.vf2pp_lookahead;
+  enumerate_options.restrict_neighbor_scan_to_candidates =
+      options.filter != FilterMethod::kLDF;
+  enumerate_options.max_matches = options.max_matches;
+  enumerate_options.time_limit_ms = options.time_limit_ms;
+  enumerate_options.intersection = options.intersection;
+
+  result.enumerate = Enumerate(
+      query, data, filtered.candidates,
+      options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux,
+      result.matching_order, enumerate_options,
+      options.adaptive_order ? &weights : nullptr, callback);
+  result.match_count = result.enumerate.match_count;
+  result.enumeration_ms = result.enumerate.enumeration_ms;
+  result.total_ms = total_timer.ElapsedMillis();
+  return result;
+}
+
+bool ContainsSubgraph(const Graph& query, const Graph& data,
+                      const MatchOptions& options) {
+  MatchOptions first_match = options;
+  first_match.max_matches = 1;
+  return MatchQuery(query, data, first_match).match_count > 0;
+}
+
+std::vector<std::vector<Vertex>> CollectMatches(const Graph& query,
+                                                const Graph& data,
+                                                const MatchOptions& options) {
+  std::vector<std::vector<Vertex>> matches;
+  MatchQuery(query, data, options,
+             [&matches](std::span<const Vertex> mapping) {
+               matches.emplace_back(mapping.begin(), mapping.end());
+               return true;
+             });
+  return matches;
+}
+
+}  // namespace sgm

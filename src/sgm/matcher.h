@@ -1,0 +1,127 @@
+// Public facade of the library: one call that composes a filtering method,
+// an ordering method, an auxiliary structure, a local-candidate computation
+// method and the optional optimizations into a full subgraph matching run —
+// exactly the decomposition of Algorithm 1 in the paper.
+//
+// Presets reconstruct the eight algorithms under study:
+//   MatchOptions::Classic(Algorithm::kCFL)     — the original algorithm
+//   MatchOptions::Optimized(Algorithm::kRI)    — the §5.2/§5.3 optimized
+//       variant (all-edges auxiliary structure + set-intersection local
+//       candidates, GraphQL candidates for the direct-enumeration methods)
+//   MatchOptions::Recommended(query_size)      — the paper's final
+//       recommendation (§6): GraphQL filter and ordering, set-intersection
+//       enumeration, failing sets on large queries.
+// The Glasgow constraint-programming solver has its own entry point in
+// sgm/glasgow/glasgow.h (it does not fit the common framework, §3.5).
+#ifndef SGM_MATCHER_H_
+#define SGM_MATCHER_H_
+
+#include <vector>
+
+#include "sgm/core/enumerate/enumerator.h"
+#include "sgm/core/filter/filter.h"
+#include "sgm/core/order/order.h"
+
+namespace sgm {
+
+/// The seven framework algorithms of the paper (Glasgow is separate).
+enum class Algorithm : uint8_t {
+  kQuickSI = 0,
+  kGraphQL = 1,
+  kCFL = 2,
+  kCECI = 3,
+  kDPiso = 4,
+  kRI = 5,
+  kVF2pp = 6,
+};
+
+/// Returns the paper's abbreviation ("QSI", "GQL", ...).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// All seven framework algorithms, for iteration in benches and tests.
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kQuickSI, Algorithm::kGraphQL, Algorithm::kCFL,
+    Algorithm::kCECI,    Algorithm::kDPiso,   Algorithm::kRI,
+    Algorithm::kVF2pp,
+};
+
+/// Full configuration of a matching run.
+struct MatchOptions {
+  FilterMethod filter = FilterMethod::kGraphQL;
+  OrderMethod order = OrderMethod::kGraphQL;
+  LocalCandidateMethod lc_method = LocalCandidateMethod::kIntersect;
+  AuxEdgeScope aux_scope = AuxEdgeScope::kAllEdges;
+  bool use_failing_sets = false;
+  bool adaptive_order = false;
+  bool vf2pp_lookahead = false;
+  /// Move degree-one query vertices to the end of the matching order —
+  /// DP-iso's leaf decomposition (its ordering "prioritizes the remaining
+  /// vertices", Section 3.2 of the paper).
+  bool postpone_degree_one = false;
+  uint64_t max_matches = 100000;
+  double time_limit_ms = 300000.0;
+  IntersectionMethod intersection = IntersectionMethod::kHybrid;
+  FilterOptions filter_options;
+
+  /// The original algorithm, as published.
+  static MatchOptions Classic(Algorithm algorithm);
+
+  /// The optimized variant of Sections 5.2/5.3: edges between candidates
+  /// maintained for all query edges, set-intersection local candidates,
+  /// GraphQL candidates for the direct-enumeration algorithms, VF2++ extra
+  /// rules removed.
+  static MatchOptions Optimized(Algorithm algorithm);
+
+  /// The paper's recommended combination (§6), with failing sets enabled
+  /// for queries of more than 8 vertices.
+  static MatchOptions Recommended(uint32_t query_vertex_count);
+};
+
+/// Result of one matching run, with the per-phase breakdown the paper's
+/// metrics need (preprocessing vs enumeration time, candidate counts,
+/// memory of the candidate sets and the auxiliary structure).
+struct MatchResult {
+  uint64_t match_count = 0;
+  /// Filtering + aux-structure + ordering time (the paper's "preprocessing
+  /// time").
+  double preprocessing_ms = 0.0;
+  double filter_ms = 0.0;
+  double aux_build_ms = 0.0;
+  double order_ms = 0.0;
+  double enumeration_ms = 0.0;
+  double total_ms = 0.0;
+  /// (1/|V(q)|) * sum |C(u)|.
+  double average_candidates = 0.0;
+  size_t candidate_memory_bytes = 0;
+  size_t aux_memory_bytes = 0;
+  std::vector<Vertex> matching_order;
+  EnumerateStats enumerate;
+
+  /// True when the query was killed by the per-query time limit — an
+  /// "unsolved query" in the paper's terminology.
+  bool unsolved() const { return enumerate.timed_out; }
+};
+
+/// Runs one subgraph matching query. The query must be connected, with
+/// 1 <= |V(q)| <= 64. `callback`, when provided, receives every match.
+MatchResult MatchQuery(const Graph& query, const Graph& data,
+                       const MatchOptions& options,
+                       const MatchCallback& callback = {});
+
+/// Subgraph containment: true iff the data graph contains at least one
+/// embedding of the query. Implemented by stopping the matching engine at
+/// the first match — the index-free approach of Sun and Luo (ICDE 2019)
+/// that the paper's related-work section describes.
+bool ContainsSubgraph(const Graph& query, const Graph& data,
+                      const MatchOptions& options = MatchOptions{});
+
+/// Convenience wrapper materializing the embeddings: element i of a match
+/// is the data vertex mapped to query vertex i. Respects
+/// options.max_matches; be mindful of memory when raising the cap.
+std::vector<std::vector<Vertex>> CollectMatches(
+    const Graph& query, const Graph& data,
+    const MatchOptions& options = MatchOptions{});
+
+}  // namespace sgm
+
+#endif  // SGM_MATCHER_H_

@@ -1,0 +1,169 @@
+#include "sgm/parallel/parallel_matcher.h"
+
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sgm/core/order/dpiso_order.h"
+#include "sgm/util/timer.h"
+
+namespace sgm {
+
+ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
+                                       const MatchOptions& options,
+                                       uint32_t thread_count,
+                                       const MatchCallback& callback) {
+  if (thread_count == 0) {
+    thread_count = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  ParallelMatchResult parallel;
+  MatchResult& result = parallel.result;
+  Timer total_timer;
+
+  // ---- Shared preprocessing (identical to MatchQuery). ----
+  Timer phase_timer;
+  FilterResult filtered =
+      RunFilter(options.filter, query, data, options.filter_options);
+  result.filter_ms = phase_timer.ElapsedMillis();
+  result.average_candidates = filtered.candidates.AverageCount();
+  result.candidate_memory_bytes = filtered.candidates.MemoryBytes();
+  if (filtered.candidates.AnyEmpty()) {
+    result.preprocessing_ms = result.filter_ms;
+    result.total_ms = total_timer.ElapsedMillis();
+    return parallel;
+  }
+
+  phase_timer.Reset();
+  AuxStructure aux;
+  switch (options.aux_scope) {
+    case AuxEdgeScope::kNone:
+      break;
+    case AuxEdgeScope::kTreeEdges:
+      SGM_CHECK_MSG(filtered.bfs_tree.has_value(),
+                    "tree-edge aux scope needs a filter that builds q_t");
+      aux = AuxStructure::BuildTreeEdges(query, data, filtered.candidates,
+                                         filtered.bfs_tree->parent);
+      break;
+    case AuxEdgeScope::kAllEdges:
+      aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+      break;
+  }
+  result.aux_build_ms = phase_timer.ElapsedMillis();
+  result.aux_memory_bytes = aux.MemoryBytes();
+
+  phase_timer.Reset();
+  OrderInputs order_inputs;
+  order_inputs.candidates = &filtered.candidates;
+  order_inputs.tree =
+      filtered.bfs_tree.has_value() ? &*filtered.bfs_tree : nullptr;
+  order_inputs.aux = options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux;
+  result.matching_order = ComputeOrder(options.order, query, data,
+                                       order_inputs);
+  DpisoWeights weights;
+  if (options.adaptive_order) {
+    SGM_CHECK_MSG(options.aux_scope == AuxEdgeScope::kAllEdges,
+                  "adaptive ordering needs an all-edges aux structure");
+    weights = DpisoWeights::Build(query, filtered.candidates, aux,
+                                  result.matching_order);
+  }
+  result.order_ms = phase_timer.ElapsedMillis();
+  result.preprocessing_ms =
+      result.filter_ms + result.aux_build_ms + result.order_ms;
+
+  // ---- Parallel enumeration over root-candidate slices. ----
+  const uint32_t root_candidates =
+      filtered.candidates.Count(result.matching_order[0]);
+  const uint32_t workers =
+      std::max(1u, std::min(thread_count, root_candidates));
+  parallel.workers_used = workers;
+
+  std::atomic<uint64_t> global_matches{0};
+  std::atomic<bool> stop{false};
+  std::mutex callback_mutex;
+  std::vector<EnumerateStats> worker_stats(workers);
+
+  const auto worker_fn = [&](uint32_t worker) {
+    EnumerateOptions enumerate_options;
+    enumerate_options.lc_method = options.lc_method;
+    enumerate_options.use_failing_sets = options.use_failing_sets;
+    enumerate_options.adaptive_order = options.adaptive_order;
+    enumerate_options.vf2pp_lookahead = options.vf2pp_lookahead;
+    enumerate_options.restrict_neighbor_scan_to_candidates =
+        options.filter != FilterMethod::kLDF;
+    // The global budget is enforced through the shared counter below.
+    enumerate_options.max_matches = 0;
+    enumerate_options.time_limit_ms = options.time_limit_ms;
+    enumerate_options.intersection = options.intersection;
+    enumerate_options.root_slice_begin =
+        static_cast<uint32_t>(static_cast<uint64_t>(root_candidates) *
+                              worker / workers);
+    enumerate_options.root_slice_end =
+        static_cast<uint32_t>(static_cast<uint64_t>(root_candidates) *
+                              (worker + 1) / workers);
+
+    const MatchCallback worker_callback =
+        [&](std::span<const Vertex> mapping) -> bool {
+      if (stop.load(std::memory_order_relaxed)) return false;
+      const uint64_t count =
+          global_matches.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.max_matches > 0 && count > options.max_matches) {
+        // Past the global budget: suppress delivery and stop this worker.
+        stop.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      if (callback) {
+        std::lock_guard<std::mutex> lock(callback_mutex);
+        if (!callback(mapping)) {
+          stop.store(true, std::memory_order_relaxed);
+          return false;
+        }
+      }
+      if (options.max_matches > 0 && count >= options.max_matches) {
+        stop.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      return true;
+    };
+
+    worker_stats[worker] = Enumerate(
+        query, data, filtered.candidates,
+        options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux,
+        result.matching_order, enumerate_options,
+        options.adaptive_order ? &weights : nullptr, worker_callback);
+  };
+
+  Timer enumeration_timer;
+  if (workers == 1) {
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+    for (auto& thread : threads) thread.join();
+  }
+  result.enumeration_ms = enumeration_timer.ElapsedMillis();
+
+  // Aggregate worker statistics.
+  EnumerateStats& stats = result.enumerate;
+  for (const EnumerateStats& worker : worker_stats) {
+    stats.recursion_calls += worker.recursion_calls;
+    stats.local_candidates_scanned += worker.local_candidates_scanned;
+    stats.failing_set_prunes += worker.failing_set_prunes;
+    stats.timed_out = stats.timed_out || worker.timed_out;
+  }
+  stats.match_count = std::min<uint64_t>(
+      global_matches.load(),
+      options.max_matches > 0 ? options.max_matches
+                              : std::numeric_limits<uint64_t>::max());
+  stats.reached_match_limit =
+      options.max_matches > 0 && global_matches.load() >= options.max_matches;
+  stats.enumeration_ms = result.enumeration_ms;
+  result.match_count = stats.match_count;
+  result.total_ms = total_timer.ElapsedMillis();
+  return parallel;
+}
+
+}  // namespace sgm

@@ -1,0 +1,34 @@
+// Shared-memory parallel subgraph matching — the single-machine parallel
+// execution style of PSM/CECI/pRI that Table 1 of the paper lists for most
+// algorithm families. Preprocessing (filtering, auxiliary structure,
+// ordering) runs once; the candidate set of the first order vertex is then
+// partitioned into contiguous slices, one enumeration engine per worker
+// thread, with a shared atomic match budget.
+#ifndef SGM_PARALLEL_PARALLEL_MATCHER_H_
+#define SGM_PARALLEL_PARALLEL_MATCHER_H_
+
+#include <cstdint>
+
+#include "sgm/matcher.h"
+
+namespace sgm {
+
+/// Result of a parallel run: the standard MatchResult (times are wall
+/// clock; search counters are summed over workers) plus worker accounting.
+struct ParallelMatchResult {
+  MatchResult result;
+  uint32_t workers_used = 0;
+};
+
+/// Runs one query with `thread_count` workers (0 = hardware concurrency).
+/// Matches are counted exactly once across workers; options.max_matches is
+/// a global budget. The per-match callback, when provided, is serialized
+/// under a mutex and may be called from any worker.
+ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
+                                       const MatchOptions& options,
+                                       uint32_t thread_count = 0,
+                                       const MatchCallback& callback = {});
+
+}  // namespace sgm
+
+#endif  // SGM_PARALLEL_PARALLEL_MATCHER_H_

@@ -1,0 +1,149 @@
+// Dynamic bitset tuned for the constraint-programming solver: fixed width
+// chosen at construction, fast AND/AND-count, iteration over set bits.
+#ifndef SGM_UTIL_BITSET_H_
+#define SGM_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sgm/core/types.h"
+
+namespace sgm {
+
+/// Fixed-width bitset over [0, size). Width is set at construction and never
+/// changes; all binary operations require operands of equal width.
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Creates an all-zero bitset of the given width.
+  explicit Bitset(uint32_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  uint32_t size() const { return size_; }
+
+  /// Number of 64-bit words backing the set (for memory accounting).
+  uint32_t word_count() const { return static_cast<uint32_t>(words_.size()); }
+
+  void Set(uint32_t i) {
+    SGM_CHECK(i < size_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void Clear(uint32_t i) {
+    SGM_CHECK(i < size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  bool Test(uint32_t i) const {
+    SGM_CHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Sets all bits in [0, size) to one.
+  void SetAll() {
+    for (auto& w : words_) w = ~0ULL;
+    TrimTail();
+  }
+
+  /// Sets all bits to zero.
+  void Reset() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// In-place intersection with another bitset of equal width.
+  void AndWith(const Bitset& other) {
+    SGM_CHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// In-place union.
+  void OrWith(const Bitset& other) {
+    SGM_CHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// In-place difference (this \ other).
+  void AndNotWith(const Bitset& other) {
+    SGM_CHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  /// Number of set bits.
+  uint32_t Count() const {
+    uint32_t n = 0;
+    for (uint64_t w : words_) n += static_cast<uint32_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Popcount of (this AND other) without materializing the intersection.
+  uint32_t AndCount(const Bitset& other) const {
+    SGM_CHECK(size_ == other.size_);
+    uint32_t n = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      n += static_cast<uint32_t>(
+          __builtin_popcountll(words_[i] & other.words_[i]));
+    }
+    return n;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// Index of the lowest set bit, or size() if the set is empty.
+  uint32_t FindFirst() const { return FindNext(0); }
+
+  /// Index of the lowest set bit >= from, or size() if none.
+  uint32_t FindNext(uint32_t from) const {
+    if (from >= size_) return size_;
+    uint32_t word = from >> 6;
+    uint64_t w = words_[word] & (~0ULL << (from & 63));
+    while (true) {
+      if (w != 0) {
+        const uint32_t bit =
+            (word << 6) + static_cast<uint32_t>(__builtin_ctzll(w));
+        return bit < size_ ? bit : size_;
+      }
+      if (++word >= words_.size()) return size_;
+      w = words_[word];
+    }
+  }
+
+  /// Calls fn(index) for every set bit, in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t word = 0; word < words_.size(); ++word) {
+      uint64_t w = words_[word];
+      while (w != 0) {
+        const uint32_t bit = static_cast<uint32_t>((word << 6)) +
+                             static_cast<uint32_t>(__builtin_ctzll(w));
+        fn(bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const Bitset& a, const Bitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  // Clears bits at positions >= size_ in the last word.
+  void TrimTail() {
+    const uint32_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << tail) - 1;
+    }
+  }
+
+  uint32_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_UTIL_BITSET_H_

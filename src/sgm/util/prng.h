@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every source of randomness in the library flows through Prng so that
+// experiments are reproducible from a printed seed. The generator is
+// xoshiro256**, seeded through splitmix64 as recommended by its authors.
+#ifndef SGM_UTIL_PRNG_H_
+#define SGM_UTIL_PRNG_H_
+
+#include <cstdint>
+
+#include "sgm/core/types.h"
+
+namespace sgm {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Copyable; copies continue the
+/// sequence independently.
+class Prng {
+ public:
+  /// Seeds the generator. Any seed (including 0) is valid.
+  explicit Prng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) word = SplitMix64(&x);
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound) {
+    SGM_CHECK(bound > 0);
+    // 128-bit multiply keeps the distribution exactly uniform.
+    uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  static uint64_t SplitMix64(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace sgm
+
+#endif  // SGM_UTIL_PRNG_H_

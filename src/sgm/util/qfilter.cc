@@ -1,0 +1,100 @@
+#include "sgm/util/qfilter.h"
+
+#include "sgm/util/set_intersection.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace sgm {
+
+#if defined(__AVX2__)
+
+bool QFilterUsesSimd() { return true; }
+
+namespace {
+
+// Shuffle masks replicating the four low bytes of a block for the all-pairs
+// byte comparison: left operand [a0 a0 a0 a0 a1 a1 ...], right operand
+// [b0 b1 b2 b3 b0 b1 ...].
+const __m128i kReplicateEach = _mm_setr_epi8(0, 0, 0, 0, 4, 4, 4, 4, 8, 8, 8,
+                                             8, 12, 12, 12, 12);
+const __m128i kReplicateAll = _mm_setr_epi8(0, 4, 8, 12, 0, 4, 8, 12, 0, 4, 8,
+                                            12, 0, 4, 8, 12);
+
+// Cyclic rotations of a 4x32 vector used for the full all-pairs comparison.
+inline __m128i Rotate1(__m128i v) { return _mm_shuffle_epi32(v, 0x39); }
+inline __m128i Rotate2(__m128i v) { return _mm_shuffle_epi32(v, 0x4e); }
+inline __m128i Rotate3(__m128i v) { return _mm_shuffle_epi32(v, 0x93); }
+
+}  // namespace
+
+size_t IntersectQFilter(std::span<const Vertex> a, std::span<const Vertex> b,
+                        std::vector<Vertex>* out) {
+  out->clear();
+  size_t i = 0;
+  size_t j = 0;
+  const size_t a_blocks = a.size() / 4 * 4;
+  const size_t b_blocks = b.size() / 4 * 4;
+  while (i < a_blocks && j < b_blocks) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+
+    // Byte-check filter: compare every low byte of va against every low byte
+    // of vb in a single 16-byte equality test. If no byte pair matches, the
+    // blocks cannot share an element and the expensive 32-bit comparison is
+    // skipped (the "filter" step of QFilter).
+    const __m128i a_bytes = _mm_shuffle_epi8(va, kReplicateEach);
+    const __m128i b_bytes = _mm_shuffle_epi8(vb, kReplicateAll);
+    const int byte_mask =
+        _mm_movemask_epi8(_mm_cmpeq_epi8(a_bytes, b_bytes));
+    if (byte_mask != 0) {
+      // Full all-pairs 32-bit comparison via three rotations.
+      __m128i eq = _mm_cmpeq_epi32(va, vb);
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, Rotate1(vb)));
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, Rotate2(vb)));
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, Rotate3(vb)));
+      const int mask = _mm_movemask_ps(_mm_castsi128_ps(eq));
+      if (mask != 0) {
+        for (int k = 0; k < 4; ++k) {
+          if (mask & (1 << k)) out->push_back(a[i + static_cast<size_t>(k)]);
+        }
+      }
+    }
+
+    // Advance whichever block ends first; both when they end together.
+    const Vertex a_max = a[i + 3];
+    const Vertex b_max = b[j + 3];
+    if (a_max <= b_max) i += 4;
+    if (b_max <= a_max) j += 4;
+  }
+
+  // Scalar tail merge for the remaining (<4-element) suffixes.
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out->size();
+}
+
+#else  // !defined(__AVX2__)
+
+bool QFilterUsesSimd() { return false; }
+
+size_t IntersectQFilter(std::span<const Vertex> a, std::span<const Vertex> b,
+                        std::vector<Vertex>* out) {
+  return IntersectMerge(a, b, out);
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace sgm

@@ -1,0 +1,36 @@
+// SIMD set intersection in the spirit of QFilter (Han, Zou and Yu,
+// "Speeding Up Set Intersections in Graph Algorithms using SIMD
+// Instructions", SIGMOD 2018).
+//
+// The kernel processes blocks of four 32-bit vertices from each input. A
+// byte-level all-pairs pre-filter (one 16-byte shuffle + compare) rejects
+// block pairs that cannot intersect before the full 32-bit all-pairs
+// comparison runs — that filter step is the core idea of QFilter. When the
+// translation unit is compiled without AVX2 support, the functions fall back
+// to the scalar merge kernel so the library stays portable.
+//
+// This is a from-scratch reimplementation, not the authors' code; see
+// DESIGN.md for the substitution note.
+#ifndef SGM_UTIL_QFILTER_H_
+#define SGM_UTIL_QFILTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sgm/core/types.h"
+
+namespace sgm {
+
+/// Intersects two strictly ascending vertex arrays with the SIMD kernel.
+/// Output replaces *out. Returns the output size.
+size_t IntersectQFilter(std::span<const Vertex> a, std::span<const Vertex> b,
+                        std::vector<Vertex>* out);
+
+/// True when this build actually uses SIMD instructions (false means the
+/// scalar fallback is active, e.g., on non-x86 targets).
+bool QFilterUsesSimd();
+
+}  // namespace sgm
+
+#endif  // SGM_UTIL_QFILTER_H_

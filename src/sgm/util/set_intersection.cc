@@ -1,0 +1,149 @@
+#include "sgm/util/set_intersection.h"
+
+#include <algorithm>
+
+#include "sgm/util/qfilter.h"
+
+namespace sgm {
+
+const char* IntersectionMethodName(IntersectionMethod method) {
+  switch (method) {
+    case IntersectionMethod::kMerge:
+      return "merge";
+    case IntersectionMethod::kGalloping:
+      return "galloping";
+    case IntersectionMethod::kHybrid:
+      return "hybrid";
+    case IntersectionMethod::kQFilter:
+      return "qfilter";
+  }
+  return "unknown";
+}
+
+size_t IntersectMerge(std::span<const Vertex> a, std::span<const Vertex> b,
+                      std::vector<Vertex>* out) {
+  out->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out->size();
+}
+
+namespace internal {
+
+size_t GallopLowerBound(std::span<const Vertex> sorted, size_t begin,
+                        Vertex value) {
+  // Exponential probe to bracket value, then binary search the bracket.
+  size_t lo = begin;
+  size_t step = 1;
+  size_t hi = begin;
+  while (hi < sorted.size() && sorted[hi] < value) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  hi = std::min(hi, sorted.size());
+  const auto it = std::lower_bound(sorted.begin() + lo, sorted.begin() + hi,
+                                   value);
+  return static_cast<size_t>(it - sorted.begin());
+}
+
+}  // namespace internal
+
+size_t IntersectGalloping(std::span<const Vertex> a, std::span<const Vertex> b,
+                          std::vector<Vertex>* out) {
+  out->clear();
+  // Probe with the smaller set into the larger one.
+  std::span<const Vertex> small = a.size() <= b.size() ? a : b;
+  std::span<const Vertex> large = a.size() <= b.size() ? b : a;
+  size_t pos = 0;
+  for (const Vertex v : small) {
+    pos = internal::GallopLowerBound(large, pos, v);
+    if (pos == large.size()) break;
+    if (large[pos] == v) {
+      out->push_back(v);
+      ++pos;
+    }
+  }
+  return out->size();
+}
+
+size_t IntersectHybrid(std::span<const Vertex> a, std::span<const Vertex> b,
+                       std::vector<Vertex>* out) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small == 0) {
+    out->clear();
+    return 0;
+  }
+  if (large / small >= kGallopingRatio) {
+    return IntersectGalloping(a, b, out);
+  }
+  return IntersectMerge(a, b, out);
+}
+
+size_t Intersect(IntersectionMethod method, std::span<const Vertex> a,
+                 std::span<const Vertex> b, std::vector<Vertex>* out) {
+  switch (method) {
+    case IntersectionMethod::kMerge:
+      return IntersectMerge(a, b, out);
+    case IntersectionMethod::kGalloping:
+      return IntersectGalloping(a, b, out);
+    case IntersectionMethod::kHybrid:
+      return IntersectHybrid(a, b, out);
+    case IntersectionMethod::kQFilter:
+      return IntersectQFilter(a, b, out);
+  }
+  SGM_CHECK_MSG(false, "unreachable intersection method");
+  return 0;
+}
+
+size_t IntersectionCount(std::span<const Vertex> a,
+                         std::span<const Vertex> b) {
+  const size_t small_n = std::min(a.size(), b.size());
+  const size_t large_n = std::max(a.size(), b.size());
+  if (small_n == 0) return 0;
+  if (large_n / small_n >= kGallopingRatio) {
+    std::span<const Vertex> small = a.size() <= b.size() ? a : b;
+    std::span<const Vertex> large = a.size() <= b.size() ? b : a;
+    size_t pos = 0;
+    size_t count = 0;
+    for (const Vertex v : small) {
+      pos = internal::GallopLowerBound(large, pos, v);
+      if (pos == large.size()) break;
+      if (large[pos] == v) {
+        ++count;
+        ++pos;
+      }
+    }
+    return count;
+  }
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool SortedContains(std::span<const Vertex> sorted, Vertex value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+}  // namespace sgm

@@ -1,0 +1,74 @@
+// Sorted-array set intersection kernels.
+//
+// The enumeration engines of the paper (Algorithm 5) compute local candidates
+// by intersecting sorted candidate adjacency lists. Following Section 3.3.2 we
+// provide a merge-based kernel, a galloping (binary-search) kernel for skewed
+// cardinalities, and the hybrid dispatcher used by EmptyHeaded that picks
+// between them based on the cardinality ratio. A SIMD kernel in the spirit of
+// QFilter lives in qfilter.h.
+//
+// All kernels require strictly ascending inputs and produce ascending outputs.
+#ifndef SGM_UTIL_SET_INTERSECTION_H_
+#define SGM_UTIL_SET_INTERSECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sgm/core/types.h"
+
+namespace sgm {
+
+/// Which intersection kernel to use. kHybrid is the library default
+/// (recommendation 3 of the paper); kQFilter is recommended for very dense
+/// data graphs.
+enum class IntersectionMethod : uint8_t {
+  kMerge = 0,
+  kGalloping = 1,
+  kHybrid = 2,
+  kQFilter = 3,
+};
+
+/// Returns a short lowercase name ("merge", "galloping", ...).
+const char* IntersectionMethodName(IntersectionMethod method);
+
+/// Merge-based intersection: linear scan of both inputs. Output is appended
+/// to *out (which is cleared first). Returns the output size.
+size_t IntersectMerge(std::span<const Vertex> a, std::span<const Vertex> b,
+                      std::vector<Vertex>* out);
+
+/// Galloping intersection: for each element of the smaller input, an
+/// exponential + binary search in the larger one. Profitable when
+/// |larger| >> |smaller|.
+size_t IntersectGalloping(std::span<const Vertex> a, std::span<const Vertex> b,
+                          std::vector<Vertex>* out);
+
+/// Hybrid dispatcher: galloping when the cardinalities differ by more than
+/// kGallopingRatio, merge otherwise (the policy described in Section 3.3.2).
+size_t IntersectHybrid(std::span<const Vertex> a, std::span<const Vertex> b,
+                       std::vector<Vertex>* out);
+
+/// Dispatches on method. kQFilter forwards to IntersectQFilter.
+size_t Intersect(IntersectionMethod method, std::span<const Vertex> a,
+                 std::span<const Vertex> b, std::vector<Vertex>* out);
+
+/// Cardinality ratio above which the hybrid dispatcher switches from merge to
+/// galloping.
+inline constexpr size_t kGallopingRatio = 32;
+
+/// Returns |a ∩ b| without materializing the result (hybrid policy).
+size_t IntersectionCount(std::span<const Vertex> a, std::span<const Vertex> b);
+
+/// Returns true iff value is contained in the sorted span (binary search).
+bool SortedContains(std::span<const Vertex> sorted, Vertex value);
+
+namespace internal {
+/// First index i in [begin, sorted.size()) with sorted[i] >= value, found by
+/// exponential probing from begin. Exposed for tests.
+size_t GallopLowerBound(std::span<const Vertex> sorted, size_t begin,
+                        Vertex value);
+}  // namespace internal
+
+}  // namespace sgm
+
+#endif  // SGM_UTIL_SET_INTERSECTION_H_

@@ -1,0 +1,50 @@
+// Streaming aggregation helpers for experiment metrics (mean, stddev, max).
+#ifndef SGM_UTIL_STATS_H_
+#define SGM_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace sgm {
+
+/// Accumulates a stream of samples and reports mean / population standard
+/// deviation / min / max, matching how the paper aggregates per-query-set
+/// metrics (mean plus standard deviation in Figure 12, mean/std/max in
+/// Table 6). Uses Welford's algorithm for numerical stability.
+class RunningStats {
+ public:
+  /// Adds one sample.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (the paper reports variability of a fixed query
+  /// set, not an estimate over a larger population).
+  double variance() const {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace sgm
+
+#endif  // SGM_UTIL_STATS_H_

@@ -1,0 +1,42 @@
+// Wall-clock timing helpers used by the matcher and the bench harness.
+#ifndef SGM_UTIL_TIMER_H_
+#define SGM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sgm {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (the unit the paper reports).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sgm
+
+#endif  // SGM_UTIL_TIMER_H_

@@ -1,0 +1,182 @@
+#include "sgm/wcoj/generic_join.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sgm/util/set_intersection.h"
+#include "sgm/util/timer.h"
+
+namespace sgm {
+
+std::vector<Vertex> WcojAttributeOrder(const Graph& query,
+                                       const Graph& data) {
+  const uint32_t n = query.vertex_count();
+  const auto label_frequency = [&](Vertex u) -> uint32_t {
+    const Label l = query.label(u);
+    return l < data.label_count() ? data.LabelFrequency(l) : 0;
+  };
+
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::vector<bool> bound(n, false);
+
+  Vertex start = 0;
+  for (Vertex u = 1; u < n; ++u) {
+    if (query.degree(u) > query.degree(start) ||
+        (query.degree(u) == query.degree(start) &&
+         label_frequency(u) < label_frequency(start))) {
+      start = u;
+    }
+  }
+  order.push_back(start);
+  bound[start] = true;
+
+  while (order.size() < n) {
+    Vertex best = kInvalidVertex;
+    std::pair<uint32_t, int64_t> best_score{0, 0};
+    for (Vertex u = 0; u < n; ++u) {
+      if (bound[u]) continue;
+      uint32_t bound_neighbors = 0;
+      for (const Vertex w : query.neighbors(u)) {
+        if (bound[w]) ++bound_neighbors;
+      }
+      const std::pair<uint32_t, int64_t> score{
+          bound_neighbors, -static_cast<int64_t>(label_frequency(u))};
+      if (best == kInvalidVertex || score > best_score) {
+        best_score = score;
+        best = u;
+      }
+    }
+    order.push_back(best);
+    bound[best] = true;
+  }
+  return order;
+}
+
+namespace {
+
+class GenericJoinEngine {
+ public:
+  GenericJoinEngine(const Graph& query, const Graph& data,
+                    const WcojOptions& options, const WcojCallback& callback)
+      : query_(query),
+        data_(data),
+        options_(options),
+        callback_(callback),
+        n_(query.vertex_count()) {}
+
+  WcojResult Run() {
+    Timer timer;
+    timer_ = &timer;
+    result_.attribute_order = WcojAttributeOrder(query_, data_);
+    position_.assign(n_, 0);
+    for (uint32_t i = 0; i < n_; ++i) {
+      position_[result_.attribute_order[i]] = i;
+    }
+    mapping_.assign(n_, kInvalidVertex);
+    bound_count_.assign(data_.vertex_count(), 0);
+    buffers_.assign(n_, {});
+    scratch_.clear();
+    Extend(0);
+    result_.total_ms = timer.ElapsedMillis();
+    return result_;
+  }
+
+ private:
+  // Candidates of the attribute at the given level: the intersection of the
+  // adjacency lists of all bound neighbor attributes, label-filtered.
+  std::span<const Vertex> Candidates(Vertex u, uint32_t level) {
+    std::vector<std::span<const Vertex>> lists;
+    for (const Vertex w : query_.neighbors(u)) {
+      if (position_[w] < level) {
+        lists.push_back(data_.neighbors(mapping_[w]));
+      }
+    }
+    auto& buffer = buffers_[level];
+    buffer.clear();
+    if (lists.empty()) {
+      // No bound neighbor: scan the label class (start attribute).
+      const Label l = query_.label(u);
+      if (l >= data_.label_count()) return buffer;
+      return data_.VerticesWithLabel(l);
+    }
+    // Generic Join: intersect starting from the smallest list.
+    std::sort(lists.begin(), lists.end(),
+              [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    buffer.assign(lists[0].begin(), lists[0].end());
+    for (size_t i = 1; i < lists.size(); ++i) {
+      ++result_.intersections;
+      IntersectHybrid(buffer, lists[i], &scratch_);
+      buffer.swap(scratch_);
+      if (buffer.empty()) return buffer;
+    }
+    // Label filter (EmptyHeaded/Graphflow prune on labels only).
+    const Label l = query_.label(u);
+    size_t out = 0;
+    for (const Vertex v : buffer) {
+      if (data_.label(v) == l) buffer[out++] = v;
+    }
+    buffer.resize(out);
+    return buffer;
+  }
+
+  void Extend(uint32_t level) {
+    if (stopped_) return;
+    if ((++steps_ & 1023) == 0 && options_.time_limit_ms > 0 &&
+        timer_->ElapsedMillis() > options_.time_limit_ms) {
+      result_.timed_out = true;
+      stopped_ = true;
+      return;
+    }
+    if (level == n_) {
+      ++result_.result_count;
+      if (callback_ && !callback_(mapping_)) stopped_ = true;
+      if (options_.max_results > 0 &&
+          result_.result_count >= options_.max_results) {
+        stopped_ = true;
+      }
+      return;
+    }
+    const Vertex u = result_.attribute_order[level];
+    const auto candidates = Candidates(u, level);
+    for (const Vertex v : candidates) {
+      if (stopped_) return;
+      if (options_.mode == WcojMode::kIsomorphism && bound_count_[v] > 0) {
+        continue;
+      }
+      mapping_[u] = v;
+      ++bound_count_[v];
+      Extend(level + 1);
+      --bound_count_[v];
+      mapping_[u] = kInvalidVertex;
+    }
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const WcojOptions& options_;
+  const WcojCallback& callback_;
+  const uint32_t n_;
+
+  std::vector<uint32_t> position_;
+  std::vector<Vertex> mapping_;
+  std::vector<uint32_t> bound_count_;
+  std::vector<std::vector<Vertex>> buffers_;
+  std::vector<Vertex> scratch_;
+  WcojResult result_;
+  Timer* timer_ = nullptr;
+  uint64_t steps_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+WcojResult GenericJoinMatch(const Graph& query, const Graph& data,
+                            const WcojOptions& options,
+                            const WcojCallback& callback) {
+  SGM_CHECK(query.vertex_count() >= 1);
+  GenericJoinEngine engine(query, data, options, callback);
+  return engine.Run();
+}
+
+}  // namespace sgm

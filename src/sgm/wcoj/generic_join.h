@@ -1,0 +1,65 @@
+// Worst-case optimal join (WCOJ) evaluation of subgraph queries — the
+// alternative computation model the paper discusses in Section 2.2
+// (LogicBlox, EmptyHeaded, Graphflow). The query is treated as a multi-way
+// join with one attribute per query vertex and one relation per query edge;
+// Generic Join extends one attribute at a time by intersecting the
+// adjacency lists of all bound neighbor attributes.
+//
+// As the paper notes, WCOJ systems by default compute *homomorphisms*
+// (repeated data vertices allowed); an isomorphism mode adds the
+// injectivity constraint so results are comparable with the backtracking
+// algorithms. This engine exists as the cross-model baseline; it uses no
+// candidate filtering beyond labels, mirroring the label-only pruning of
+// EmptyHeaded/Graphflow.
+#ifndef SGM_WCOJ_GENERIC_JOIN_H_
+#define SGM_WCOJ_GENERIC_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sgm/graph/graph.h"
+
+namespace sgm {
+
+/// Result semantics of the join.
+enum class WcojMode : uint8_t {
+  kHomomorphism = 0,  ///< the WCOJ default (Section 2.2)
+  kIsomorphism = 1,   ///< injective; comparable with Definition 2.1
+};
+
+/// Knobs of a Generic Join run.
+struct WcojOptions {
+  WcojMode mode = WcojMode::kIsomorphism;
+  uint64_t max_results = 100000;  ///< 0 = unlimited
+  double time_limit_ms = 300000.0;  ///< 0 = unlimited
+};
+
+/// Outcome of a Generic Join run.
+struct WcojResult {
+  uint64_t result_count = 0;
+  uint64_t intersections = 0;
+  bool timed_out = false;
+  double total_ms = 0.0;
+  /// The attribute (query-vertex) order the planner chose.
+  std::vector<Vertex> attribute_order;
+};
+
+/// Called per result; mapping[u] is the data vertex bound to query vertex
+/// u. Return false to stop.
+using WcojCallback = std::function<bool(std::span<const Vertex>)>;
+
+/// Evaluates the query as a multi-way join with Generic Join.
+WcojResult GenericJoinMatch(const Graph& query, const Graph& data,
+                            const WcojOptions& options = WcojOptions{},
+                            const WcojCallback& callback = {});
+
+/// The attribute order used by the planner: highest-degree query vertex
+/// first, then greedily the unbound vertex with the most bound neighbors
+/// (ties by smaller data-label frequency). Exposed for tests.
+std::vector<Vertex> WcojAttributeOrder(const Graph& query, const Graph& data);
+
+}  // namespace sgm
+
+#endif  // SGM_WCOJ_GENERIC_JOIN_H_

@@ -1,0 +1,110 @@
+#include "sgm/core/aux_structure.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sgm/core/filter/filter.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+class AuxStructureTest : public ::testing::Test {
+ protected:
+  AuxStructureTest()
+      : query_(PaperQuery()),
+        data_(PaperData()),
+        candidates_(BuildNlfCandidates(query_, data_)) {}
+
+  Graph query_;
+  Graph data_;
+  CandidateSets candidates_;
+};
+
+TEST_F(AuxStructureTest, AllEdgesIndexesBothDirections) {
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query_, data_, candidates_);
+  for (Vertex u = 0; u < query_.vertex_count(); ++u) {
+    for (const Vertex w : query_.neighbors(u)) {
+      EXPECT_TRUE(aux.HasIndex(u, w));
+      EXPECT_TRUE(aux.HasIndex(w, u));
+    }
+  }
+  EXPECT_FALSE(aux.HasIndex(0, 3));  // u0-u3 is not a query edge
+}
+
+TEST_F(AuxStructureTest, ListsAreNeighborsWithinCandidates) {
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query_, data_, candidates_);
+  for (Vertex u = 0; u < query_.vertex_count(); ++u) {
+    for (const Vertex w : query_.neighbors(u)) {
+      const auto from_cands = candidates_.candidates(u);
+      for (uint32_t ci = 0; ci < from_cands.size(); ++ci) {
+        const Vertex v = from_cands[ci];
+        const auto list = aux.NeighborsByIndex(u, ci, w);
+        EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+        for (const Vertex x : list) {
+          EXPECT_TRUE(data_.HasEdge(v, x));
+          EXPECT_TRUE(candidates_.Contains(w, x));
+        }
+        // Completeness of the list: every candidate neighbor appears.
+        for (const Vertex x : candidates_.candidates(w)) {
+          if (data_.HasEdge(v, x)) {
+            EXPECT_TRUE(std::binary_search(list.begin(), list.end(), x));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(AuxStructureTest, NeighborsOfVertexMatchesByIndex) {
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query_, data_, candidates_);
+  const auto cands = candidates_.candidates(1);
+  ASSERT_FALSE(cands.empty());
+  const Vertex v = cands[0];
+  const auto by_vertex = aux.NeighborsOfVertex(1, v, 0);
+  const auto by_index = aux.NeighborsByIndex(1, 0, 0);
+  ASSERT_EQ(by_vertex.size(), by_index.size());
+  EXPECT_TRUE(std::equal(by_vertex.begin(), by_vertex.end(),
+                         by_index.begin()));
+}
+
+TEST_F(AuxStructureTest, TreeEdgesScope) {
+  // BFS tree of the paper query rooted at u0: parents u1<-u0, u2<-u0,
+  // u3<-u1.
+  const std::vector<Vertex> parent = {kInvalidVertex, 0, 0, 1};
+  const AuxStructure aux =
+      AuxStructure::BuildTreeEdges(query_, data_, candidates_, parent);
+  EXPECT_TRUE(aux.HasIndex(0, 1));
+  EXPECT_TRUE(aux.HasIndex(1, 0));
+  EXPECT_TRUE(aux.HasIndex(1, 3));
+  EXPECT_FALSE(aux.HasIndex(1, 2));  // non-tree edge not indexed
+  EXPECT_FALSE(aux.HasIndex(2, 3));
+}
+
+TEST_F(AuxStructureTest, CandidateEdgeCountAndMemory) {
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query_, data_, candidates_);
+  EXPECT_GT(aux.CandidateEdgeCount(), 0u);
+  EXPECT_GT(aux.MemoryBytes(), 0u);
+}
+
+TEST_F(AuxStructureTest, PaperExampleAdjacency) {
+  // Example 3.2: given v4 in C(u1), A_{u3}^{u1}(v4) = {v12} after NLF
+  // filtering (the paper's {v10, v12} refers to the pre-refinement CFL
+  // structure; with NLF candidates v4's only C(u3)-neighbor is v12).
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query_, data_, candidates_);
+  const auto list = aux.NeighborsOfVertex(1, 4, 3);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0], 12u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "sgm/baselines/ullmann.h"
+#include "sgm/baselines/vf2.h"
+#include "sgm/core/brute_force.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+TEST(UllmannTest, PaperExample) {
+  const UllmannResult result = UllmannMatch(PaperQuery(), PaperData());
+  EXPECT_EQ(result.match_count, 2u);
+  EXPECT_GT(result.search_nodes, 0u);
+  EXPECT_GT(result.refinements, 0u);
+  EXPECT_FALSE(result.timed_out);
+}
+
+TEST(Vf2Test, PaperExample) {
+  const Vf2Result result = Vf2Match(PaperQuery(), PaperData());
+  EXPECT_EQ(result.match_count, 2u);
+  EXPECT_FALSE(result.timed_out);
+}
+
+TEST(BaselinesTest, AgreeWithBruteForceOnRandomInputs) {
+  Prng prng(31337);
+  for (int round = 0; round < 8; ++round) {
+    const Graph data = GenerateErdosRenyi(
+        30, 90 + static_cast<uint32_t>(prng.NextBounded(60)),
+        1 + static_cast<uint32_t>(prng.NextBounded(3)), &prng);
+    const auto query = ExtractQuery(
+        data, 4 + static_cast<uint32_t>(prng.NextBounded(2)),
+        QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+    const uint64_t expected = BruteForceCount(*query, data);
+
+    UllmannOptions ullmann_options;
+    ullmann_options.max_matches = 0;
+    EXPECT_EQ(UllmannMatch(*query, data, ullmann_options).match_count,
+              expected)
+        << "Ullmann round " << round;
+
+    Vf2Options vf2_options;
+    vf2_options.max_matches = 0;
+    EXPECT_EQ(Vf2Match(*query, data, vf2_options).match_count, expected)
+        << "VF2 round " << round;
+  }
+}
+
+TEST(UllmannTest, MatchLimitAndCallback) {
+  Prng prng(99);
+  const Graph data = GenerateErdosRenyi(40, 200, 1, &prng);
+  const Graph query = ::sgm::testing::TriangleQuery();
+  UllmannOptions options;
+  options.max_matches = 3;
+  const UllmannResult result = UllmannMatch(query, data, options);
+  EXPECT_LE(result.match_count, 3u);
+
+  uint64_t seen = 0;
+  UllmannMatch(query, data, UllmannOptions{},
+               [&](std::span<const Vertex> mapping) {
+                 EXPECT_EQ(mapping.size(), 3u);
+                 ++seen;
+                 return false;
+               });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(Vf2Test, EmbeddingsAreValid) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  Vf2Match(query, data, Vf2Options{}, [&](std::span<const Vertex> mapping) {
+    for (Vertex u = 0; u < query.vertex_count(); ++u) {
+      EXPECT_EQ(query.label(u), data.label(mapping[u]));
+      for (const Vertex w : query.neighbors(u)) {
+        EXPECT_TRUE(data.HasEdge(mapping[u], mapping[w]));
+      }
+    }
+    return true;
+  });
+}
+
+TEST(Vf2Test, FindsNonInducedEmbeddings) {
+  // Path query inside a triangle: an induced-only matcher would reject the
+  // extra edge; the paper's problem (Definition 2.1) accepts it.
+  const Graph query =
+      ::sgm::testing::MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  const Graph data =
+      ::sgm::testing::MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}});
+  Vf2Options options;
+  options.max_matches = 0;
+  EXPECT_EQ(Vf2Match(query, data, options).match_count, 6u);
+  UllmannOptions ullmann_options;
+  ullmann_options.max_matches = 0;
+  EXPECT_EQ(UllmannMatch(query, data, ullmann_options).match_count, 6u);
+}
+
+}  // namespace
+}  // namespace sgm

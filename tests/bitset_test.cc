@@ -1,0 +1,100 @@
+#include "sgm/util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sgm {
+namespace {
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_FALSE(bits.Test(0));
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  bits.Clear(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(BitsetTest, SetAllRespectsWidth) {
+  Bitset bits(70);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70u);
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.Empty());
+}
+
+TEST(BitsetTest, LogicalOperations) {
+  Bitset a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(99);
+  b.Set(3);
+
+  Bitset and_result = a;
+  and_result.AndWith(b);
+  EXPECT_EQ(and_result.Count(), 2u);
+  EXPECT_TRUE(and_result.Test(50));
+  EXPECT_TRUE(and_result.Test(99));
+
+  Bitset or_result = a;
+  or_result.OrWith(b);
+  EXPECT_EQ(or_result.Count(), 4u);
+
+  Bitset diff = a;
+  diff.AndNotWith(b);
+  EXPECT_EQ(diff.Count(), 1u);
+  EXPECT_TRUE(diff.Test(1));
+
+  EXPECT_EQ(a.AndCount(b), 2u);
+}
+
+TEST(BitsetTest, FindFirstAndNext) {
+  Bitset bits(200);
+  EXPECT_EQ(bits.FindFirst(), 200u);
+  bits.Set(5);
+  bits.Set(77);
+  bits.Set(199);
+  EXPECT_EQ(bits.FindFirst(), 5u);
+  EXPECT_EQ(bits.FindNext(5), 5u);
+  EXPECT_EQ(bits.FindNext(6), 77u);
+  EXPECT_EQ(bits.FindNext(78), 199u);
+  EXPECT_EQ(bits.FindNext(200), 200u);
+}
+
+TEST(BitsetTest, ForEachAscending) {
+  Bitset bits(128);
+  const std::vector<uint32_t> expected = {0, 63, 64, 127};
+  for (const uint32_t i : expected) bits.Set(i);
+  std::vector<uint32_t> seen;
+  bits.ForEach([&](uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitsetTest, Equality) {
+  Bitset a(64), b(64);
+  EXPECT_TRUE(a == b);
+  a.Set(10);
+  EXPECT_FALSE(a == b);
+  b.Set(10);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(BitsetTest, WordCountForMemoryAccounting) {
+  EXPECT_EQ(Bitset(1).word_count(), 1u);
+  EXPECT_EQ(Bitset(64).word_count(), 1u);
+  EXPECT_EQ(Bitset(65).word_count(), 2u);
+}
+
+}  // namespace
+}  // namespace sgm

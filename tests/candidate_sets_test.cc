@@ -1,0 +1,50 @@
+#include "sgm/core/candidate_sets.h"
+
+#include <gtest/gtest.h>
+
+namespace sgm {
+namespace {
+
+TEST(CandidateSetsTest, BasicAccessors) {
+  CandidateSets sets(3);
+  EXPECT_EQ(sets.query_vertex_count(), 3u);
+  sets.mutable_candidates(0) = {1, 4, 9};
+  sets.mutable_candidates(1) = {2};
+  EXPECT_EQ(sets.Count(0), 3u);
+  EXPECT_EQ(sets.Count(1), 1u);
+  EXPECT_EQ(sets.Count(2), 0u);
+  EXPECT_TRUE(sets.AnyEmpty());
+  EXPECT_EQ(sets.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(sets.AverageCount(), 4.0 / 3.0);
+}
+
+TEST(CandidateSetsTest, ContainsAndIndexOf) {
+  CandidateSets sets(1);
+  sets.mutable_candidates(0) = {3, 7, 11, 20};
+  EXPECT_TRUE(sets.Contains(0, 7));
+  EXPECT_FALSE(sets.Contains(0, 8));
+  EXPECT_EQ(sets.IndexOf(0, 3), 0u);
+  EXPECT_EQ(sets.IndexOf(0, 20), 3u);
+  EXPECT_EQ(sets.IndexOf(0, 8), 4u);  // absent -> size()
+}
+
+TEST(CandidateSetsTest, SortAllDeduplicates) {
+  CandidateSets sets(1);
+  sets.mutable_candidates(0) = {9, 3, 9, 1, 3};
+  sets.SortAll();
+  const auto cands = sets.candidates(0);
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_EQ(cands[0], 1u);
+  EXPECT_EQ(cands[1], 3u);
+  EXPECT_EQ(cands[2], 9u);
+}
+
+TEST(CandidateSetsTest, MemoryBytesGrowsWithContent) {
+  CandidateSets small(1);
+  CandidateSets big(1);
+  big.mutable_candidates(0).resize(1000);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,111 @@
+// Tests for the pattern catalog, automorphism-aware counting, and the
+// EXPLAIN plan API.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sgm/counting.h"
+#include "sgm/explain.h"
+#include "sgm/graph/graph_utils.h"
+#include "sgm/graph/pattern_catalog.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+TEST(PatternCatalogTest, ShapesAreCorrect) {
+  EXPECT_EQ(PathPattern(5).edge_count(), 4u);
+  EXPECT_EQ(CyclePattern(5).edge_count(), 5u);
+  EXPECT_EQ(CliquePattern(5).edge_count(), 10u);
+  EXPECT_EQ(StarPattern(6).vertex_count(), 7u);
+  EXPECT_EQ(StarPattern(6).degree(0), 6u);
+  EXPECT_EQ(DiamondPattern().edge_count(), 5u);
+  EXPECT_EQ(TailedTrianglePattern().edge_count(), 4u);
+  EXPECT_EQ(HousePattern().edge_count(), 6u);
+  EXPECT_EQ(BiFanPattern().edge_count(), 4u);
+  EXPECT_EQ(BowTiePattern().edge_count(), 6u);
+  for (const Graph& pattern :
+       {PathPattern(4), CyclePattern(6), CliquePattern(4), StarPattern(3),
+        DiamondPattern(), TailedTrianglePattern(), HousePattern(),
+        BiFanPattern(), BowTiePattern()}) {
+    EXPECT_TRUE(IsConnected(pattern));
+  }
+}
+
+TEST(PatternCatalogTest, LabelsApply) {
+  const Label labels[] = {7, 8, 9};
+  const Graph path = PathPattern(3, labels);
+  EXPECT_EQ(path.label(0), 7u);
+  EXPECT_EQ(path.label(2), 9u);
+}
+
+TEST(CountingTest, AutomorphismsOfClassicPatterns) {
+  EXPECT_EQ(CountAutomorphisms(CliquePattern(3)), 6u);   // S_3
+  EXPECT_EQ(CountAutomorphisms(CliquePattern(4)), 24u);  // S_4
+  EXPECT_EQ(CountAutomorphisms(CyclePattern(5)), 10u);   // dihedral D_5
+  EXPECT_EQ(CountAutomorphisms(PathPattern(4)), 2u);     // reflection
+  EXPECT_EQ(CountAutomorphisms(StarPattern(4)), 24u);    // leaf permutations
+  EXPECT_EQ(CountAutomorphisms(BiFanPattern()), 8u);     // swap x swap x flip
+  // Labels break symmetry: the paper query has only the identity.
+  EXPECT_EQ(CountAutomorphisms(PaperQuery()), 1u);
+}
+
+TEST(CountingTest, OccurrencesDividesOutSymmetry) {
+  // K_4 contains C(4,3) = 4 distinct triangles but 24 embeddings.
+  const Graph data = CliquePattern(4);
+  MatchOptions options;
+  options.max_matches = 0;
+  const OccurrenceCount count =
+      CountOccurrences(CliquePattern(3), data, options);
+  EXPECT_EQ(count.embeddings, 24u);
+  EXPECT_EQ(count.automorphisms, 6u);
+  EXPECT_EQ(count.occurrences, 4u);
+  EXPECT_TRUE(count.exact);
+}
+
+TEST(CountingTest, CapMakesCountInexact) {
+  const Graph data = CliquePattern(6);
+  MatchOptions options;
+  options.max_matches = 10;
+  const OccurrenceCount count =
+      CountOccurrences(CliquePattern(3), data, options);
+  EXPECT_FALSE(count.exact);
+  EXPECT_EQ(count.embeddings, 10u);
+}
+
+TEST(ExplainTest, PlanForPaperExample) {
+  const QueryPlan plan = ExplainQuery(PaperQuery(), PaperData(),
+                                      MatchOptions::Recommended(4));
+  ASSERT_EQ(plan.candidate_counts.size(), 4u);
+  EXPECT_EQ(plan.candidate_counts[0], 1u);  // C(u0) = {v0}
+  EXPECT_FALSE(plan.no_match_possible);
+  EXPECT_EQ(plan.matching_order.size(), 4u);
+  EXPECT_GT(plan.estimated_tree_embeddings, 0.0);
+  EXPECT_GT(plan.aux_memory_bytes, 0u);
+  const std::string rendered = plan.ToString(PaperQuery());
+  EXPECT_NE(rendered.find("filter=GQL"), std::string::npos);
+  EXPECT_NE(rendered.find("order:"), std::string::npos);
+}
+
+TEST(ExplainTest, DetectsImpossibleQueries) {
+  const Graph no_d =
+      ::sgm::testing::MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}, {1, 2}});
+  const QueryPlan plan = ExplainQuery(PaperQuery(), no_d);
+  EXPECT_TRUE(plan.no_match_possible);
+}
+
+TEST(ExplainTest, CartesianBoundIsLogOfProduct) {
+  const QueryPlan plan = ExplainQuery(PaperQuery(), PaperData(),
+                                      MatchOptions::Recommended(4));
+  double expected = 0.0;
+  for (const uint32_t count : plan.candidate_counts) {
+    expected += std::log10(std::max(1u, count));
+  }
+  EXPECT_NEAR(plan.log10_cartesian_bound, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,126 @@
+// Configuration-matrix property test: the framework is advertised as a
+// free composition of (filter × order × local-candidate method ×
+// optimizations). This test sweeps the legal combinations on one fixed
+// random workload and requires every one to produce the same match count.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "sgm/matcher.h"
+
+namespace sgm {
+namespace {
+
+struct MatrixCase {
+  FilterMethod filter;
+  OrderMethod order;
+  LocalCandidateMethod lc;
+  bool failing_sets;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string name = FilterMethodName(info.param.filter);
+  name += "_";
+  name += OrderMethodName(info.param.order);
+  name += "_";
+  name += LocalCandidateMethodName(info.param.lc);
+  name += info.param.failing_sets ? "_fs" : "_nofs";
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class ConfigMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ConfigMatrixTest, AllCombinationsAgree) {
+  const MatrixCase& param = GetParam();
+  Prng prng(321321);
+  const Graph data = GenerateErdosRenyi(45, 160, 2, &prng);
+  for (int round = 0; round < 4; ++round) {
+    const auto query = ExtractQuery(data, 5 + round, QueryDensity::kAny,
+                                    &prng);
+    if (!query.has_value()) continue;
+    MatchOptions options;
+    options.filter = param.filter;
+    options.order = param.order;
+    options.lc_method = param.lc;
+    options.use_failing_sets = param.failing_sets;
+    // kPivotIndex needs indexed backward edges for the pivot; the all-edges
+    // scope guarantees that for any order. kNeighborScan and kCandidateScan
+    // need no index.
+    options.aux_scope = param.lc == LocalCandidateMethod::kNeighborScan ||
+                                param.lc == LocalCandidateMethod::kCandidateScan
+                            ? AuxEdgeScope::kNone
+                            : AuxEdgeScope::kAllEdges;
+    options.max_matches = 0;
+    options.time_limit_ms = 0;
+    const uint64_t expected = BruteForceCount(*query, data);
+    EXPECT_EQ(MatchQuery(*query, data, options).match_count, expected)
+        << CaseName({param, 0}) << " round " << round;
+  }
+}
+
+// The sweep: every filter with the GQL order, every order with the GQL
+// filter, crossed with the four local-candidate methods; failing sets on
+// the intersect configurations.
+INSTANTIATE_TEST_SUITE_P(
+    Filters, ConfigMatrixTest,
+    ::testing::Values(
+        MatrixCase{FilterMethod::kLDF, OrderMethod::kGraphQL,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kNLF, OrderMethod::kGraphQL,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kGraphQL,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kCFL, OrderMethod::kGraphQL,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kCECI, OrderMethod::kGraphQL,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kDPiso, OrderMethod::kGraphQL,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kSteady, OrderMethod::kGraphQL,
+                   LocalCandidateMethod::kIntersect, false}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, ConfigMatrixTest,
+    ::testing::Values(
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kQuickSI,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kCFL,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kCECI,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kDPiso,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kRI,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kVF2pp,
+                   LocalCandidateMethod::kIntersect, false}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    LocalCandidates, ConfigMatrixTest,
+    ::testing::Values(
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kRI,
+                   LocalCandidateMethod::kNeighborScan, false},
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kRI,
+                   LocalCandidateMethod::kCandidateScan, false},
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kRI,
+                   LocalCandidateMethod::kPivotIndex, false},
+        MatrixCase{FilterMethod::kGraphQL, OrderMethod::kRI,
+                   LocalCandidateMethod::kIntersect, false},
+        MatrixCase{FilterMethod::kCFL, OrderMethod::kQuickSI,
+                   LocalCandidateMethod::kPivotIndex, true},
+        MatrixCase{FilterMethod::kCECI, OrderMethod::kVF2pp,
+                   LocalCandidateMethod::kIntersect, true},
+        MatrixCase{FilterMethod::kSteady, OrderMethod::kRI,
+                   LocalCandidateMethod::kCandidateScan, true}),
+    CaseName);
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,122 @@
+// Cross-validation property tests: every (algorithm preset × failing-set
+// setting) must report exactly the number of matches the brute-force
+// reference finds, across randomly generated data graphs and queries.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "sgm/matcher.h"
+
+namespace sgm {
+namespace {
+
+struct PresetCase {
+  Algorithm algorithm;
+  bool optimized;
+  bool failing_sets;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PresetCase>& info) {
+  std::string name = AlgorithmName(info.param.algorithm);
+  name += info.param.optimized ? "_opt" : "_classic";
+  name += info.param.failing_sets ? "_fs" : "_nofs";
+  return name;
+}
+
+class EnumeratorAgreementTest : public ::testing::TestWithParam<PresetCase> {
+};
+
+TEST_P(EnumeratorAgreementTest, MatchesBruteForceOnRandomInputs) {
+  const PresetCase& param = GetParam();
+  Prng prng(4242 + static_cast<uint64_t>(param.algorithm) * 17 +
+            (param.optimized ? 3 : 0) + (param.failing_sets ? 7 : 0));
+  for (int round = 0; round < 10; ++round) {
+    const uint32_t labels = 1 + static_cast<uint32_t>(prng.NextBounded(4));
+    const Graph data = GenerateErdosRenyi(
+        50, 120 + static_cast<uint32_t>(prng.NextBounded(120)), labels,
+        &prng);
+    const auto query = ExtractQuery(
+        data, 4 + static_cast<uint32_t>(prng.NextBounded(4)),
+        QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+
+    MatchOptions options = param.optimized
+                               ? MatchOptions::Optimized(param.algorithm)
+                               : MatchOptions::Classic(param.algorithm);
+    options.use_failing_sets = param.failing_sets;
+    options.max_matches = 0;  // find everything
+    options.time_limit_ms = 0;
+
+    const uint64_t expected = BruteForceCount(*query, data);
+    const MatchResult result = MatchQuery(*query, data, options);
+    EXPECT_EQ(result.match_count, expected)
+        << AlgorithmName(param.algorithm)
+        << (param.optimized ? " optimized" : " classic") << " round "
+        << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, EnumeratorAgreementTest,
+    ::testing::Values(
+        PresetCase{Algorithm::kQuickSI, false, false},
+        PresetCase{Algorithm::kQuickSI, true, false},
+        PresetCase{Algorithm::kQuickSI, true, true},
+        PresetCase{Algorithm::kGraphQL, false, false},
+        PresetCase{Algorithm::kGraphQL, true, false},
+        PresetCase{Algorithm::kGraphQL, true, true},
+        PresetCase{Algorithm::kCFL, false, false},
+        PresetCase{Algorithm::kCFL, true, false},
+        PresetCase{Algorithm::kCFL, true, true},
+        PresetCase{Algorithm::kCECI, false, false},
+        PresetCase{Algorithm::kCECI, true, false},
+        PresetCase{Algorithm::kCECI, true, true},
+        PresetCase{Algorithm::kDPiso, false, false},
+        PresetCase{Algorithm::kDPiso, true, false},
+        PresetCase{Algorithm::kDPiso, true, true},
+        PresetCase{Algorithm::kRI, false, false},
+        PresetCase{Algorithm::kRI, true, false},
+        PresetCase{Algorithm::kRI, true, true},
+        PresetCase{Algorithm::kVF2pp, false, false},
+        PresetCase{Algorithm::kVF2pp, true, false},
+        PresetCase{Algorithm::kVF2pp, true, true}),
+    CaseName);
+
+// Denser, more label-poor inputs stress deep recursion and the failing-set
+// logic harder; run a focused sweep on the two presets that exercise every
+// engine feature at once (adaptive order + failing sets, and pivot index).
+TEST(EnumeratorAgreementStressTest, DpisoAdaptiveWithFailingSets) {
+  Prng prng(555);
+  for (int round = 0; round < 8; ++round) {
+    const Graph data = GenerateErdosRenyi(30, 140, 2, &prng);
+    const auto query = ExtractQuery(data, 6, QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+    MatchOptions options = MatchOptions::Classic(Algorithm::kDPiso);
+    options.max_matches = 0;
+    options.time_limit_ms = 0;
+    const MatchResult result = MatchQuery(*query, data, options);
+    EXPECT_EQ(result.match_count, BruteForceCount(*query, data))
+        << "round " << round;
+  }
+}
+
+TEST(EnumeratorAgreementStressTest, CflPivotIndexOnSingleLabelGraphs) {
+  Prng prng(556);
+  for (int round = 0; round < 8; ++round) {
+    const Graph data = GenerateErdosRenyi(25, 90, 1, &prng);
+    const auto query = ExtractQuery(data, 5, QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+    MatchOptions options = MatchOptions::Classic(Algorithm::kCFL);
+    options.max_matches = 0;
+    options.time_limit_ms = 0;
+    const MatchResult result = MatchQuery(*query, data, options);
+    EXPECT_EQ(result.match_count, BruteForceCount(*query, data))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,134 @@
+#include "sgm/core/enumerate/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include "sgm/core/filter/filter.h"
+#include "sgm/core/order/order.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+class EnumeratorTest : public ::testing::Test {
+ protected:
+  EnumeratorTest()
+      : query_(PaperQuery()),
+        data_(PaperData()),
+        filtered_(RunFilter(FilterMethod::kGraphQL, query_, data_)),
+        aux_(AuxStructure::BuildAllEdges(query_, data_,
+                                         filtered_.candidates)),
+        order_(GraphQlOrder(query_, filtered_.candidates)) {}
+
+  EnumerateStats Run(EnumerateOptions options) {
+    return Enumerate(query_, data_, filtered_.candidates, &aux_, order_,
+                     options);
+  }
+
+  Graph query_;
+  Graph data_;
+  FilterResult filtered_;
+  AuxStructure aux_;
+  std::vector<Vertex> order_;
+};
+
+TEST_F(EnumeratorTest, AllLocalCandidateMethodsAgree) {
+  for (const LocalCandidateMethod method :
+       {LocalCandidateMethod::kNeighborScan,
+        LocalCandidateMethod::kCandidateScan,
+        LocalCandidateMethod::kPivotIndex,
+        LocalCandidateMethod::kIntersect}) {
+    EnumerateOptions options;
+    options.lc_method = method;
+    options.restrict_neighbor_scan_to_candidates = true;
+    const EnumerateStats stats = Run(options);
+    EXPECT_EQ(stats.match_count, 2u) << LocalCandidateMethodName(method);
+    EXPECT_FALSE(stats.timed_out);
+    EXPECT_GT(stats.recursion_calls, 0u);
+  }
+}
+
+TEST_F(EnumeratorTest, AllIntersectionKernelsAgree) {
+  for (const IntersectionMethod kernel :
+       {IntersectionMethod::kMerge, IntersectionMethod::kGalloping,
+        IntersectionMethod::kHybrid, IntersectionMethod::kQFilter}) {
+    EnumerateOptions options;
+    options.intersection = kernel;
+    const EnumerateStats stats = Run(options);
+    EXPECT_EQ(stats.match_count, 2u) << IntersectionMethodName(kernel);
+  }
+}
+
+TEST_F(EnumeratorTest, FailingSetsPreserveCounts) {
+  EnumerateOptions options;
+  options.use_failing_sets = true;
+  const EnumerateStats stats = Run(options);
+  EXPECT_EQ(stats.match_count, 2u);
+}
+
+TEST_F(EnumeratorTest, MatchLimitStopsEarly) {
+  EnumerateOptions options;
+  options.max_matches = 1;
+  const EnumerateStats stats = Run(options);
+  EXPECT_EQ(stats.match_count, 1u);
+  EXPECT_TRUE(stats.reached_match_limit);
+}
+
+TEST_F(EnumeratorTest, CallbackCanStopEnumeration) {
+  EnumerateOptions options;
+  uint64_t seen = 0;
+  const EnumerateStats stats =
+      Enumerate(query_, data_, filtered_.candidates, &aux_, order_, options,
+                nullptr, [&](std::span<const Vertex>) {
+                  ++seen;
+                  return false;  // stop after the first match
+                });
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(stats.match_count, 1u);
+}
+
+TEST_F(EnumeratorTest, StatsTrackLocalCandidates) {
+  EnumerateOptions options;
+  const EnumerateStats stats = Run(options);
+  EXPECT_GT(stats.local_candidates_scanned, 0u);
+  EXPECT_GE(stats.enumeration_ms, 0.0);
+}
+
+TEST_F(EnumeratorTest, UnlimitedSettingsFindAll) {
+  EnumerateOptions options;
+  options.max_matches = 0;
+  options.time_limit_ms = 0;
+  const EnumerateStats stats = Run(options);
+  EXPECT_EQ(stats.match_count, 2u);
+  EXPECT_FALSE(stats.reached_match_limit);
+  EXPECT_FALSE(stats.timed_out);
+}
+
+TEST_F(EnumeratorTest, EveryOrderMethodYieldsSameCount) {
+  OrderInputs inputs;
+  inputs.candidates = &filtered_.candidates;
+  for (const OrderMethod method :
+       {OrderMethod::kQuickSI, OrderMethod::kGraphQL, OrderMethod::kCFL,
+        OrderMethod::kCECI, OrderMethod::kDPiso, OrderMethod::kRI,
+        OrderMethod::kVF2pp}) {
+    const auto order = ComputeOrder(method, query_, data_, inputs);
+    EnumerateOptions options;
+    const EnumerateStats stats = Enumerate(
+        query_, data_, filtered_.candidates, &aux_, order, options);
+    EXPECT_EQ(stats.match_count, 2u) << OrderMethodName(method);
+  }
+}
+
+TEST_F(EnumeratorTest, Vf2ppLookaheadPreservesCounts) {
+  EnumerateOptions options;
+  options.lc_method = LocalCandidateMethod::kNeighborScan;
+  options.restrict_neighbor_scan_to_candidates = true;
+  options.vf2pp_lookahead = true;
+  const EnumerateStats stats = Run(options);
+  EXPECT_EQ(stats.match_count, 2u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,159 @@
+// Tests for the extension features layered on the core framework:
+// subgraph containment, DP-iso's degree-one postponement, and GraphQL
+// profiles with radius > 1.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/core/filter/filter.h"
+#include "sgm/core/order/order.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "sgm/matcher.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::MakeGraph;
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+TEST(ContainsSubgraphTest, PositiveAndNegative) {
+  EXPECT_TRUE(ContainsSubgraph(PaperQuery(), PaperData()));
+  // No D-labeled vertex: containment fails.
+  const Graph no_d = MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}, {1, 2}});
+  EXPECT_FALSE(ContainsSubgraph(PaperQuery(), no_d));
+}
+
+TEST(ContainsSubgraphTest, AgreesWithBruteForceExistence) {
+  Prng prng(515);
+  for (int round = 0; round < 10; ++round) {
+    const Graph data = GenerateErdosRenyi(30, 90, 3, &prng);
+    const Graph query = GenerateErdosRenyi(4, 4, 3, &prng);
+    if (!IsConnected(query)) continue;
+    EXPECT_EQ(ContainsSubgraph(query, data),
+              BruteForceCount(query, data, 1) > 0)
+        << "round " << round;
+  }
+}
+
+TEST(CollectMatchesTest, MaterializesAllEmbeddings) {
+  MatchOptions options;
+  options.max_matches = 0;
+  const auto matches = CollectMatches(PaperQuery(), PaperData(), options);
+  ASSERT_EQ(matches.size(), 2u);
+  std::set<std::vector<Vertex>> actual(matches.begin(), matches.end());
+  const std::set<std::vector<Vertex>> expected = {{0, 4, 5, 12},
+                                                  {0, 2, 3, 10}};
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(CollectMatchesTest, RespectsCap) {
+  MatchOptions options;
+  options.max_matches = 1;
+  EXPECT_EQ(CollectMatches(PaperQuery(), PaperData(), options).size(), 1u);
+}
+
+TEST(PostponeDegreeOneTest, LeavesMoveToTheBack) {
+  // Star with center 0 and leaves 1..4 plus an edge 1-2 making 1,2 core.
+  const Graph query = MakeGraph(
+      {0, 0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}});
+  const std::vector<Vertex> order = {3, 0, 4, 1, 2};
+  ASSERT_TRUE(IsValidMatchingOrder(query, order));
+  const auto postponed = PostponeDegreeOneVertices(query, order);
+  ASSERT_TRUE(IsValidMatchingOrder(query, postponed));
+  // Degree-one vertices 3 and 4 must be the last two.
+  EXPECT_EQ(query.degree(postponed[3]), 1u);
+  EXPECT_EQ(query.degree(postponed[4]), 1u);
+}
+
+TEST(PostponeDegreeOneTest, NoLeavesIsIdentity) {
+  const Graph query = PaperQuery();  // 2-core == whole graph
+  const std::vector<Vertex> order = {0, 1, 2, 3};
+  EXPECT_EQ(PostponeDegreeOneVertices(query, order), order);
+}
+
+TEST(PostponeDegreeOneTest, ValidityOnRandomQueries) {
+  Prng prng(616);
+  const Graph data = GenerateErdosRenyi(200, 700, 4, &prng);
+  for (int round = 0; round < 10; ++round) {
+    const auto query = ExtractQuery(data, 10, QueryDensity::kSparse, &prng);
+    if (!query.has_value()) continue;
+    const FilterResult filtered = RunFilter(FilterMethod::kNLF, *query, data);
+    if (filtered.candidates.AnyEmpty()) continue;
+    const auto order = CeciOrder(*query, filtered.candidates);
+    const auto postponed = PostponeDegreeOneVertices(*query, order);
+    EXPECT_TRUE(IsValidMatchingOrder(*query, postponed)) << "round " << round;
+    // All degree-one vertices are behind all others.
+    bool seen_leaf = false;
+    for (const Vertex u : postponed) {
+      if (query->degree(u) == 1) {
+        seen_leaf = true;
+      } else {
+        EXPECT_FALSE(seen_leaf);
+      }
+    }
+  }
+}
+
+TEST(PostponeDegreeOneTest, MatchCountsUnchanged) {
+  Prng prng(717);
+  const Graph data = GenerateErdosRenyi(60, 200, 2, &prng);
+  const auto query = ExtractQuery(data, 7, QueryDensity::kSparse, &prng);
+  ASSERT_TRUE(query.has_value());
+  MatchOptions base = MatchOptions::Optimized(Algorithm::kGraphQL);
+  base.max_matches = 0;
+  MatchOptions postponed = base;
+  postponed.postpone_degree_one = true;
+  EXPECT_EQ(MatchQuery(*query, data, base).match_count,
+            MatchQuery(*query, data, postponed).match_count);
+}
+
+TEST(GraphQlProfileRadiusTest, RadiusTwoIsCompleteAndTighter) {
+  Prng prng(818);
+  for (int round = 0; round < 8; ++round) {
+    const Graph data = GenerateErdosRenyi(50, 150, 3, &prng);
+    const auto query = ExtractQuery(data, 5, QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+
+    FilterOptions r1;
+    r1.graphql_refinement_rounds = 0;
+    r1.graphql_profile_radius = 1;
+    FilterOptions r2 = r1;
+    r2.graphql_profile_radius = 2;
+    const FilterResult c1 = RunGraphQlFilter(*query, data, r1);
+    const FilterResult c2 = RunGraphQlFilter(*query, data, r2);
+
+    // Tighter: radius-2 candidates are a subset of radius-1 candidates.
+    for (Vertex u = 0; u < query->vertex_count(); ++u) {
+      EXPECT_LE(c2.candidates.Count(u), c1.candidates.Count(u));
+      for (const Vertex v : c2.candidates.candidates(u)) {
+        EXPECT_TRUE(c1.candidates.Contains(u, v));
+      }
+    }
+    // Complete: no matched vertex is pruned.
+    for (const auto& mapping : BruteForceMatches(*query, data)) {
+      for (Vertex u = 0; u < query->vertex_count(); ++u) {
+        EXPECT_TRUE(c2.candidates.Contains(u, mapping[u]))
+            << "radius-2 profile pruned a matched vertex, round " << round;
+      }
+    }
+  }
+}
+
+TEST(GraphQlProfileRadiusTest, PaperExampleUnaffectedAtRadiusOne) {
+  FilterOptions options;
+  options.graphql_profile_radius = 2;
+  options.graphql_refinement_rounds = 0;
+  const FilterResult result =
+      RunGraphQlFilter(PaperQuery(), PaperData(), options);
+  // Radius 2 must retain both true matches' vertices.
+  EXPECT_TRUE(result.candidates.Contains(1, 4));
+  EXPECT_TRUE(result.candidates.Contains(2, 5));
+  EXPECT_TRUE(result.candidates.Contains(3, 12));
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,110 @@
+#include "sgm/core/enumerate/failing_set.h"
+
+#include <gtest/gtest.h>
+
+#include "sgm/core/enumerate/enumerator.h"
+#include "sgm/core/filter/filter.h"
+#include "sgm/core/order/order.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::MakeGraph;
+
+TEST(QueryVertexSetTest, BitOperations) {
+  EXPECT_EQ(QuerySetBit(0), 1ull);
+  EXPECT_EQ(QuerySetBit(5), 32ull);
+  EXPECT_TRUE(QuerySetContains(QuerySetBit(3) | QuerySetBit(7), 3));
+  EXPECT_FALSE(QuerySetContains(QuerySetBit(3), 4));
+}
+
+TEST(QueryVertexSetTest, FullMask) {
+  EXPECT_EQ(QuerySetFull(1), 1ull);
+  EXPECT_EQ(QuerySetFull(4), 0xFull);
+  EXPECT_EQ(QuerySetFull(64), ~0ull);
+  for (Vertex u = 0; u < 64; ++u) {
+    EXPECT_TRUE(QuerySetContains(QuerySetFull(64), u));
+  }
+}
+
+// Example 3.5's structure: the subtree below an extension fails only
+// because of an injectivity conflict between vertices ordered before the
+// extension, so failing sets must skip the extension's siblings.
+TEST(FailingSetPruningTest, PrunesSiblingsOnConflict) {
+  // Query: u0(A)-u1(B), u0-u2(C), u1-u3(A). The data graph has exactly one
+  // A vertex v0, so u3 always conflicts with u0 — a failure that never
+  // involves u2, whose many candidate extensions are therefore prunable.
+  GraphBuilder builder;
+  const Vertex v0 = builder.AddVertex(0);  // the only A
+  for (int i = 0; i < 3; ++i) {
+    const Vertex b = builder.AddVertex(1);  // B, degree 2 to pass LDF
+    builder.AddEdge(v0, b);
+    builder.AddEdge(b, builder.AddVertex(3));  // inert pendant
+  }
+  for (int i = 0; i < 5; ++i) {
+    const Vertex c = builder.AddVertex(2);  // C
+    builder.AddEdge(v0, c);
+  }
+  const Graph data = builder.Build();
+
+  const Graph query = MakeGraph({0, 1, 2, 0}, {{0, 1}, {0, 2}, {1, 3}});
+
+  const FilterResult filtered = RunFilter(FilterMethod::kLDF, query, data);
+  ASSERT_FALSE(filtered.candidates.AnyEmpty());
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+  // Order u0, u1, u2, u3: the u2 loop runs over five C candidates, each of
+  // whose subtrees dies on the u3/u0 conflict.
+  const std::vector<Vertex> order = {0, 1, 2, 3};
+  ASSERT_TRUE(IsValidMatchingOrder(query, order));
+
+  EnumerateOptions without;
+  without.max_matches = 0;
+  EnumerateOptions with = without;
+  with.use_failing_sets = true;
+
+  const EnumerateStats stats_without =
+      Enumerate(query, data, filtered.candidates, &aux, order, without);
+  const EnumerateStats stats_with =
+      Enumerate(query, data, filtered.candidates, &aux, order, with);
+
+  EXPECT_EQ(stats_with.match_count, stats_without.match_count);
+  // The optimization must do strictly less work on this instance.
+  EXPECT_GT(stats_with.failing_set_prunes, 0u);
+  EXPECT_LT(stats_with.recursion_calls, stats_without.recursion_calls);
+}
+
+// Randomized equivalence: failing sets never change match counts, only the
+// amount of work.
+TEST(FailingSetPruningTest, RandomizedEquivalence) {
+  Prng prng(808);
+  for (int round = 0; round < 10; ++round) {
+    const Graph data = GenerateErdosRenyi(40, 160, 2, &prng);
+    const auto query = ExtractQuery(data, 7, QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+    const FilterResult filtered =
+        RunFilter(FilterMethod::kGraphQL, *query, data);
+    if (filtered.candidates.AnyEmpty()) continue;
+    const AuxStructure aux =
+        AuxStructure::BuildAllEdges(*query, data, filtered.candidates);
+    const auto order = GraphQlOrder(*query, filtered.candidates);
+
+    EnumerateOptions without;
+    without.max_matches = 0;
+    EnumerateOptions with = without;
+    with.use_failing_sets = true;
+
+    const EnumerateStats a =
+        Enumerate(*query, data, filtered.candidates, &aux, order, without);
+    const EnumerateStats b =
+        Enumerate(*query, data, filtered.candidates, &aux, order, with);
+    EXPECT_EQ(a.match_count, b.match_count) << "round " << round;
+    EXPECT_LE(b.recursion_calls, a.recursion_calls) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace sgm

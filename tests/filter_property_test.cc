@@ -1,0 +1,68 @@
+// Property tests of the central filter invariant: completeness
+// (Definition 2.2 — no filter may prune a data vertex that participates in
+// a match). Cross-validated against the brute-force enumerator on random
+// graphs, parameterized over every filtering method.
+#include <gtest/gtest.h>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/core/filter/filter.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/graph_utils.h"
+#include "sgm/graph/query_generator.h"
+
+namespace sgm {
+namespace {
+
+class FilterCompletenessTest
+    : public ::testing::TestWithParam<FilterMethod> {};
+
+TEST_P(FilterCompletenessTest, NeverPrunesMatchedVertices) {
+  Prng prng(2024);
+  for (int round = 0; round < 12; ++round) {
+    const Graph data = GenerateErdosRenyi(
+        60, 150 + static_cast<uint32_t>(prng.NextBounded(150)),
+        1 + static_cast<uint32_t>(prng.NextBounded(4)), &prng);
+    const auto query =
+        ExtractQuery(data, 4 + static_cast<uint32_t>(prng.NextBounded(3)),
+                     QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+
+    const FilterResult result = RunFilter(GetParam(), *query, data);
+    const auto matches = BruteForceMatches(*query, data);
+    ASSERT_FALSE(matches.empty());  // extracted queries always match
+    for (const auto& mapping : matches) {
+      for (Vertex u = 0; u < query->vertex_count(); ++u) {
+        EXPECT_TRUE(result.candidates.Contains(u, mapping[u]))
+            << FilterMethodName(GetParam()) << " pruned matched vertex "
+            << mapping[u] << " from C(" << u << ") in round " << round;
+      }
+    }
+  }
+}
+
+TEST_P(FilterCompletenessTest, EmptySetOnlyWhenNoMatch) {
+  Prng prng(777);
+  for (int round = 0; round < 12; ++round) {
+    const Graph data = GenerateErdosRenyi(40, 120, 3, &prng);
+    // Random (not extracted) queries frequently have no match; when a filter
+    // empties a candidate set, the brute force must agree there is none.
+    const Graph query = GenerateErdosRenyi(4, 5, 3, &prng);
+    if (!IsConnected(query)) continue;
+    const FilterResult result = RunFilter(GetParam(), query, data);
+    if (result.candidates.AnyEmpty()) {
+      EXPECT_EQ(BruteForceCount(query, data, 1), 0u)
+          << FilterMethodName(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, FilterCompletenessTest,
+    ::testing::Values(FilterMethod::kLDF, FilterMethod::kNLF,
+                      FilterMethod::kGraphQL, FilterMethod::kCFL,
+                      FilterMethod::kCECI, FilterMethod::kDPiso,
+                      FilterMethod::kSteady),
+    [](const auto& info) { return FilterMethodName(info.param); });
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,160 @@
+#include "sgm/core/filter/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::MakeGraph;
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+std::vector<Vertex> AsVector(std::span<const Vertex> span) {
+  return {span.begin(), span.end()};
+}
+
+TEST(LdfFilterTest, LabelAndDegreeSemantics) {
+  // Query vertex: label 0, degree 2.
+  const Graph query = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});
+  // Data: v0 label 0 degree 2 (ok), v3 label 0 degree 1 (too small),
+  // v4 label 1 (wrong label).
+  const Graph data =
+      MakeGraph({0, 1, 1, 0, 1}, {{0, 1}, {0, 2}, {3, 1}});
+  const CandidateSets ldf = BuildLdfCandidates(query, data);
+  EXPECT_EQ(AsVector(ldf.candidates(0)), (std::vector<Vertex>{0}));
+}
+
+TEST(LdfFilterTest, LabelAbsentFromDataGivesEmptySet) {
+  const Graph query = MakeGraph({5, 5, 5}, {{0, 1}, {1, 2}});
+  const Graph data = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  const CandidateSets ldf = BuildLdfCandidates(query, data);
+  EXPECT_TRUE(ldf.AnyEmpty());
+}
+
+TEST(NlfFilterTest, NeighborLabelCountsMatter) {
+  // u0 (label 0) has two label-1 neighbors.
+  const Graph query = MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}});
+  // v0: two label-1 neighbors (passes). v3: one label-1 and one label-2
+  // neighbor (fails NLF despite matching degree).
+  const Graph data = MakeGraph({0, 1, 1, 0, 1, 2},
+                               {{0, 1}, {0, 2}, {3, 4}, {3, 5}});
+  const CandidateSets nlf = BuildNlfCandidates(query, data);
+  EXPECT_EQ(AsVector(nlf.candidates(0)), (std::vector<Vertex>{0}));
+  const CandidateSets ldf = BuildLdfCandidates(query, data);
+  EXPECT_EQ(ldf.Count(0), 2u);  // LDF alone keeps both
+}
+
+TEST(FilterTest, NlfSubsetOfLdf) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  const CandidateSets ldf = BuildLdfCandidates(query, data);
+  const CandidateSets nlf = BuildNlfCandidates(query, data);
+  for (Vertex u = 0; u < query.vertex_count(); ++u) {
+    for (const Vertex v : nlf.candidates(u)) {
+      EXPECT_TRUE(ldf.Contains(u, v));
+    }
+  }
+}
+
+TEST(FilterTest, AdvancedFiltersSubsetOfNlf) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  const CandidateSets nlf = BuildNlfCandidates(query, data);
+  for (const FilterMethod method :
+       {FilterMethod::kCFL, FilterMethod::kCECI, FilterMethod::kDPiso,
+        FilterMethod::kSteady}) {
+    const FilterResult result = RunFilter(method, query, data);
+    for (Vertex u = 0; u < query.vertex_count(); ++u) {
+      for (const Vertex v : result.candidates.candidates(u)) {
+        EXPECT_TRUE(nlf.Contains(u, v))
+            << FilterMethodName(method) << " kept non-NLF candidate " << v;
+      }
+    }
+  }
+}
+
+TEST(FilterTest, SteadyIsAtLeastAsTightAsBoundedRefinements) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  const FilterResult steady = RunFilter(FilterMethod::kSteady, query, data);
+  for (const FilterMethod method :
+       {FilterMethod::kCFL, FilterMethod::kCECI, FilterMethod::kDPiso}) {
+    const FilterResult result = RunFilter(method, query, data);
+    EXPECT_LE(steady.candidates.TotalCount(), result.candidates.TotalCount())
+        << FilterMethodName(method);
+  }
+}
+
+TEST(FilterTest, TreeBuildingFiltersReportTree) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  for (const FilterMethod method :
+       {FilterMethod::kCFL, FilterMethod::kCECI, FilterMethod::kDPiso}) {
+    const FilterResult result = RunFilter(method, query, data);
+    ASSERT_TRUE(result.bfs_tree.has_value()) << FilterMethodName(method);
+    EXPECT_EQ(result.bfs_tree->order.size(), query.vertex_count());
+  }
+  const FilterResult gql = RunFilter(FilterMethod::kGraphQL, query, data);
+  EXPECT_FALSE(gql.bfs_tree.has_value());
+}
+
+TEST(FilterTest, CandidateSetsAreSorted) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  for (const FilterMethod method :
+       {FilterMethod::kLDF, FilterMethod::kNLF, FilterMethod::kGraphQL,
+        FilterMethod::kCFL, FilterMethod::kCECI, FilterMethod::kDPiso,
+        FilterMethod::kSteady}) {
+    const FilterResult result = RunFilter(method, query, data);
+    for (Vertex u = 0; u < query.vertex_count(); ++u) {
+      const auto cands = result.candidates.candidates(u);
+      EXPECT_TRUE(std::is_sorted(cands.begin(), cands.end()))
+          << FilterMethodName(method);
+    }
+  }
+}
+
+TEST(FilterTest, PruneByNeighborConstraint) {
+  const Graph data = PaperData();
+  std::vector<uint8_t> scratch(data.vertex_count(), 0);
+  // Candidates {v2, v4, v6}; constraint set {v1, v3, v5}: v6 has no neighbor
+  // there.
+  std::vector<Vertex> candidates = {2, 4, 6};
+  const std::vector<Vertex> constraint = {1, 3, 5};
+  EXPECT_TRUE(
+      PruneByNeighborConstraint(data, &candidates, constraint, &scratch));
+  EXPECT_EQ(candidates, (std::vector<Vertex>{2, 4}));
+  // Second application changes nothing.
+  EXPECT_FALSE(
+      PruneByNeighborConstraint(data, &candidates, constraint, &scratch));
+  // Scratch is restored to all-zero.
+  for (const uint8_t flag : scratch) EXPECT_EQ(flag, 0);
+}
+
+TEST(FilterTest, GraphQlRefinementRoundsAreConfigurable) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  FilterOptions one_round;
+  one_round.graphql_refinement_rounds = 1;
+  FilterOptions zero_rounds;
+  zero_rounds.graphql_refinement_rounds = 0;
+  const FilterResult local_only =
+      RunFilter(FilterMethod::kGraphQL, query, data, zero_rounds);
+  const FilterResult refined =
+      RunFilter(FilterMethod::kGraphQL, query, data, one_round);
+  EXPECT_GE(local_only.candidates.TotalCount(),
+            refined.candidates.TotalCount());
+}
+
+TEST(FilterTest, MethodNames) {
+  EXPECT_STREQ(FilterMethodName(FilterMethod::kLDF), "LDF");
+  EXPECT_STREQ(FilterMethodName(FilterMethod::kGraphQL), "GQL");
+  EXPECT_STREQ(FilterMethodName(FilterMethod::kSteady), "STEADY");
+}
+
+}  // namespace
+}  // namespace sgm

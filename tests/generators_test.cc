@@ -1,0 +1,116 @@
+#include "sgm/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sgm/graph/graph_utils.h"
+
+namespace sgm {
+namespace {
+
+TEST(GeneratorsTest, RmatProducesRequestedCounts) {
+  Prng prng(42);
+  const Graph graph = GenerateRmat(1000, 5000, 8, &prng);
+  EXPECT_EQ(graph.vertex_count(), 1000u);
+  EXPECT_EQ(graph.edge_count(), 5000u);
+  EXPECT_LE(graph.label_count(), 8u);
+}
+
+TEST(GeneratorsTest, RmatIsDeterministic) {
+  Prng a(7), b(7);
+  const Graph ga = GenerateRmat(500, 2000, 4, &a);
+  const Graph gb = GenerateRmat(500, 2000, 4, &b);
+  ASSERT_EQ(ga.edge_count(), gb.edge_count());
+  for (Vertex v = 0; v < ga.vertex_count(); ++v) {
+    EXPECT_EQ(ga.label(v), gb.label(v));
+    const auto na = ga.neighbors(v);
+    const auto nb = gb.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  // Power-law generators concentrate edges: the maximum degree should far
+  // exceed the average.
+  Prng prng(3);
+  const Graph graph = GenerateRmat(4096, 32768, 4, &prng);
+  EXPECT_GT(graph.max_degree(), 4 * graph.average_degree());
+}
+
+TEST(GeneratorsTest, ErdosRenyiProducesRequestedCounts) {
+  Prng prng(11);
+  const Graph graph = GenerateErdosRenyi(2000, 8000, 16, &prng);
+  EXPECT_EQ(graph.vertex_count(), 2000u);
+  EXPECT_EQ(graph.edge_count(), 8000u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiIsRoughlyUniform) {
+  Prng prng(13);
+  const Graph graph = GenerateErdosRenyi(4096, 32768, 4, &prng);
+  // Uniform random graphs have light tails: max degree stays within a small
+  // multiple of the average (16 here).
+  EXPECT_LT(graph.max_degree(), 4 * graph.average_degree());
+}
+
+TEST(GeneratorsTest, LabelsCoverRange) {
+  Prng prng(5);
+  const Graph graph = GenerateErdosRenyi(5000, 10000, 8, &prng);
+  std::vector<bool> seen(8, false);
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    ASSERT_LT(graph.label(v), 8u);
+    seen[graph.label(v)] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(GeneratorsTest, RelabelUniformKeepsStructure) {
+  Prng prng(17);
+  const Graph graph = GenerateErdosRenyi(300, 900, 4, &prng);
+  const Graph relabeled = RelabelUniform(graph, 32, &prng);
+  EXPECT_EQ(relabeled.vertex_count(), graph.vertex_count());
+  EXPECT_EQ(relabeled.edge_count(), graph.edge_count());
+  EXPECT_LE(relabeled.label_count(), 32u);
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    const auto a = graph.neighbors(v);
+    const auto b = relabeled.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+  }
+}
+
+TEST(GeneratorsTest, RelabelSkewedConcentratesLabelZero) {
+  Prng prng(19);
+  const Graph graph = GenerateErdosRenyi(5000, 15000, 4, &prng);
+  const Graph skewed = RelabelSkewed(graph, 5, 0.8, &prng);
+  EXPECT_EQ(skewed.edge_count(), graph.edge_count());
+  EXPECT_LE(skewed.label_count(), 5u);
+  const double zero_fraction =
+      static_cast<double>(skewed.LabelFrequency(0)) / skewed.vertex_count();
+  EXPECT_NEAR(zero_fraction, 0.8, 0.03);
+}
+
+TEST(GeneratorsTest, SampleEdgesRatioIsRespected) {
+  Prng prng(23);
+  const Graph graph = GenerateErdosRenyi(1000, 20000, 4, &prng);
+  const Graph sampled = SampleEdges(graph, 0.5, &prng);
+  EXPECT_EQ(sampled.vertex_count(), graph.vertex_count());
+  // Binomial(20000, 0.5): stay within 5 sigma (~350).
+  EXPECT_NEAR(sampled.edge_count(), 10000.0, 400.0);
+  // Every sampled edge exists in the original.
+  for (Vertex v = 0; v < sampled.vertex_count(); ++v) {
+    for (const Vertex w : sampled.neighbors(v)) {
+      EXPECT_TRUE(graph.HasEdge(v, w));
+    }
+  }
+}
+
+TEST(GeneratorsTest, SampleEdgesExtremes) {
+  Prng prng(29);
+  const Graph graph = GenerateErdosRenyi(100, 500, 4, &prng);
+  EXPECT_EQ(SampleEdges(graph, 1.0, &prng).edge_count(), 500u);
+  EXPECT_EQ(SampleEdges(graph, 0.0, &prng).edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,124 @@
+#include "sgm/glasgow/glasgow.h"
+
+#include <gtest/gtest.h>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+TEST(GlasgowTest, FindsPaperExampleMatches) {
+  const GlasgowResult result = GlasgowMatch(PaperQuery(), PaperData());
+  EXPECT_EQ(result.status, GlasgowStatus::kComplete);
+  EXPECT_EQ(result.match_count, 2u);
+  EXPECT_GT(result.search_nodes, 0u);
+}
+
+TEST(GlasgowTest, AgreesWithBruteForceOnRandomInputs) {
+  Prng prng(6060);
+  for (int round = 0; round < 10; ++round) {
+    const Graph data = GenerateErdosRenyi(
+        40, 120 + static_cast<uint32_t>(prng.NextBounded(80)),
+        1 + static_cast<uint32_t>(prng.NextBounded(4)), &prng);
+    const auto query = ExtractQuery(
+        data, 4 + static_cast<uint32_t>(prng.NextBounded(3)),
+        QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+    GlasgowOptions options;
+    options.max_matches = 0;
+    options.time_limit_ms = 0;
+    const GlasgowResult result = GlasgowMatch(*query, data, options);
+    EXPECT_EQ(result.status, GlasgowStatus::kComplete);
+    EXPECT_EQ(result.match_count, BruteForceCount(*query, data))
+        << "round " << round;
+  }
+}
+
+TEST(GlasgowTest, SupplementalGraphsPreserveCounts) {
+  Prng prng(6161);
+  const Graph data = GenerateErdosRenyi(50, 250, 2, &prng);
+  const auto query = ExtractQuery(data, 5, QueryDensity::kAny, &prng);
+  ASSERT_TRUE(query.has_value());
+  GlasgowOptions with;
+  with.max_matches = 0;
+  GlasgowOptions without = with;
+  without.use_supplemental_graphs = false;
+  const GlasgowResult a = GlasgowMatch(*query, data, with);
+  const GlasgowResult b = GlasgowMatch(*query, data, without);
+  EXPECT_EQ(a.match_count, b.match_count);
+}
+
+TEST(GlasgowTest, MatchLimit) {
+  Prng prng(6262);
+  const Graph data = GenerateErdosRenyi(60, 400, 1, &prng);
+  const Graph query = ::sgm::testing::TriangleQuery();
+  GlasgowOptions options;
+  options.max_matches = 5;
+  const GlasgowResult result = GlasgowMatch(query, data, options);
+  if (result.status == GlasgowStatus::kMatchLimit) {
+    EXPECT_EQ(result.match_count, 5u);
+  } else {
+    EXPECT_LT(result.match_count, 5u);
+  }
+}
+
+TEST(GlasgowTest, OutOfMemoryOnLargeGraphs) {
+  // A 10k-vertex graph needs ~37.5 MB for three bit-parallel relations;
+  // with a 10 MB budget the solver must refuse up front.
+  Prng prng(6363);
+  const Graph data = GenerateErdosRenyi(10000, 20000, 4, &prng);
+  const auto query = ExtractQuery(data, 4, QueryDensity::kAny, &prng);
+  ASSERT_TRUE(query.has_value());
+  GlasgowOptions options;
+  options.memory_limit_bytes = 10 * 1024 * 1024;
+  const GlasgowResult result = GlasgowMatch(*query, data, options);
+  EXPECT_EQ(result.status, GlasgowStatus::kOutOfMemory);
+  EXPECT_EQ(result.match_count, 0u);
+  EXPECT_GT(result.estimated_relation_bytes, options.memory_limit_bytes);
+}
+
+TEST(GlasgowTest, MemoryEstimateScalesQuadratically) {
+  Prng prng(6464);
+  const Graph small = GenerateErdosRenyi(100, 300, 2, &prng);
+  const Graph large = GenerateErdosRenyi(1000, 3000, 2, &prng);
+  const Graph query = ::sgm::testing::TriangleQuery(0);
+  GlasgowOptions options;
+  options.max_matches = 1;
+  const auto a = GlasgowMatch(query, small, options);
+  const auto b = GlasgowMatch(query, large, options);
+  EXPECT_GT(b.estimated_relation_bytes, 50 * a.estimated_relation_bytes);
+}
+
+TEST(GlasgowTest, CallbackStopsSearch) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  uint64_t seen = 0;
+  const GlasgowResult result = GlasgowMatch(
+      query, data, GlasgowOptions{}, [&](std::span<const Vertex> mapping) {
+        ++seen;
+        // Validate the embedding.
+        for (Vertex u = 0; u < query.vertex_count(); ++u) {
+          EXPECT_EQ(query.label(u), data.label(mapping[u]));
+          for (const Vertex w : query.neighbors(u)) {
+            EXPECT_TRUE(data.HasEdge(mapping[u], mapping[w]));
+          }
+        }
+        return false;
+      });
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(result.match_count, 1u);
+}
+
+TEST(GlasgowTest, StatusNames) {
+  EXPECT_STREQ(GlasgowStatusName(GlasgowStatus::kComplete), "complete");
+  EXPECT_STREQ(GlasgowStatusName(GlasgowStatus::kOutOfMemory), "oom");
+}
+
+}  // namespace
+}  // namespace sgm

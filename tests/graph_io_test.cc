@@ -1,0 +1,103 @@
+#include "sgm/graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+
+TEST(GraphIoTest, RoundTripPreservesGraph) {
+  const Graph original = PaperData();
+  std::stringstream stream;
+  WriteGraph(original, stream);
+  std::string error;
+  const auto loaded = ReadGraph(stream, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->vertex_count(), original.vertex_count());
+  ASSERT_EQ(loaded->edge_count(), original.edge_count());
+  for (Vertex v = 0; v < original.vertex_count(); ++v) {
+    EXPECT_EQ(loaded->label(v), original.label(v));
+    const auto a = original.neighbors(v);
+    const auto b = loaded->neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GraphIoTest, ParsesCommentsAndWhitespace) {
+  std::stringstream stream(
+      "# a comment\n"
+      "t 3 2\n"
+      "% another comment\n"
+      "v 0 7 1\n"
+      "v 1 8 2\n"
+      "v 2 7 1\n"
+      "\n"
+      "e 0 1\n"
+      "e 1 2\n");
+  std::string error;
+  const auto graph = ReadGraph(stream, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->vertex_count(), 3u);
+  EXPECT_EQ(graph->edge_count(), 2u);
+  EXPECT_EQ(graph->label(1), 8u);
+}
+
+TEST(GraphIoTest, RejectsMissingHeader) {
+  std::stringstream records_before_header("v 0 1 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadGraph(records_before_header, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::stringstream empty_input("# only a comment\n");
+  EXPECT_FALSE(ReadGraph(empty_input, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsEdgeCountMismatch) {
+  std::stringstream stream("t 2 2\nv 0 0 1\nv 1 0 1\ne 0 1\n");
+  std::string error;
+  EXPECT_FALSE(ReadGraph(stream, &error).has_value());
+  EXPECT_NE(error.find("mismatch"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsBadVertexId) {
+  std::stringstream stream("t 2 1\nv 0 0 1\nv 5 0 1\ne 0 1\n");
+  std::string error;
+  EXPECT_FALSE(ReadGraph(stream, &error).has_value());
+}
+
+TEST(GraphIoTest, RejectsSelfLoopEdge) {
+  std::stringstream stream("t 2 1\nv 0 0 0\nv 1 0 0\ne 1 1\n");
+  std::string error;
+  EXPECT_FALSE(ReadGraph(stream, &error).has_value());
+}
+
+TEST(GraphIoTest, RejectsUnknownRecord) {
+  std::stringstream stream("t 1 0\nv 0 0 0\nx 1 2\n");
+  std::string error;
+  EXPECT_FALSE(ReadGraph(stream, &error).has_value());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  const Graph original = PaperData();
+  const std::string path = ::testing::TempDir() + "/sgm_io_test.graph";
+  std::string error;
+  ASSERT_TRUE(SaveGraphFile(original, path, &error)) << error;
+  const auto loaded = LoadGraphFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->edge_count(), original.edge_count());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(LoadGraphFile("/nonexistent/path.graph", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,83 @@
+#include "sgm/graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sgm/graph/graph_builder.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::MakeGraph;
+
+Graph CompleteGraph(uint32_t n) {
+  GraphBuilder builder(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+TEST(GraphStatsTest, TriangleCounts) {
+  EXPECT_EQ(CountTriangles(CompleteGraph(3)), 1u);
+  EXPECT_EQ(CountTriangles(CompleteGraph(4)), 4u);   // C(4,3)
+  EXPECT_EQ(CountTriangles(CompleteGraph(6)), 20u);  // C(6,3)
+  // A path has none.
+  EXPECT_EQ(CountTriangles(MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}})), 0u);
+  // Two triangles sharing an edge.
+  const Graph bowtie = MakeGraph({0, 0, 0, 0},
+                                 {{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(CountTriangles(bowtie), 2u);
+}
+
+TEST(GraphStatsTest, ClusteringOfCompleteGraphIsOne) {
+  const GraphStats stats = ComputeGraphStats(CompleteGraph(6));
+  EXPECT_DOUBLE_EQ(stats.global_clustering, 1.0);
+}
+
+TEST(GraphStatsTest, ClusteringOfTreeIsZero) {
+  const Graph star = MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}});
+  const GraphStats stats = ComputeGraphStats(star);
+  EXPECT_DOUBLE_EQ(stats.global_clustering, 0.0);
+  EXPECT_EQ(stats.triangle_count, 0u);
+}
+
+TEST(GraphStatsTest, LabelHistogramAndEntropy) {
+  const Graph graph = MakeGraph({0, 0, 1, 1}, {{0, 1}, {1, 2}, {2, 3}});
+  const auto histogram = LabelHistogram(graph);
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[0], 2u);
+  EXPECT_EQ(histogram[1], 2u);
+  const GraphStats stats = ComputeGraphStats(graph);
+  EXPECT_NEAR(stats.label_entropy_bits, 1.0, 1e-12);  // uniform over 2
+}
+
+TEST(GraphStatsTest, SingleLabelEntropyIsZero) {
+  const GraphStats stats =
+      ComputeGraphStats(MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}}));
+  EXPECT_DOUBLE_EQ(stats.label_entropy_bits, 0.0);
+}
+
+TEST(GraphStatsTest, DegreeSummaries) {
+  // Star: center degree 4, leaves degree 1.
+  const Graph star =
+      MakeGraph({0, 0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const GraphStats stats = ComputeGraphStats(star);
+  EXPECT_EQ(stats.max_degree, 4u);
+  EXPECT_EQ(stats.median_degree, 1u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 8.0 / 5.0);
+}
+
+TEST(GraphStatsTest, PaperDataStats) {
+  const GraphStats stats = ComputeGraphStats(::sgm::testing::PaperData());
+  EXPECT_EQ(stats.vertex_count, 13u);
+  EXPECT_EQ(stats.edge_count, 17u);
+  // Triangles by inspection: {v0,v1,v2}, {v0,v2,v3}, {v0,v4,v5},
+  // {v2,v3,v10}, {v4,v5,v12}.
+  EXPECT_EQ(stats.triangle_count, 5u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,140 @@
+#include "sgm/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "sgm/graph/graph_builder.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::MakeGraph;
+using ::sgm::testing::PaperData;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph graph;
+  EXPECT_EQ(graph.vertex_count(), 0u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.label_count(), 0u);
+  EXPECT_DOUBLE_EQ(graph.average_degree(), 0.0);
+}
+
+TEST(GraphTest, BasicCounts) {
+  const Graph graph = MakeGraph({0, 1, 0}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(graph.vertex_count(), 3u);
+  EXPECT_EQ(graph.edge_count(), 2u);
+  EXPECT_EQ(graph.label_count(), 2u);
+  EXPECT_EQ(graph.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(graph.average_degree(), 4.0 / 3.0);
+}
+
+TEST(GraphTest, DegreesAndNeighborsSorted) {
+  const Graph graph = MakeGraph({0, 0, 0, 0}, {{2, 0}, {3, 0}, {1, 0}});
+  EXPECT_EQ(graph.degree(0), 3u);
+  EXPECT_EQ(graph.degree(1), 1u);
+  const auto nbrs = graph.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(GraphTest, HasEdgeBothDirections) {
+  const Graph graph = MakeGraph({0, 0, 0}, {{0, 1}});
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_TRUE(graph.HasEdge(1, 0));
+  EXPECT_FALSE(graph.HasEdge(0, 2));
+  EXPECT_FALSE(graph.HasEdge(2, 1));
+}
+
+TEST(GraphTest, LabelIndex) {
+  const Graph graph = MakeGraph({1, 0, 1, 0, 1}, {{0, 1}});
+  const auto zeros = graph.VerticesWithLabel(0);
+  ASSERT_EQ(zeros.size(), 2u);
+  EXPECT_EQ(zeros[0], 1u);
+  EXPECT_EQ(zeros[1], 3u);
+  const auto ones = graph.VerticesWithLabel(1);
+  ASSERT_EQ(ones.size(), 3u);
+  EXPECT_EQ(graph.LabelFrequency(0), 2u);
+  EXPECT_EQ(graph.LabelFrequency(1), 3u);
+  EXPECT_EQ(graph.max_label_frequency(), 3u);
+}
+
+TEST(GraphTest, NeighborLabelFrequency) {
+  // v0 has neighbors labeled 1, 1, 2.
+  const Graph graph = MakeGraph({0, 1, 1, 2}, {{0, 1}, {0, 2}, {0, 3}});
+  const auto nlf = graph.NeighborLabelFrequency(0);
+  ASSERT_EQ(nlf.size(), 2u);
+  EXPECT_EQ(nlf[0].label, 1u);
+  EXPECT_EQ(nlf[0].count, 2u);
+  EXPECT_EQ(nlf[1].label, 2u);
+  EXPECT_EQ(nlf[1].count, 1u);
+  EXPECT_EQ(graph.NeighborCountWithLabel(0, 1), 2u);
+  EXPECT_EQ(graph.NeighborCountWithLabel(0, 2), 1u);
+  EXPECT_EQ(graph.NeighborCountWithLabel(0, 0), 0u);
+  EXPECT_EQ(graph.NeighborCountWithLabel(1, 0), 1u);
+}
+
+TEST(GraphTest, PaperDataShape) {
+  const Graph data = PaperData();
+  EXPECT_EQ(data.vertex_count(), 13u);
+  EXPECT_EQ(data.edge_count(), 17u);
+  EXPECT_EQ(data.label_count(), 4u);
+  EXPECT_EQ(data.degree(0), 6u);
+  EXPECT_TRUE(data.HasEdge(4, 12));
+  EXPECT_FALSE(data.HasEdge(6, 12));
+}
+
+TEST(GraphTest, MemoryBytesNonZero) {
+  const Graph data = PaperData();
+  EXPECT_GT(data.MemoryBytes(), 0u);
+}
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.AddEdge(0, 1));
+  EXPECT_FALSE(builder.AddEdge(0, 1));
+  EXPECT_FALSE(builder.AddEdge(1, 0));
+  EXPECT_EQ(builder.edge_count(), 1u);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoops) {
+  GraphBuilder builder(2);
+  EXPECT_FALSE(builder.AddEdge(1, 1));
+  EXPECT_EQ(builder.edge_count(), 0u);
+}
+
+TEST(GraphBuilderTest, HasEdgeTracksInsertions) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.HasEdge(0, 2));
+  builder.AddEdge(0, 2);
+  EXPECT_TRUE(builder.HasEdge(0, 2));
+  EXPECT_TRUE(builder.HasEdge(2, 0));
+}
+
+TEST(GraphBuilderTest, SetLabelAndBuild) {
+  GraphBuilder builder;
+  const Vertex a = builder.AddVertex(5);
+  const Vertex b = builder.AddVertex(2);
+  builder.SetLabel(a, 1);
+  builder.AddEdge(a, b);
+  const Graph graph = builder.Build();
+  EXPECT_EQ(graph.label(a), 1u);
+  EXPECT_EQ(graph.label(b), 2u);
+  EXPECT_EQ(graph.label_count(), 3u);  // labels dense up to max used + 1
+}
+
+TEST(GraphBuilderTest, BuilderReusableAfterBuild) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  const Graph first = builder.Build();
+  builder.AddVertex(0);
+  builder.AddEdge(1, 2);
+  const Graph second = builder.Build();
+  EXPECT_EQ(first.vertex_count(), 2u);
+  EXPECT_EQ(second.vertex_count(), 3u);
+  EXPECT_EQ(second.edge_count(), 2u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,142 @@
+#include "sgm/graph/graph_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::MakeGraph;
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+TEST(GraphUtilsTest, ConnectivityDetection) {
+  EXPECT_TRUE(IsConnected(MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}})));
+  EXPECT_FALSE(IsConnected(MakeGraph({0, 0, 0}, {{0, 1}})));
+  EXPECT_TRUE(IsConnected(PaperData()));
+}
+
+TEST(GraphUtilsTest, BfsTreeOfPaperQuery) {
+  const Graph query = PaperQuery();
+  const BfsTree tree = BuildBfsTree(query, 0);
+  EXPECT_EQ(tree.root, 0u);
+  ASSERT_EQ(tree.order.size(), 4u);
+  EXPECT_EQ(tree.order[0], 0u);
+  EXPECT_EQ(tree.order[1], 1u);
+  EXPECT_EQ(tree.order[2], 2u);
+  EXPECT_EQ(tree.order[3], 3u);
+  EXPECT_EQ(tree.parent[0], kInvalidVertex);
+  EXPECT_EQ(tree.parent[1], 0u);
+  EXPECT_EQ(tree.parent[2], 0u);
+  EXPECT_EQ(tree.parent[3], 1u);  // u3 discovered from u1
+  EXPECT_EQ(tree.level[0], 0u);
+  EXPECT_EQ(tree.level[3], 2u);
+  EXPECT_EQ(tree.depth(), 3u);
+  ASSERT_EQ(tree.children[0].size(), 2u);
+}
+
+TEST(GraphUtilsTest, BfsTreeLevelsConsistent) {
+  const Graph data = PaperData();
+  const BfsTree tree = BuildBfsTree(data, 0);
+  for (Vertex v = 0; v < data.vertex_count(); ++v) {
+    if (tree.parent[v] != kInvalidVertex) {
+      EXPECT_EQ(tree.level[v], tree.level[tree.parent[v]] + 1);
+      EXPECT_TRUE(data.HasEdge(v, tree.parent[v]));
+    }
+  }
+}
+
+TEST(GraphUtilsTest, TwoCoreOfTriangleWithTail) {
+  // Triangle 0-1-2 plus a tail 2-3-4: only the triangle is in the 2-core.
+  const Graph graph =
+      MakeGraph({0, 0, 0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  const auto core = TwoCoreMembership(graph);
+  EXPECT_TRUE(core[0]);
+  EXPECT_TRUE(core[1]);
+  EXPECT_TRUE(core[2]);
+  EXPECT_FALSE(core[3]);
+  EXPECT_FALSE(core[4]);
+  EXPECT_EQ(TwoCoreSize(graph), 3u);
+}
+
+TEST(GraphUtilsTest, TwoCoreOfTreeIsEmpty) {
+  const Graph tree = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {1, 3}});
+  EXPECT_EQ(TwoCoreSize(tree), 0u);
+}
+
+TEST(GraphUtilsTest, TwoCoreOfCycleIsEverything) {
+  const Graph cycle =
+      MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(TwoCoreSize(cycle), 4u);
+}
+
+TEST(GraphUtilsTest, PaperQueryIsItsOwnTwoCore) {
+  EXPECT_EQ(TwoCoreSize(PaperQuery()), 4u);
+}
+
+TEST(GraphUtilsTest, InducedSubgraph) {
+  const Graph data = PaperData();
+  std::vector<Vertex> mapping;
+  const std::vector<Vertex> selection = {0, 4, 5, 12};
+  const Graph sub = InducedSubgraph(data, selection, &mapping);
+  EXPECT_EQ(sub.vertex_count(), 4u);
+  // v0-v4, v0-v5, v4-v5, v4-v12, v5-v12 are induced; v0-v12 is not an edge.
+  EXPECT_EQ(sub.edge_count(), 5u);
+  EXPECT_EQ(sub.label(0), data.label(0));
+  EXPECT_EQ(sub.label(3), data.label(12));
+  EXPECT_EQ(mapping[12], 3u);
+  EXPECT_EQ(mapping[1], kInvalidVertex);
+  EXPECT_TRUE(sub.HasEdge(mapping[4], mapping[12]));
+  EXPECT_FALSE(sub.HasEdge(mapping[0], mapping[12]));
+}
+
+TEST(GraphUtilsTest, LargestConnectedComponent) {
+  // Two components: a triangle (3 vertices) and an edge (2 vertices).
+  const Graph graph =
+      MakeGraph({0, 0, 0, 1, 1}, {{0, 1}, {1, 2}, {0, 2}, {3, 4}});
+  std::vector<Vertex> mapping;
+  const Graph lcc = LargestConnectedComponent(graph, &mapping);
+  EXPECT_EQ(lcc.vertex_count(), 3u);
+  EXPECT_EQ(lcc.edge_count(), 3u);
+  EXPECT_TRUE(IsConnected(lcc));
+  EXPECT_EQ(mapping[3], kInvalidVertex);
+  EXPECT_NE(mapping[0], kInvalidVertex);
+}
+
+TEST(GraphUtilsTest, LargestConnectedComponentOfConnectedGraphIsIdentity) {
+  const Graph data = PaperData();
+  const Graph lcc = LargestConnectedComponent(data);
+  EXPECT_EQ(lcc.vertex_count(), data.vertex_count());
+  EXPECT_EQ(lcc.edge_count(), data.edge_count());
+}
+
+TEST(GraphUtilsTest, CompactLabels) {
+  // Sparse labels 5 and 100.
+  const Graph graph = MakeGraph({5, 100, 5}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(graph.label_count(), 101u);
+  std::vector<Label> mapping;
+  const Graph compact = CompactLabels(graph, &mapping);
+  EXPECT_EQ(compact.label_count(), 2u);
+  EXPECT_EQ(compact.label(0), 0u);
+  EXPECT_EQ(compact.label(1), 1u);
+  EXPECT_EQ(compact.label(2), 0u);
+  EXPECT_EQ(mapping[5], 0u);
+  EXPECT_EQ(mapping[100], 1u);
+  EXPECT_EQ(mapping[0], kInvalidLabel);
+  EXPECT_EQ(compact.edge_count(), graph.edge_count());
+}
+
+TEST(GraphUtilsTest, InducedSubgraphPreservesSelectionOrder) {
+  const Graph data = PaperData();
+  const std::vector<Vertex> selection = {12, 4};
+  const Graph sub = InducedSubgraph(data, selection);
+  EXPECT_EQ(sub.label(0), data.label(12));
+  EXPECT_EQ(sub.label(1), data.label(4));
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,121 @@
+// End-to-end integration tests: full pipelines over generated datasets, all
+// algorithms (framework + Glasgow) agreeing with each other on realistic
+// workloads, including the paper's query-set protocol.
+#include <gtest/gtest.h>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/glasgow/glasgow.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/graph_io.h"
+#include "sgm/graph/query_generator.h"
+#include "sgm/matcher.h"
+
+namespace sgm {
+namespace {
+
+TEST(IntegrationTest, AllAlgorithmsAgreeOnRmatWorkload) {
+  Prng prng(90001);
+  const Graph data = GenerateRmat(512, 2048, 8, &prng);
+  const auto queries =
+      GenerateQuerySet(data, 6, QueryDensity::kAny, 5, &prng);
+  ASSERT_FALSE(queries.empty());
+  for (const Graph& query : queries) {
+    uint64_t reference = 0;
+    bool first = true;
+    for (const Algorithm algorithm : kAllAlgorithms) {
+      MatchOptions options = MatchOptions::Classic(algorithm);
+      options.max_matches = 0;
+      options.time_limit_ms = 30000;
+      const MatchResult result = MatchQuery(query, data, options);
+      ASSERT_FALSE(result.unsolved()) << AlgorithmName(algorithm);
+      if (first) {
+        reference = result.match_count;
+        first = false;
+      } else {
+        EXPECT_EQ(result.match_count, reference) << AlgorithmName(algorithm);
+      }
+    }
+    // Glasgow agrees too.
+    GlasgowOptions glasgow_options;
+    glasgow_options.max_matches = 0;
+    const GlasgowResult glasgow = GlasgowMatch(query, data, glasgow_options);
+    ASSERT_EQ(glasgow.status, GlasgowStatus::kComplete);
+    EXPECT_EQ(glasgow.match_count, reference);
+    EXPECT_GE(reference, 1u);  // extracted queries always match
+  }
+}
+
+TEST(IntegrationTest, MatchLimitConsistencyAcrossAlgorithms) {
+  // With a match cap, every algorithm must report exactly the cap whenever
+  // the true count exceeds it.
+  Prng prng(90002);
+  const Graph data = GenerateErdosRenyi(256, 2500, 2, &prng);
+  const auto query = ExtractQuery(data, 4, QueryDensity::kAny, &prng);
+  ASSERT_TRUE(query.has_value());
+  const uint64_t total = BruteForceCount(*query, data);
+  if (total < 10) GTEST_SKIP() << "instance too small to exercise the cap";
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    MatchOptions options = MatchOptions::Optimized(algorithm);
+    options.max_matches = 10;
+    const MatchResult result = MatchQuery(*query, data, options);
+    EXPECT_EQ(result.match_count, 10u) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(IntegrationTest, SaveLoadMatchRoundTrip) {
+  Prng prng(90003);
+  const Graph data = GenerateErdosRenyi(200, 800, 4, &prng);
+  const auto query = ExtractQuery(data, 5, QueryDensity::kAny, &prng);
+  ASSERT_TRUE(query.has_value());
+
+  const std::string data_path = ::testing::TempDir() + "/sgm_int_data.graph";
+  const std::string query_path = ::testing::TempDir() + "/sgm_int_query.graph";
+  std::string error;
+  ASSERT_TRUE(SaveGraphFile(data, data_path, &error)) << error;
+  ASSERT_TRUE(SaveGraphFile(*query, query_path, &error)) << error;
+  const auto data2 = LoadGraphFile(data_path, &error);
+  const auto query2 = LoadGraphFile(query_path, &error);
+  ASSERT_TRUE(data2.has_value() && query2.has_value()) << error;
+
+  MatchOptions options = MatchOptions::Recommended(query->vertex_count());
+  options.max_matches = 0;
+  const uint64_t before = MatchQuery(*query, data, options).match_count;
+  const uint64_t after = MatchQuery(*query2, *data2, options).match_count;
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(before, BruteForceCount(*query, data));
+}
+
+TEST(IntegrationTest, DenseAndSparseQuerySetsBehaveSanely) {
+  Prng prng(90004);
+  const Graph data = GenerateErdosRenyi(400, 4000, 8, &prng);
+  const auto dense =
+      GenerateQuerySet(data, 8, QueryDensity::kDense, 3, &prng);
+  const auto sparse =
+      GenerateQuerySet(data, 8, QueryDensity::kSparse, 3, &prng);
+  for (const auto& queries : {dense, sparse}) {
+    for (const Graph& query : queries) {
+      MatchOptions options = MatchOptions::Recommended(8);
+      const MatchResult result = MatchQuery(query, data, options);
+      EXPECT_GE(result.match_count, 1u);
+    }
+  }
+}
+
+TEST(IntegrationTest, LargerQueriesWithFailingSets) {
+  Prng prng(90005);
+  const Graph data = GenerateErdosRenyi(300, 1800, 6, &prng);
+  const auto query = ExtractQuery(data, 16, QueryDensity::kAny, &prng);
+  ASSERT_TRUE(query.has_value());
+  MatchOptions with = MatchOptions::Optimized(Algorithm::kGraphQL);
+  with.use_failing_sets = true;
+  with.max_matches = 0;
+  MatchOptions without = with;
+  without.use_failing_sets = false;
+  const MatchResult a = MatchQuery(*query, data, with);
+  const MatchResult b = MatchQuery(*query, data, without);
+  EXPECT_EQ(a.match_count, b.match_count);
+  EXPECT_GE(a.match_count, 1u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,115 @@
+#include "sgm/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+TEST(MatchOptionsTest, ClassicPresetsMatchThePaper) {
+  const MatchOptions qsi = MatchOptions::Classic(Algorithm::kQuickSI);
+  EXPECT_EQ(qsi.filter, FilterMethod::kLDF);
+  EXPECT_EQ(qsi.order, OrderMethod::kQuickSI);
+  EXPECT_EQ(qsi.lc_method, LocalCandidateMethod::kNeighborScan);
+  EXPECT_EQ(qsi.aux_scope, AuxEdgeScope::kNone);
+
+  const MatchOptions gql = MatchOptions::Classic(Algorithm::kGraphQL);
+  EXPECT_EQ(gql.filter, FilterMethod::kGraphQL);
+  EXPECT_EQ(gql.lc_method, LocalCandidateMethod::kCandidateScan);
+
+  const MatchOptions cfl = MatchOptions::Classic(Algorithm::kCFL);
+  EXPECT_EQ(cfl.lc_method, LocalCandidateMethod::kPivotIndex);
+  EXPECT_EQ(cfl.aux_scope, AuxEdgeScope::kTreeEdges);
+
+  const MatchOptions dp = MatchOptions::Classic(Algorithm::kDPiso);
+  EXPECT_TRUE(dp.adaptive_order);
+  EXPECT_TRUE(dp.use_failing_sets);
+  EXPECT_EQ(dp.aux_scope, AuxEdgeScope::kAllEdges);
+
+  const MatchOptions vf = MatchOptions::Classic(Algorithm::kVF2pp);
+  EXPECT_TRUE(vf.vf2pp_lookahead);
+}
+
+TEST(MatchOptionsTest, OptimizedSwitchesToIntersect) {
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    const MatchOptions options = MatchOptions::Optimized(algorithm);
+    EXPECT_EQ(options.lc_method, LocalCandidateMethod::kIntersect);
+    EXPECT_EQ(options.aux_scope, AuxEdgeScope::kAllEdges);
+    EXPECT_FALSE(options.vf2pp_lookahead);
+  }
+  // Direct-enumeration algorithms get GraphQL candidates (Section 5.3).
+  EXPECT_EQ(MatchOptions::Optimized(Algorithm::kRI).filter,
+            FilterMethod::kGraphQL);
+  EXPECT_EQ(MatchOptions::Optimized(Algorithm::kQuickSI).filter,
+            FilterMethod::kGraphQL);
+  EXPECT_EQ(MatchOptions::Optimized(Algorithm::kVF2pp).filter,
+            FilterMethod::kGraphQL);
+  EXPECT_EQ(MatchOptions::Optimized(Algorithm::kCFL).filter,
+            FilterMethod::kCFL);
+}
+
+TEST(MatchOptionsTest, RecommendedEnablesFailingSetsOnLargeQueries) {
+  EXPECT_FALSE(MatchOptions::Recommended(4).use_failing_sets);
+  EXPECT_FALSE(MatchOptions::Recommended(8).use_failing_sets);
+  EXPECT_TRUE(MatchOptions::Recommended(16).use_failing_sets);
+}
+
+TEST(MatcherTest, ResultBreakdownIsConsistent) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  const MatchResult result =
+      MatchQuery(query, data, MatchOptions::Classic(Algorithm::kCECI));
+  EXPECT_EQ(result.match_count, 2u);
+  EXPECT_GE(result.preprocessing_ms,
+            result.filter_ms);  // includes aux + order
+  EXPECT_NEAR(result.preprocessing_ms,
+              result.filter_ms + result.aux_build_ms + result.order_ms,
+              1e-9);
+  EXPECT_GT(result.total_ms, 0.0);
+  EXPECT_GT(result.average_candidates, 0.0);
+  EXPECT_GT(result.aux_memory_bytes, 0u);
+  EXPECT_EQ(result.matching_order.size(), query.vertex_count());
+  EXPECT_FALSE(result.unsolved());
+}
+
+TEST(MatcherTest, EmptyCandidatesShortCircuit) {
+  const Graph query = PaperQuery();
+  // Data graph with no D-labeled vertex at all.
+  const Graph data = ::sgm::testing::MakeGraph(
+      {0, 1, 2}, {{0, 1}, {0, 2}, {1, 2}});
+  const MatchResult result =
+      MatchQuery(query, data, MatchOptions::Classic(Algorithm::kGraphQL));
+  EXPECT_EQ(result.match_count, 0u);
+  EXPECT_EQ(result.enumeration_ms, 0.0);
+}
+
+TEST(MatcherTest, MaxMatchesIsRespected) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  MatchOptions options = MatchOptions::Optimized(Algorithm::kGraphQL);
+  options.max_matches = 1;
+  const MatchResult result = MatchQuery(query, data, options);
+  EXPECT_EQ(result.match_count, 1u);
+  EXPECT_TRUE(result.enumerate.reached_match_limit);
+}
+
+TEST(MatcherTest, AlgorithmNames) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kQuickSI), "QSI");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kDPiso), "DP");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kVF2pp), "2PP");
+}
+
+TEST(MatcherTest, RecommendedFindsAllMatches) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  const MatchResult result =
+      MatchQuery(query, data, MatchOptions::Recommended(query.vertex_count()));
+  EXPECT_EQ(result.match_count, 2u);
+}
+
+}  // namespace
+}  // namespace sgm

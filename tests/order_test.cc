@@ -1,0 +1,176 @@
+#include "sgm/core/order/order.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sgm/core/filter/filter.h"
+#include "sgm/core/order/dpiso_order.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::MakeGraph;
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+class OrderTest : public ::testing::Test {
+ protected:
+  OrderTest()
+      : query_(PaperQuery()),
+        data_(PaperData()),
+        filtered_(RunFilter(FilterMethod::kGraphQL, query_, data_)) {}
+
+  Graph query_;
+  Graph data_;
+  FilterResult filtered_;
+};
+
+TEST_F(OrderTest, AllMethodsProduceValidOrders) {
+  OrderInputs inputs;
+  inputs.candidates = &filtered_.candidates;
+  for (const OrderMethod method :
+       {OrderMethod::kQuickSI, OrderMethod::kGraphQL, OrderMethod::kCFL,
+        OrderMethod::kCECI, OrderMethod::kDPiso, OrderMethod::kRI,
+        OrderMethod::kVF2pp}) {
+    const auto order = ComputeOrder(method, query_, data_, inputs);
+    EXPECT_TRUE(IsValidMatchingOrder(query_, order))
+        << OrderMethodName(method);
+  }
+}
+
+TEST_F(OrderTest, GraphQlStartsAtSmallestCandidateSet) {
+  // C(u0) = {v0} is the unique smallest set.
+  const auto order = GraphQlOrder(query_, filtered_.candidates);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST_F(OrderTest, RiStartsAtMaxDegree) {
+  const auto order = RiOrder(query_);
+  // u1 and u2 both have degree 3; RiOrder picks the first maximum (u1).
+  EXPECT_EQ(query_.degree(order[0]), query_.max_degree());
+}
+
+TEST_F(OrderTest, RiPrefersMoreBackwardNeighbors) {
+  // Star-with-triangle: after the max-degree hub 0 (degree 4), vertex 1 and
+  // 2 form a triangle with 0; they have more backward connectivity than the
+  // pendant vertices 3, 4.
+  const Graph query = MakeGraph(
+      {0, 0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}});
+  const auto order = RiOrder(query);
+  EXPECT_EQ(order[0], 0u);
+  // Positions of 1 and 2 must precede both pendants (3 and 4): once one of
+  // {1,2} is placed, the other has two backward neighbors vs one.
+  const auto pos = [&](Vertex u) {
+    return std::find(order.begin(), order.end(), u) - order.begin();
+  };
+  EXPECT_LT(std::max(pos(1), pos(2)), std::min(pos(3), pos(4)));
+}
+
+TEST_F(OrderTest, Vf2ppRootHasRarestLabel) {
+  // In the paper data graph, label A appears twice (v0, v9) — the rarest.
+  // u0 is the only A-labeled query vertex.
+  const auto order = Vf2ppOrder(query_, data_);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST_F(OrderTest, Vf2ppEmitsLevelsInOrder) {
+  const auto order = Vf2ppOrder(query_, data_);
+  const BfsTree tree = BuildBfsTree(query_, order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(tree.level[order[i]], tree.level[order[i - 1]]);
+  }
+}
+
+TEST_F(OrderTest, QuickSiSeedsWithInfrequentEdge) {
+  // Edge label pairs in the data: (A,B) x3 via v0; (A,C) x3; (B,C) x4
+  // (v1-v2, v2-v3, v4-v5, v6-v7); (B,D) x3 (v2-v10, v4-v12, v6-v11);
+  // (C,D) x4 (v1-v8, v3-v10, v5-v12); (A,D) via v8-v9 x1 — absent from q.
+  // Query edges: (u0,u1)=AB:3, (u0,u2)=AC:3, (u1,u2)=BC:4, (u1,u3)=BD:3,
+  // (u2,u3)=CD:4. The seed edge weight must be 3.
+  const auto order = QuickSiOrder(query_, data_);
+  EXPECT_TRUE(IsValidMatchingOrder(query_, order));
+  // First two vertices form one of the weight-3 edges.
+  const Vertex a = order[0], b = order[1];
+  EXPECT_TRUE(query_.HasEdge(a, b));
+  const bool is_ab = (a == 0 && b == 1) || (a == 1 && b == 0);
+  const bool is_ac = (a == 0 && b == 2) || (a == 2 && b == 0);
+  const bool is_bd = (a == 1 && b == 3) || (a == 3 && b == 1);
+  EXPECT_TRUE(is_ab || is_ac || is_bd);
+}
+
+TEST_F(OrderTest, CeciOrderIsBfsFromBestRoot) {
+  const auto order = CeciOrder(query_, filtered_.candidates);
+  // Root u0: |C(u0)|/d = 1/2 is the minimum.
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_TRUE(IsValidMatchingOrder(query_, order));
+}
+
+TEST_F(OrderTest, CflOrderUsesTreeAndAux) {
+  const FilterResult cfl = RunFilter(FilterMethod::kCFL, query_, data_);
+  ASSERT_TRUE(cfl.bfs_tree.has_value());
+  const AuxStructure aux = AuxStructure::BuildTreeEdges(
+      query_, data_, cfl.candidates, cfl.bfs_tree->parent);
+  const auto order =
+      CflOrder(query_, data_, cfl.candidates, &*cfl.bfs_tree, &aux);
+  EXPECT_TRUE(IsValidMatchingOrder(query_, order));
+  // Paths start at the root.
+  EXPECT_EQ(order[0], cfl.bfs_tree->root);
+}
+
+TEST_F(OrderTest, CflOrderWorksWithoutPrebuiltTree) {
+  const auto order = CflOrder(query_, data_, filtered_.candidates, nullptr,
+                              nullptr);
+  EXPECT_TRUE(IsValidMatchingOrder(query_, order));
+}
+
+TEST(OrderPropertyTest, ValidOnRandomQueries) {
+  Prng prng(31);
+  const Graph data = GenerateErdosRenyi(200, 1200, 4, &prng);
+  for (int round = 0; round < 10; ++round) {
+    const auto query = ExtractQuery(
+        data, 4 + static_cast<uint32_t>(prng.NextBounded(8)),
+        QueryDensity::kAny, &prng);
+    ASSERT_TRUE(query.has_value());
+    const FilterResult filtered =
+        RunFilter(FilterMethod::kNLF, *query, data);
+    if (filtered.candidates.AnyEmpty()) continue;
+    OrderInputs inputs;
+    inputs.candidates = &filtered.candidates;
+    for (const OrderMethod method :
+         {OrderMethod::kQuickSI, OrderMethod::kGraphQL, OrderMethod::kCFL,
+          OrderMethod::kCECI, OrderMethod::kDPiso, OrderMethod::kRI,
+          OrderMethod::kVF2pp}) {
+      const auto order = ComputeOrder(method, *query, data, inputs);
+      EXPECT_TRUE(IsValidMatchingOrder(*query, order))
+          << OrderMethodName(method) << " round " << round;
+    }
+  }
+}
+
+TEST(DpisoWeightsTest, PathCountsOnPaperExample) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  const FilterResult filtered = RunFilter(FilterMethod::kDPiso, query, data);
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+  const auto order = DpisoStaticOrder(query, filtered.candidates);
+  const DpisoWeights weights =
+      DpisoWeights::Build(query, filtered.candidates, aux, order);
+  EXPECT_FALSE(weights.empty());
+  // Weights are positive path-count estimates.
+  for (uint32_t ci = 0; ci < filtered.candidates.Count(order[0]); ++ci) {
+    EXPECT_GE(weights.WeightByIndex(order[0], ci), 0.0);
+  }
+}
+
+TEST(OrderTestNames, MethodNames) {
+  EXPECT_STREQ(OrderMethodName(OrderMethod::kQuickSI), "QSI");
+  EXPECT_STREQ(OrderMethodName(OrderMethod::kVF2pp), "2PP");
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,149 @@
+// Ground-truth tests against the worked examples of Section 3 of the paper
+// (Examples 3.1-3.4 on the Figure 1 graphs). See test_support.h for the
+// reconstruction of the running example.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/core/filter/filter.h"
+#include "sgm/matcher.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+std::vector<Vertex> AsVector(std::span<const Vertex> span) {
+  return {span.begin(), span.end()};
+}
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest() : query_(PaperQuery()), data_(PaperData()) {}
+  Graph query_;
+  Graph data_;
+};
+
+TEST_F(PaperExampleTest, GroundTruthMatches) {
+  // Figure 1's match {(u0,v0),(u1,v4),(u2,v5),(u3,v12)} plus the symmetric
+  // {(u0,v0),(u1,v2),(u2,v3),(u3,v10)} are the only two.
+  const auto matches = BruteForceMatches(query_, data_);
+  std::set<std::vector<Vertex>> expected = {{0, 4, 5, 12}, {0, 2, 3, 10}};
+  std::set<std::vector<Vertex>> actual(matches.begin(), matches.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_F(PaperExampleTest, Example31GraphQlLocalPruning) {
+  FilterOptions options;
+  options.graphql_refinement_rounds = 0;  // local pruning only
+  const FilterResult result =
+      RunFilter(FilterMethod::kGraphQL, query_, data_, options);
+  EXPECT_EQ(AsVector(result.candidates.candidates(0)),
+            (std::vector<Vertex>{0}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(1)),
+            (std::vector<Vertex>{2, 4, 6}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(2)),
+            (std::vector<Vertex>{1, 3, 5}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(3)),
+            (std::vector<Vertex>{10, 12}));
+}
+
+TEST_F(PaperExampleTest, Example31GraphQlGlobalRefinementRemovesV1) {
+  FilterOptions options;
+  options.graphql_refinement_rounds = 1;
+  const FilterResult result =
+      RunFilter(FilterMethod::kGraphQL, query_, data_, options);
+  // v1 has no semi-perfect matching (its D-neighbor v8 is not in C(u3));
+  // v3 and v5 survive.
+  EXPECT_FALSE(result.candidates.Contains(2, 1));
+  EXPECT_TRUE(result.candidates.Contains(2, 3));
+  EXPECT_TRUE(result.candidates.Contains(2, 5));
+}
+
+TEST_F(PaperExampleTest, Example32CflFilter) {
+  const FilterResult result = RunFilter(FilterMethod::kCFL, query_, data_);
+  // After generation + backward pruning + bottom-up refinement:
+  // v6 removed from C(u1) (non-tree edge e(u1,u2)), v1 removed from C(u2)
+  // (no neighbor in C(u3)).
+  EXPECT_EQ(AsVector(result.candidates.candidates(0)),
+            (std::vector<Vertex>{0}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(1)),
+            (std::vector<Vertex>{2, 4}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(2)),
+            (std::vector<Vertex>{3, 5}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(3)),
+            (std::vector<Vertex>{10, 12}));
+  // The BFS tree of Example 3.2 is rooted at u0 with u3 under u1.
+  ASSERT_TRUE(result.bfs_tree.has_value());
+  EXPECT_EQ(result.bfs_tree->root, 0u);
+  EXPECT_EQ(result.bfs_tree->parent[3], 1u);
+}
+
+TEST_F(PaperExampleTest, Example33CeciFilter) {
+  const FilterResult result = RunFilter(FilterMethod::kCECI, query_, data_);
+  // δ = (u0, u1, u2, u3); v6 removed via e(u1,u2), v1 via e(u2,u3).
+  ASSERT_TRUE(result.bfs_tree.has_value());
+  EXPECT_EQ(result.bfs_tree->root, 0u);
+  EXPECT_EQ(AsVector(result.bfs_tree->order),
+            (std::vector<Vertex>{0, 1, 2, 3}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(0)),
+            (std::vector<Vertex>{0}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(1)),
+            (std::vector<Vertex>{2, 4}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(2)),
+            (std::vector<Vertex>{3, 5}));
+  EXPECT_EQ(AsVector(result.candidates.candidates(3)),
+            (std::vector<Vertex>{10, 12}));
+}
+
+TEST_F(PaperExampleTest, Example34DpisoFilter) {
+  FilterOptions options;
+  options.dpiso_refinement_rounds = 1;  // the example sets k = 1
+  const FilterResult result =
+      RunFilter(FilterMethod::kDPiso, query_, data_, options);
+  // The first (reverse-δ) pass applies NLF and removes v1 from C(u2) based
+  // on C(u3) = {v10, v12}.
+  EXPECT_FALSE(result.candidates.Contains(2, 1));
+  EXPECT_EQ(AsVector(result.candidates.candidates(3)),
+            (std::vector<Vertex>{10, 12}));
+}
+
+TEST_F(PaperExampleTest, AllAlgorithmsFindBothMatches) {
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    const MatchResult classic =
+        MatchQuery(query_, data_, MatchOptions::Classic(algorithm));
+    EXPECT_EQ(classic.match_count, 2u) << AlgorithmName(algorithm);
+    const MatchResult optimized =
+        MatchQuery(query_, data_, MatchOptions::Optimized(algorithm));
+    EXPECT_EQ(optimized.match_count, 2u) << AlgorithmName(algorithm);
+  }
+}
+
+TEST_F(PaperExampleTest, MatchCallbackReceivesValidEmbeddings) {
+  std::vector<std::vector<Vertex>> received;
+  const MatchResult result = MatchQuery(
+      query_, data_, MatchOptions::Classic(Algorithm::kGraphQL),
+      [&](std::span<const Vertex> mapping) {
+        received.emplace_back(mapping.begin(), mapping.end());
+        return true;
+      });
+  ASSERT_EQ(result.match_count, 2u);
+  ASSERT_EQ(received.size(), 2u);
+  for (const auto& mapping : received) {
+    // Validate the embedding directly against Definition 2.1.
+    for (Vertex u = 0; u < query_.vertex_count(); ++u) {
+      EXPECT_EQ(query_.label(u), data_.label(mapping[u]));
+      for (const Vertex w : query_.neighbors(u)) {
+        EXPECT_TRUE(data_.HasEdge(mapping[u], mapping[w]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,105 @@
+#include "sgm/parallel/parallel_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+TEST(ParallelMatcherTest, PaperExampleAnyThreadCount) {
+  for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+    MatchOptions options = MatchOptions::Optimized(Algorithm::kGraphQL);
+    options.max_matches = 0;
+    const ParallelMatchResult parallel =
+        ParallelMatchQuery(PaperQuery(), PaperData(), options, threads);
+    EXPECT_EQ(parallel.result.match_count, 2u) << threads << " threads";
+    EXPECT_GE(parallel.workers_used, 1u);
+    EXPECT_LE(parallel.workers_used, threads);
+  }
+}
+
+TEST(ParallelMatcherTest, AgreesWithSequentialOnRandomInputs) {
+  Prng prng(808080);
+  for (int round = 0; round < 6; ++round) {
+    const Graph data = GenerateErdosRenyi(60, 240, 2, &prng);
+    const auto query = ExtractQuery(data, 5, QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+    MatchOptions options = MatchOptions::Optimized(Algorithm::kGraphQL);
+    options.max_matches = 0;
+    const uint64_t sequential = MatchQuery(*query, data, options).match_count;
+    for (const uint32_t threads : {2u, 3u, 5u}) {
+      const ParallelMatchResult parallel =
+          ParallelMatchQuery(*query, data, options, threads);
+      EXPECT_EQ(parallel.result.match_count, sequential)
+          << "round " << round << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelMatcherTest, WorksWithDpisoAdaptiveAndFailingSets) {
+  Prng prng(909090);
+  const Graph data = GenerateErdosRenyi(50, 220, 2, &prng);
+  const auto query = ExtractQuery(data, 6, QueryDensity::kAny, &prng);
+  ASSERT_TRUE(query.has_value());
+  MatchOptions options = MatchOptions::Classic(Algorithm::kDPiso);
+  options.max_matches = 0;
+  const uint64_t expected = BruteForceCount(*query, data);
+  const ParallelMatchResult parallel =
+      ParallelMatchQuery(*query, data, options, 4);
+  EXPECT_EQ(parallel.result.match_count, expected);
+}
+
+TEST(ParallelMatcherTest, GlobalMatchBudget) {
+  Prng prng(707070);
+  const Graph data = GenerateErdosRenyi(80, 600, 1, &prng);
+  const Graph query = ::sgm::testing::TriangleQuery();
+  MatchOptions options = MatchOptions::Optimized(Algorithm::kGraphQL);
+  options.max_matches = 0;
+  const uint64_t total = MatchQuery(query, data, options).match_count;
+  if (total < 20) GTEST_SKIP() << "instance too small";
+  options.max_matches = 20;
+  const ParallelMatchResult parallel =
+      ParallelMatchQuery(query, data, options, 4);
+  EXPECT_EQ(parallel.result.match_count, 20u);
+  EXPECT_TRUE(parallel.result.enumerate.reached_match_limit);
+}
+
+TEST(ParallelMatcherTest, CallbackSeesEveryMatchExactlyOnce) {
+  MatchOptions options = MatchOptions::Optimized(Algorithm::kGraphQL);
+  options.max_matches = 0;
+  std::mutex mutex;
+  std::set<std::vector<Vertex>> seen;
+  const ParallelMatchResult parallel = ParallelMatchQuery(
+      PaperQuery(), PaperData(), options, 4,
+      [&](std::span<const Vertex> mapping) {
+        std::lock_guard<std::mutex> lock(mutex);
+        EXPECT_TRUE(
+            seen.emplace(mapping.begin(), mapping.end()).second);
+        return true;
+      });
+  EXPECT_EQ(parallel.result.match_count, 2u);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(ParallelMatcherTest, EmptyCandidatesShortCircuit) {
+  const Graph query = PaperQuery();
+  const Graph data =
+      ::sgm::testing::MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}, {1, 2}});
+  MatchOptions options = MatchOptions::Optimized(Algorithm::kGraphQL);
+  const ParallelMatchResult parallel =
+      ParallelMatchQuery(query, data, options, 4);
+  EXPECT_EQ(parallel.result.match_count, 0u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,85 @@
+#include "sgm/graph/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/graph_builder.h"
+#include "sgm/graph/graph_utils.h"
+
+namespace sgm {
+namespace {
+
+class QueryGeneratorTest : public ::testing::Test {
+ protected:
+  QueryGeneratorTest() : prng_(101) {
+    // RMAT concentrates edges around hubs, so random walks find dense
+    // induced subgraphs the way they do on the paper's real datasets.
+    data_ = GenerateRmat(500, 4000, 4, &prng_);
+  }
+  Prng prng_;
+  Graph data_;
+};
+
+TEST_F(QueryGeneratorTest, ExtractedQueryHasRequestedSize) {
+  const auto query = ExtractQuery(data_, 8, QueryDensity::kAny, &prng_);
+  ASSERT_TRUE(query.has_value());
+  EXPECT_EQ(query->vertex_count(), 8u);
+  EXPECT_TRUE(IsConnected(*query));
+}
+
+TEST_F(QueryGeneratorTest, DenseQueriesAreDense) {
+  for (int i = 0; i < 5; ++i) {
+    const auto query = ExtractQuery(data_, 8, QueryDensity::kDense, &prng_);
+    ASSERT_TRUE(query.has_value());
+    EXPECT_GE(query->average_degree(), 3.0);
+  }
+}
+
+TEST_F(QueryGeneratorTest, SparseQueriesAreSparse) {
+  for (int i = 0; i < 5; ++i) {
+    const auto query = ExtractQuery(data_, 8, QueryDensity::kSparse, &prng_);
+    ASSERT_TRUE(query.has_value());
+    EXPECT_LT(query->average_degree(), 3.0);
+  }
+}
+
+TEST_F(QueryGeneratorTest, ExtractedQueryAlwaysHasAMatch) {
+  // The induced subgraph is itself an embedding, so at least one match must
+  // exist.
+  for (int i = 0; i < 10; ++i) {
+    const auto query = ExtractQuery(data_, 5, QueryDensity::kAny, &prng_);
+    ASSERT_TRUE(query.has_value());
+    EXPECT_GE(BruteForceCount(*query, data_, 1), 1u);
+  }
+}
+
+TEST_F(QueryGeneratorTest, QuerySetSizeAndConfig) {
+  const auto queries =
+      GenerateQuerySet(data_, 6, QueryDensity::kSparse, 20, &prng_);
+  EXPECT_EQ(queries.size(), 20u);
+  for (const Graph& q : queries) {
+    EXPECT_EQ(q.vertex_count(), 6u);
+    EXPECT_TRUE(IsConnected(q));
+    EXPECT_LT(q.average_degree(), 3.0);
+  }
+}
+
+TEST_F(QueryGeneratorTest, ImpossibleDensityReturnsNullopt) {
+  // A tree data graph admits no dense (average degree >= 3) induced query.
+  Prng prng(7);
+  GraphBuilder builder(64);
+  for (Vertex v = 1; v < 64; ++v) builder.AddEdge(v, (v - 1) / 2);
+  const Graph tree = builder.Build();
+  const auto query = ExtractQuery(tree, 8, QueryDensity::kDense, &prng, 50);
+  EXPECT_FALSE(query.has_value());
+}
+
+TEST(QueryDensityTest, Names) {
+  EXPECT_STREQ(QueryDensityName(QueryDensity::kAny), "any");
+  EXPECT_STREQ(QueryDensityName(QueryDensity::kDense), "dense");
+  EXPECT_STREQ(QueryDensityName(QueryDensity::kSparse), "sparse");
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,153 @@
+#include "sgm/util/set_intersection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sgm/util/prng.h"
+#include "sgm/util/qfilter.h"
+
+namespace sgm {
+namespace {
+
+std::vector<Vertex> Reference(const std::vector<Vertex>& a,
+                              const std::vector<Vertex>& b) {
+  std::vector<Vertex> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<Vertex> RandomSortedSet(Prng* prng, size_t size, Vertex universe) {
+  std::vector<Vertex> values;
+  values.reserve(size * 2);
+  while (values.size() < size) {
+    const size_t missing = size - values.size();
+    for (size_t i = 0; i < missing * 2; ++i) {
+      values.push_back(static_cast<Vertex>(prng->NextBounded(universe)));
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+  }
+  values.resize(size);
+  return values;
+}
+
+TEST(SetIntersectionTest, EmptyInputs) {
+  std::vector<Vertex> out;
+  EXPECT_EQ(IntersectMerge({}, {}, &out), 0u);
+  EXPECT_EQ(IntersectGalloping({}, std::vector<Vertex>{1, 2}, &out), 0u);
+  EXPECT_EQ(IntersectHybrid(std::vector<Vertex>{1}, {}, &out), 0u);
+  EXPECT_EQ(IntersectQFilter({}, {}, &out), 0u);
+}
+
+TEST(SetIntersectionTest, DisjointAndIdentical) {
+  const std::vector<Vertex> a = {1, 3, 5, 7};
+  const std::vector<Vertex> b = {2, 4, 6, 8};
+  std::vector<Vertex> out;
+  EXPECT_EQ(IntersectMerge(a, b, &out), 0u);
+  EXPECT_EQ(IntersectMerge(a, a, &out), 4u);
+  EXPECT_EQ(out, a);
+}
+
+TEST(SetIntersectionTest, GallopLowerBound) {
+  const std::vector<Vertex> sorted = {2, 4, 6, 8, 10, 12};
+  EXPECT_EQ(internal::GallopLowerBound(sorted, 0, 1), 0u);
+  EXPECT_EQ(internal::GallopLowerBound(sorted, 0, 6), 2u);
+  EXPECT_EQ(internal::GallopLowerBound(sorted, 0, 7), 3u);
+  EXPECT_EQ(internal::GallopLowerBound(sorted, 0, 13), 6u);
+  EXPECT_EQ(internal::GallopLowerBound(sorted, 3, 10), 4u);
+}
+
+TEST(SetIntersectionTest, SortedContains) {
+  const std::vector<Vertex> sorted = {1, 5, 9};
+  EXPECT_TRUE(SortedContains(sorted, 5));
+  EXPECT_FALSE(SortedContains(sorted, 4));
+  EXPECT_FALSE(SortedContains({}, 4));
+}
+
+TEST(SetIntersectionTest, MethodNames) {
+  EXPECT_STREQ(IntersectionMethodName(IntersectionMethod::kMerge), "merge");
+  EXPECT_STREQ(IntersectionMethodName(IntersectionMethod::kGalloping),
+               "galloping");
+  EXPECT_STREQ(IntersectionMethodName(IntersectionMethod::kHybrid), "hybrid");
+  EXPECT_STREQ(IntersectionMethodName(IntersectionMethod::kQFilter),
+               "qfilter");
+}
+
+// Property sweep: every kernel agrees with std::set_intersection across
+// random skews and densities.
+class IntersectionPropertyTest
+    : public ::testing::TestWithParam<IntersectionMethod> {};
+
+TEST_P(IntersectionPropertyTest, MatchesReferenceOnRandomSets) {
+  Prng prng(99);
+  std::vector<Vertex> out;
+  for (int round = 0; round < 200; ++round) {
+    const size_t size_a = 1 + prng.NextBounded(200);
+    const size_t size_b = 1 + prng.NextBounded(200);
+    const Vertex universe = static_cast<Vertex>(16 + prng.NextBounded(4000));
+    const auto a = RandomSortedSet(&prng, std::min<size_t>(size_a, universe / 2),
+                                   universe);
+    const auto b = RandomSortedSet(&prng, std::min<size_t>(size_b, universe / 2),
+                                   universe);
+    const auto expected = Reference(a, b);
+    Intersect(GetParam(), a, b, &out);
+    EXPECT_EQ(out, expected) << "round " << round;
+    EXPECT_EQ(IntersectionCount(a, b), expected.size());
+  }
+}
+
+TEST_P(IntersectionPropertyTest, HandlesExtremeSkew) {
+  Prng prng(123);
+  std::vector<Vertex> out;
+  const auto large = RandomSortedSet(&prng, 5000, 100000);
+  for (const size_t small_size : {1u, 2u, 3u, 5u}) {
+    const auto small = RandomSortedSet(&prng, small_size, 100000);
+    const auto expected = Reference(small, large);
+    Intersect(GetParam(), small, large, &out);
+    EXPECT_EQ(out, expected);
+    Intersect(GetParam(), large, small, &out);
+    EXPECT_EQ(out, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, IntersectionPropertyTest,
+    ::testing::Values(IntersectionMethod::kMerge,
+                      IntersectionMethod::kGalloping,
+                      IntersectionMethod::kHybrid,
+                      IntersectionMethod::kQFilter),
+    [](const auto& info) { return IntersectionMethodName(info.param); });
+
+TEST(QFilterTest, BlockBoundaryCases) {
+  // Exercise the 4-element block logic: sizes straddling block boundaries.
+  std::vector<Vertex> out;
+  for (size_t na = 0; na <= 9; ++na) {
+    for (size_t nb = 0; nb <= 9; ++nb) {
+      std::vector<Vertex> a, b;
+      for (size_t i = 0; i < na; ++i) a.push_back(static_cast<Vertex>(2 * i));
+      for (size_t i = 0; i < nb; ++i) b.push_back(static_cast<Vertex>(3 * i));
+      const auto expected = Reference(a, b);
+      IntersectQFilter(a, b, &out);
+      EXPECT_EQ(out, expected) << "na=" << na << " nb=" << nb;
+    }
+  }
+}
+
+TEST(QFilterTest, ValuesDifferingOnlyInHighBytes) {
+  // The byte-check prefilter compares low bytes; values with equal low bytes
+  // but different high bytes must survive the filter and be rejected by the
+  // full comparison.
+  const std::vector<Vertex> a = {0x100, 0x200, 0x300, 0x400};
+  const std::vector<Vertex> b = {0x500, 0x600, 0x700, 0x800};
+  std::vector<Vertex> out;
+  EXPECT_EQ(IntersectQFilter(a, b, &out), 0u);
+  const std::vector<Vertex> c = {0x100, 0x600, 0x700, 0x900};
+  EXPECT_EQ(IntersectQFilter(a, c, &out), 1u);
+  EXPECT_EQ(out[0], 0x100u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,63 @@
+#include "sgm/core/spectrum.h"
+
+#include <gtest/gtest.h>
+
+#include "sgm/core/order/order.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+TEST(SpectrumTest, RandomOrdersAreValid) {
+  const Graph query = PaperQuery();
+  Prng prng(11);
+  for (int i = 0; i < 50; ++i) {
+    const auto order = RandomConnectedOrder(query, &prng);
+    EXPECT_TRUE(IsValidMatchingOrder(query, order));
+  }
+}
+
+TEST(SpectrumTest, RandomOrdersVary) {
+  const Graph query = PaperQuery();
+  Prng prng(13);
+  bool found_different = false;
+  const auto first = RandomConnectedOrder(query, &prng);
+  for (int i = 0; i < 50 && !found_different; ++i) {
+    found_different = RandomConnectedOrder(query, &prng) != first;
+  }
+  EXPECT_TRUE(found_different);
+}
+
+TEST(SpectrumTest, RunOnPaperExample) {
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  SpectrumOptions options;
+  options.num_orders = 20;
+  Prng prng(17);
+  const SpectrumResult result = RunSpectrum(query, data, options, &prng);
+  EXPECT_EQ(result.attempted, 20u);
+  EXPECT_EQ(result.completed, 20u);  // trivial instance: all finish
+  ASSERT_EQ(result.completed_times_ms.size(), 20u);
+  for (const double t : result.completed_times_ms) {
+    EXPECT_GE(t, result.best_ms);
+    EXPECT_LE(t, result.worst_completed_ms);
+  }
+}
+
+TEST(SpectrumTest, NoCandidatesMeansInstantOrders) {
+  const Graph query = PaperQuery();
+  // No D label in this data graph.
+  const Graph data =
+      ::sgm::testing::MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}, {1, 2}});
+  SpectrumOptions options;
+  options.num_orders = 5;
+  Prng prng(19);
+  const SpectrumResult result = RunSpectrum(query, data, options, &prng);
+  EXPECT_EQ(result.completed, 5u);
+}
+
+}  // namespace
+}  // namespace sgm

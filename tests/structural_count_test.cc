@@ -1,0 +1,148 @@
+// Closed-form correctness tests: on highly symmetric data graphs the exact
+// number of embeddings is known combinatorially, so every engine can be
+// checked against a formula instead of another implementation.
+#include <gtest/gtest.h>
+
+#include "sgm/baselines/ullmann.h"
+#include "sgm/baselines/vf2.h"
+#include "sgm/glasgow/glasgow.h"
+#include "sgm/graph/graph_builder.h"
+#include "sgm/matcher.h"
+#include "sgm/wcoj/generic_join.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::MakeGraph;
+
+Graph CompleteGraph(uint32_t n) {
+  GraphBuilder builder(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph CycleGraph(uint32_t n) {
+  GraphBuilder builder(n);
+  for (Vertex u = 0; u < n; ++u) builder.AddEdge(u, (u + 1) % n);
+  return builder.Build();
+}
+
+Graph PathGraph(uint32_t n) {
+  GraphBuilder builder(n);
+  for (Vertex u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  return builder.Build();
+}
+
+Graph StarQuery(uint32_t leaves) {
+  GraphBuilder builder(1 + leaves);
+  for (Vertex leaf = 1; leaf <= leaves; ++leaf) builder.AddEdge(0, leaf);
+  return builder.Build();
+}
+
+uint64_t FallingFactorial(uint64_t n, uint64_t k) {
+  uint64_t result = 1;
+  for (uint64_t i = 0; i < k; ++i) result *= n - i;
+  return result;
+}
+
+// Runs one (query, data) instance through every engine and checks the
+// expected count.
+void ExpectAllEnginesCount(const Graph& query, const Graph& data,
+                           uint64_t expected, const char* what) {
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    MatchOptions options = MatchOptions::Classic(algorithm);
+    options.max_matches = 0;
+    options.time_limit_ms = 0;
+    EXPECT_EQ(MatchQuery(query, data, options).match_count, expected)
+        << what << " / " << AlgorithmName(algorithm);
+  }
+  GlasgowOptions glasgow_options;
+  glasgow_options.max_matches = 0;
+  glasgow_options.time_limit_ms = 0;
+  EXPECT_EQ(GlasgowMatch(query, data, glasgow_options).match_count, expected)
+      << what << " / Glasgow";
+  UllmannOptions ullmann_options;
+  ullmann_options.max_matches = 0;
+  ullmann_options.time_limit_ms = 0;
+  EXPECT_EQ(UllmannMatch(query, data, ullmann_options).match_count, expected)
+      << what << " / Ullmann";
+  Vf2Options vf2_options;
+  vf2_options.max_matches = 0;
+  vf2_options.time_limit_ms = 0;
+  EXPECT_EQ(Vf2Match(query, data, vf2_options).match_count, expected)
+      << what << " / VF2";
+  WcojOptions wcoj_options;
+  wcoj_options.max_results = 0;
+  wcoj_options.time_limit_ms = 0;
+  EXPECT_EQ(GenericJoinMatch(query, data, wcoj_options).result_count,
+            expected)
+      << what << " / WCOJ";
+}
+
+TEST(StructuralCountTest, TrianglesInCompleteGraph) {
+  // Embeddings of a triangle in K_n: n * (n-1) * (n-2).
+  for (const uint32_t n : {4u, 6u, 8u}) {
+    ExpectAllEnginesCount(::sgm::testing::TriangleQuery(), CompleteGraph(n),
+                          FallingFactorial(n, 3), "triangle in K_n");
+  }
+}
+
+TEST(StructuralCountTest, FourCliqueInCompleteGraph) {
+  const Graph clique4 = MakeGraph(
+      {0, 0, 0, 0}, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  for (const uint32_t n : {5u, 7u}) {
+    ExpectAllEnginesCount(clique4, CompleteGraph(n), FallingFactorial(n, 4),
+                          "K4 in K_n");
+  }
+}
+
+TEST(StructuralCountTest, PathInCycle) {
+  // Embeddings of the 3-path in C_n: n choices of middle vertex x 2
+  // orientations.
+  const Graph path3 = PathGraph(3);
+  for (const uint32_t n : {5u, 9u}) {
+    ExpectAllEnginesCount(path3, CycleGraph(n), 2ull * n, "P3 in C_n");
+  }
+}
+
+TEST(StructuralCountTest, CycleInCycle) {
+  // C_n in C_n: 2n automorphisms (n rotations x 2 reflections).
+  for (const uint32_t n : {5u, 8u}) {
+    ExpectAllEnginesCount(CycleGraph(n), CycleGraph(n), 2ull * n,
+                          "C_n in C_n");
+  }
+}
+
+TEST(StructuralCountTest, StarInCompleteGraph) {
+  // Star with k leaves in K_n: n * (n-1)P(k) (center + ordered leaves).
+  for (const uint32_t k : {2u, 3u}) {
+    const uint32_t n = 6;
+    ExpectAllEnginesCount(StarQuery(k), CompleteGraph(n),
+                          n * FallingFactorial(n - 1, k), "star in K_n");
+  }
+}
+
+TEST(StructuralCountTest, PathInPath) {
+  // P_k in P_n: (n - k + 1) positions x 2 orientations.
+  for (const uint32_t k : {3u, 4u}) {
+    const uint32_t n = 9;
+    ExpectAllEnginesCount(PathGraph(k), PathGraph(n), 2ull * (n - k + 1),
+                          "P_k in P_n");
+  }
+}
+
+TEST(StructuralCountTest, LabelsBreakSymmetry) {
+  // An asymmetric labeled triangle in a complete graph with the matching
+  // label arrangement: exactly one embedding per label-consistent rotation.
+  const Graph query = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {0, 2}});
+  const Graph data = MakeGraph({0, 1, 2, 0},
+                               {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  // Matches: u0->v0 and u0->v3 (each with fixed u1->v1, u2->v2).
+  ExpectAllEnginesCount(query, data, 2, "labeled triangle");
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,91 @@
+// Shared fixtures for the test suite, most importantly a reconstruction of
+// the paper's Figure 1 running example. The data graph below is built to
+// satisfy every worked example of Section 3:
+//
+//   * Example 3.1 (GraphQL): local pruning yields C(u0)={v0},
+//     C(u1)={v2,v4,v6}, C(u2)={v1,v3,v5}, C(u3)={v10,v12}; global refinement
+//     removes v1 (no semi-perfect matching) and keeps v3.
+//   * Example 3.2 (CFL): generation reproduces the same sets, backward
+//     pruning removes v6 from C(u1), bottom-up refinement removes v1 from
+//     C(u2).
+//   * Example 3.3 (CECI): δ=(u0,u1,u2,u3); non-tree pruning removes v6 and
+//     v1.
+//   * Example 3.4 (DP-iso): the first reverse pass removes v1 from C(u2).
+//   * {(u0,v0),(u1,v4),(u2,v5),(u3,v12)} is a match (Figure 1), and
+//     {(u0,v0),(u1,v2),(u2,v3),(u3,v10)} is the only other one.
+#ifndef SGM_TESTS_TEST_SUPPORT_H_
+#define SGM_TESTS_TEST_SUPPORT_H_
+
+#include <utility>
+#include <vector>
+
+#include "sgm/graph/graph.h"
+#include "sgm/graph/graph_builder.h"
+
+namespace sgm::testing {
+
+inline constexpr Label kLabelA = 0;
+inline constexpr Label kLabelB = 1;
+inline constexpr Label kLabelC = 2;
+inline constexpr Label kLabelD = 3;
+
+/// Builds a graph from labels and an edge list.
+inline Graph MakeGraph(const std::vector<Label>& labels,
+                       const std::vector<std::pair<Vertex, Vertex>>& edges) {
+  GraphBuilder builder;
+  for (const Label l : labels) builder.AddVertex(l);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+/// The query graph q of Figure 1: u0(A)-u1(B), u0-u2(C), u1-u2, u1-u3(D),
+/// u2-u3.
+inline Graph PaperQuery() {
+  return MakeGraph({kLabelA, kLabelB, kLabelC, kLabelD},
+                   {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+}
+
+/// The data graph G of Figure 1 (13 vertices v0..v12), reconstructed as
+/// described in the file comment.
+inline Graph PaperData() {
+  const std::vector<Label> labels = {
+      kLabelA,  // v0
+      kLabelC,  // v1
+      kLabelB,  // v2
+      kLabelC,  // v3
+      kLabelB,  // v4
+      kLabelC,  // v5
+      kLabelB,  // v6
+      kLabelC,  // v7
+      kLabelD,  // v8
+      kLabelA,  // v9
+      kLabelD,  // v10
+      kLabelD,  // v11
+      kLabelD,  // v12
+  };
+  const std::vector<std::pair<Vertex, Vertex>> edges = {
+      {0, 1}, {0, 2}, {0, 3},  {0, 4},  {0, 5}, {0, 6},  // hub v0
+      {1, 2}, {1, 8},                                    // v1's B and D
+      {2, 3}, {2, 10},                                   // v2's C and D
+      {3, 10},                                           // v3's D
+      {4, 5}, {4, 12},                                   // v4's C and D
+      {5, 12},                                           // v5's D
+      {6, 7}, {6, 11},                                   // v6's C and D
+      {8, 9},                                            // v8-v9 filler
+  };
+  return MakeGraph(labels, edges);
+}
+
+/// A triangle query with one label (smallest interesting query).
+inline Graph TriangleQuery(Label label = 0) {
+  return MakeGraph({label, label, label}, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+/// A labeled path query u0-u1-u2.
+inline Graph PathQuery() {
+  return MakeGraph({kLabelA, kLabelB, kLabelC}, {{0, 1}, {1, 2}});
+}
+
+}  // namespace sgm::testing
+
+#endif  // SGM_TESTS_TEST_SUPPORT_H_

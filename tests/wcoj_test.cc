@@ -1,0 +1,102 @@
+#include "sgm/wcoj/generic_join.h"
+
+#include <gtest/gtest.h>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::MakeGraph;
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+TEST(WcojTest, IsomorphismModeMatchesPaperExample) {
+  WcojOptions options;
+  options.mode = WcojMode::kIsomorphism;
+  const WcojResult result = GenericJoinMatch(PaperQuery(), PaperData(),
+                                             options);
+  EXPECT_EQ(result.result_count, 2u);
+  EXPECT_EQ(result.attribute_order.size(), 4u);
+}
+
+TEST(WcojTest, IsomorphismAgreesWithBruteForce) {
+  Prng prng(1701);
+  for (int round = 0; round < 8; ++round) {
+    const Graph data = GenerateErdosRenyi(40, 160, 2, &prng);
+    const auto query = ExtractQuery(data, 5, QueryDensity::kAny, &prng);
+    if (!query.has_value()) continue;
+    WcojOptions options;
+    options.mode = WcojMode::kIsomorphism;
+    options.max_results = 0;
+    EXPECT_EQ(GenericJoinMatch(*query, data, options).result_count,
+              BruteForceCount(*query, data))
+        << "round " << round;
+  }
+}
+
+TEST(WcojTest, HomomorphismCountsAtLeastIsomorphisms) {
+  Prng prng(1702);
+  const Graph data = GenerateErdosRenyi(40, 200, 2, &prng);
+  const auto query = ExtractQuery(data, 5, QueryDensity::kAny, &prng);
+  ASSERT_TRUE(query.has_value());
+  WcojOptions iso;
+  iso.mode = WcojMode::kIsomorphism;
+  iso.max_results = 0;
+  WcojOptions homo;
+  homo.mode = WcojMode::kHomomorphism;
+  homo.max_results = 0;
+  EXPECT_GE(GenericJoinMatch(*query, data, homo).result_count,
+            GenericJoinMatch(*query, data, iso).result_count);
+}
+
+TEST(WcojTest, HomomorphismOnKnownInstance) {
+  // Query: path a-b-a (labels 0-1-0). Data: single edge (0,1) with labels
+  // 0,1. Homomorphisms: u0->v0, u1->v1, u2->v0 (repeat allowed) = 1;
+  // isomorphisms: 0.
+  const Graph query = MakeGraph({0, 1, 0}, {{0, 1}, {1, 2}});
+  const Graph data = MakeGraph({0, 1}, {{0, 1}});
+  WcojOptions homo;
+  homo.mode = WcojMode::kHomomorphism;
+  homo.max_results = 0;
+  EXPECT_EQ(GenericJoinMatch(query, data, homo).result_count, 1u);
+  WcojOptions iso;
+  iso.mode = WcojMode::kIsomorphism;
+  iso.max_results = 0;
+  EXPECT_EQ(GenericJoinMatch(query, data, iso).result_count, 0u);
+}
+
+TEST(WcojTest, AttributeOrderIsValidPermutation) {
+  const Graph query = PaperQuery();
+  const auto order = WcojAttributeOrder(query, PaperData());
+  std::vector<bool> seen(query.vertex_count(), false);
+  for (const Vertex u : order) {
+    ASSERT_LT(u, query.vertex_count());
+    EXPECT_FALSE(seen[u]);
+    seen[u] = true;
+  }
+  // After the first attribute, every attribute has a bound neighbor.
+  for (size_t i = 1; i < order.size(); ++i) {
+    bool has_bound = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (query.HasEdge(order[i], order[j])) has_bound = true;
+    }
+    EXPECT_TRUE(has_bound);
+  }
+}
+
+TEST(WcojTest, ResultLimit) {
+  Prng prng(1703);
+  const Graph data = GenerateErdosRenyi(50, 300, 1, &prng);
+  const Graph query = ::sgm::testing::TriangleQuery();
+  WcojOptions options;
+  options.max_results = 4;
+  const WcojResult result = GenericJoinMatch(query, data, options);
+  EXPECT_LE(result.result_count, 4u);
+}
+
+}  // namespace
+}  // namespace sgm

@@ -1,0 +1,214 @@
+// Command-line subgraph matcher.
+//
+//   sgm_match --query q.graph --data g.graph [options]
+//
+// Options:
+//   --algorithm NAME   QSI|GQL|CFL|CECI|DP|RI|2PP|GLW|ULL|VF2|WCOJ
+//                      (framework names run the optimized variant; prefix
+//                      with "classic-" for the original, e.g. classic-CFL)
+//   --failing-sets     enable failing-set pruning (framework algorithms)
+//   --max-matches N    stop after N matches (default 100000, 0 = all)
+//   --time-limit-ms N  per-query kill limit (default 300000)
+//   --threads N        parallel enumeration with N workers (framework only)
+//   --print-matches    write each embedding to stdout
+//   --count-only       suppress everything except the match count
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "sgm/baselines/ullmann.h"
+#include "sgm/baselines/vf2.h"
+#include "sgm/glasgow/glasgow.h"
+#include "sgm/graph/graph_io.h"
+#include "sgm/graph/graph_utils.h"
+#include "sgm/matcher.h"
+#include "sgm/parallel/parallel_matcher.h"
+#include "sgm/wcoj/generic_join.h"
+
+namespace {
+
+struct CliArgs {
+  std::string query_path;
+  std::string data_path;
+  std::string algorithm = "GQL";
+  bool failing_sets = false;
+  uint64_t max_matches = 100000;
+  double time_limit_ms = 300000.0;
+  uint32_t threads = 1;
+  bool print_matches = false;
+  bool count_only = false;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: sgm_match --query q.graph --data g.graph"
+               " [--algorithm NAME] [--failing-sets] [--max-matches N]"
+               " [--time-limit-ms N] [--threads N] [--print-matches]"
+               " [--count-only]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--query") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->query_path = value;
+    } else if (flag == "--data") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->data_path = value;
+    } else if (flag == "--algorithm") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->algorithm = value;
+    } else if (flag == "--failing-sets") {
+      args->failing_sets = true;
+    } else if (flag == "--max-matches") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->max_matches = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--time-limit-ms") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->time_limit_ms = std::strtod(value, nullptr);
+    } else if (flag == "--threads") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args->threads = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--print-matches") {
+      args->print_matches = true;
+    } else if (flag == "--count-only") {
+      args->count_only = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->query_path.empty() && !args->data_path.empty();
+}
+
+std::optional<sgm::Algorithm> FrameworkAlgorithm(const std::string& name) {
+  for (const sgm::Algorithm algorithm : sgm::kAllAlgorithms) {
+    if (name == sgm::AlgorithmName(algorithm)) return algorithm;
+  }
+  return std::nullopt;
+}
+
+sgm::MatchCallback MakePrinter(const CliArgs& args, uint32_t query_size) {
+  if (!args.print_matches) return {};
+  return [query_size](std::span<const sgm::Vertex> mapping) {
+    std::printf("match:");
+    for (uint32_t u = 0; u < query_size; ++u) {
+      std::printf(" %u", mapping[u]);
+    }
+    std::printf("\n");
+    return true;
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::string error;
+  const auto query = sgm::LoadGraphFile(args.query_path, &error);
+  if (!query.has_value()) {
+    std::fprintf(stderr, "failed to load query: %s\n", error.c_str());
+    return 1;
+  }
+  const auto data = sgm::LoadGraphFile(args.data_path, &error);
+  if (!data.has_value()) {
+    std::fprintf(stderr, "failed to load data graph: %s\n", error.c_str());
+    return 1;
+  }
+  if (!sgm::IsConnected(*query)) {
+    std::fprintf(stderr, "query graph must be connected\n");
+    return 1;
+  }
+
+  uint64_t matches = 0;
+  double total_ms = 0.0;
+  std::string status = "ok";
+  const auto printer = MakePrinter(args, query->vertex_count());
+
+  if (args.algorithm == "GLW") {
+    sgm::GlasgowOptions options;
+    options.max_matches = args.max_matches;
+    options.time_limit_ms = args.time_limit_ms;
+    const auto result = sgm::GlasgowMatch(*query, *data, options, printer);
+    matches = result.match_count;
+    total_ms = result.total_ms;
+    status = sgm::GlasgowStatusName(result.status);
+  } else if (args.algorithm == "ULL") {
+    sgm::UllmannOptions options;
+    options.max_matches = args.max_matches;
+    options.time_limit_ms = args.time_limit_ms;
+    const auto result = sgm::UllmannMatch(*query, *data, options, printer);
+    matches = result.match_count;
+    total_ms = result.total_ms;
+    if (result.timed_out) status = "timeout";
+  } else if (args.algorithm == "VF2") {
+    sgm::Vf2Options options;
+    options.max_matches = args.max_matches;
+    options.time_limit_ms = args.time_limit_ms;
+    const auto result = sgm::Vf2Match(*query, *data, options, printer);
+    matches = result.match_count;
+    total_ms = result.total_ms;
+    if (result.timed_out) status = "timeout";
+  } else if (args.algorithm == "WCOJ") {
+    sgm::WcojOptions options;
+    options.max_results = args.max_matches;
+    options.time_limit_ms = args.time_limit_ms;
+    const auto result = sgm::GenericJoinMatch(*query, *data, options, printer);
+    matches = result.result_count;
+    total_ms = result.total_ms;
+    if (result.timed_out) status = "timeout";
+  } else {
+    const bool classic = args.algorithm.rfind("classic-", 0) == 0;
+    const std::string name =
+        classic ? args.algorithm.substr(8) : args.algorithm;
+    const auto algorithm = FrameworkAlgorithm(name);
+    if (!algorithm.has_value()) {
+      std::fprintf(stderr, "unknown algorithm: %s\n", args.algorithm.c_str());
+      return 2;
+    }
+    sgm::MatchOptions options = classic
+                                    ? sgm::MatchOptions::Classic(*algorithm)
+                                    : sgm::MatchOptions::Optimized(*algorithm);
+    options.use_failing_sets = args.failing_sets || options.use_failing_sets;
+    options.max_matches = args.max_matches;
+    options.time_limit_ms = args.time_limit_ms;
+    if (args.threads > 1) {
+      const auto parallel = sgm::ParallelMatchQuery(*query, *data, options,
+                                                    args.threads, printer);
+      matches = parallel.result.match_count;
+      total_ms = parallel.result.total_ms;
+      if (parallel.result.unsolved()) status = "timeout";
+    } else {
+      const auto result = sgm::MatchQuery(*query, *data, options, printer);
+      matches = result.match_count;
+      total_ms = result.total_ms;
+      if (result.unsolved()) status = "timeout";
+    }
+  }
+
+  if (args.count_only) {
+    std::printf("%llu\n", static_cast<unsigned long long>(matches));
+  } else {
+    std::printf("algorithm=%s matches=%llu time_ms=%.3f status=%s\n",
+                args.algorithm.c_str(),
+                static_cast<unsigned long long>(matches), total_ms,
+                status.c_str());
+  }
+  return 0;
+}
