@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_candidate_counts.dir/bench_fig08_candidate_counts.cc.o"
+  "CMakeFiles/bench_fig08_candidate_counts.dir/bench_fig08_candidate_counts.cc.o.d"
+  "bench_fig08_candidate_counts"
+  "bench_fig08_candidate_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_candidate_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

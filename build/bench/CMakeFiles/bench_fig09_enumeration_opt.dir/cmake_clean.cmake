@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_enumeration_opt.dir/bench_fig09_enumeration_opt.cc.o"
+  "CMakeFiles/bench_fig09_enumeration_opt.dir/bench_fig09_enumeration_opt.cc.o.d"
+  "bench_fig09_enumeration_opt"
+  "bench_fig09_enumeration_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_enumeration_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_set_intersection.dir/bench_fig10_set_intersection.cc.o"
+  "CMakeFiles/bench_fig10_set_intersection.dir/bench_fig10_set_intersection.cc.o.d"
+  "bench_fig10_set_intersection"
+  "bench_fig10_set_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_set_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ordering_stddev.dir/bench_fig12_ordering_stddev.cc.o"
+  "CMakeFiles/bench_fig12_ordering_stddev.dir/bench_fig12_ordering_stddev.cc.o.d"
+  "bench_fig12_ordering_stddev"
+  "bench_fig12_ordering_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ordering_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

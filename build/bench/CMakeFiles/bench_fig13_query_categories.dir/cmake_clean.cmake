@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_query_categories.dir/bench_fig13_query_categories.cc.o"
+  "CMakeFiles/bench_fig13_query_categories.dir/bench_fig13_query_categories.cc.o.d"
+  "bench_fig13_query_categories"
+  "bench_fig13_query_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_query_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

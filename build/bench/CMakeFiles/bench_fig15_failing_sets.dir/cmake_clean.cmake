@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_failing_sets.dir/bench_fig15_failing_sets.cc.o"
+  "CMakeFiles/bench_fig15_failing_sets.dir/bench_fig15_failing_sets.cc.o.d"
+  "bench_fig15_failing_sets"
+  "bench_fig15_failing_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_failing_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

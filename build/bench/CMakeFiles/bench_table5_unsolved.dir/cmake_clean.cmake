@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_unsolved.dir/bench_table5_unsolved.cc.o"
+  "CMakeFiles/bench_table5_unsolved.dir/bench_table5_unsolved.cc.o.d"
+  "bench_table5_unsolved"
+  "bench_table5_unsolved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_unsolved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

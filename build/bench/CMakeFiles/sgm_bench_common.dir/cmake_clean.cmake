@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_bench_common.dir/report.cc.o"
+  "CMakeFiles/sgm_bench_common.dir/report.cc.o.d"
+  "CMakeFiles/sgm_bench_common.dir/runner.cc.o"
+  "CMakeFiles/sgm_bench_common.dir/runner.cc.o.d"
+  "CMakeFiles/sgm_bench_common.dir/workloads.cc.o"
+  "CMakeFiles/sgm_bench_common.dir/workloads.cc.o.d"
+  "libsgm_bench_common.a"
+  "libsgm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

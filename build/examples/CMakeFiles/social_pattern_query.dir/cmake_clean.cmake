@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_pattern_query.dir/social_pattern_query.cc.o"
+  "CMakeFiles/social_pattern_query.dir/social_pattern_query.cc.o.d"
+  "social_pattern_query"
+  "social_pattern_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_pattern_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

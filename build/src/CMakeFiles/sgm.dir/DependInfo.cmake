@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgm/baselines/ullmann.cc" "src/CMakeFiles/sgm.dir/sgm/baselines/ullmann.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/baselines/ullmann.cc.o.d"
+  "/root/repo/src/sgm/baselines/vf2.cc" "src/CMakeFiles/sgm.dir/sgm/baselines/vf2.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/baselines/vf2.cc.o.d"
+  "/root/repo/src/sgm/core/aux_structure.cc" "src/CMakeFiles/sgm.dir/sgm/core/aux_structure.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/aux_structure.cc.o.d"
+  "/root/repo/src/sgm/core/brute_force.cc" "src/CMakeFiles/sgm.dir/sgm/core/brute_force.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/brute_force.cc.o.d"
+  "/root/repo/src/sgm/core/candidate_sets.cc" "src/CMakeFiles/sgm.dir/sgm/core/candidate_sets.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/candidate_sets.cc.o.d"
+  "/root/repo/src/sgm/core/enumerate/enumerator.cc" "src/CMakeFiles/sgm.dir/sgm/core/enumerate/enumerator.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/enumerate/enumerator.cc.o.d"
+  "/root/repo/src/sgm/core/filter/ceci_filter.cc" "src/CMakeFiles/sgm.dir/sgm/core/filter/ceci_filter.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/filter/ceci_filter.cc.o.d"
+  "/root/repo/src/sgm/core/filter/cfl_filter.cc" "src/CMakeFiles/sgm.dir/sgm/core/filter/cfl_filter.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/filter/cfl_filter.cc.o.d"
+  "/root/repo/src/sgm/core/filter/dpiso_filter.cc" "src/CMakeFiles/sgm.dir/sgm/core/filter/dpiso_filter.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/filter/dpiso_filter.cc.o.d"
+  "/root/repo/src/sgm/core/filter/filter.cc" "src/CMakeFiles/sgm.dir/sgm/core/filter/filter.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/filter/filter.cc.o.d"
+  "/root/repo/src/sgm/core/filter/graphql_filter.cc" "src/CMakeFiles/sgm.dir/sgm/core/filter/graphql_filter.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/filter/graphql_filter.cc.o.d"
+  "/root/repo/src/sgm/core/filter/ldf_nlf_filter.cc" "src/CMakeFiles/sgm.dir/sgm/core/filter/ldf_nlf_filter.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/filter/ldf_nlf_filter.cc.o.d"
+  "/root/repo/src/sgm/core/filter/steady_filter.cc" "src/CMakeFiles/sgm.dir/sgm/core/filter/steady_filter.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/filter/steady_filter.cc.o.d"
+  "/root/repo/src/sgm/core/order/ceci_order.cc" "src/CMakeFiles/sgm.dir/sgm/core/order/ceci_order.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/order/ceci_order.cc.o.d"
+  "/root/repo/src/sgm/core/order/cfl_order.cc" "src/CMakeFiles/sgm.dir/sgm/core/order/cfl_order.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/order/cfl_order.cc.o.d"
+  "/root/repo/src/sgm/core/order/dpiso_order.cc" "src/CMakeFiles/sgm.dir/sgm/core/order/dpiso_order.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/order/dpiso_order.cc.o.d"
+  "/root/repo/src/sgm/core/order/graphql_order.cc" "src/CMakeFiles/sgm.dir/sgm/core/order/graphql_order.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/order/graphql_order.cc.o.d"
+  "/root/repo/src/sgm/core/order/order.cc" "src/CMakeFiles/sgm.dir/sgm/core/order/order.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/order/order.cc.o.d"
+  "/root/repo/src/sgm/core/order/quicksi_order.cc" "src/CMakeFiles/sgm.dir/sgm/core/order/quicksi_order.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/order/quicksi_order.cc.o.d"
+  "/root/repo/src/sgm/core/order/ri_order.cc" "src/CMakeFiles/sgm.dir/sgm/core/order/ri_order.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/order/ri_order.cc.o.d"
+  "/root/repo/src/sgm/core/order/vf2pp_order.cc" "src/CMakeFiles/sgm.dir/sgm/core/order/vf2pp_order.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/order/vf2pp_order.cc.o.d"
+  "/root/repo/src/sgm/core/spectrum.cc" "src/CMakeFiles/sgm.dir/sgm/core/spectrum.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/core/spectrum.cc.o.d"
+  "/root/repo/src/sgm/counting.cc" "src/CMakeFiles/sgm.dir/sgm/counting.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/counting.cc.o.d"
+  "/root/repo/src/sgm/explain.cc" "src/CMakeFiles/sgm.dir/sgm/explain.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/explain.cc.o.d"
+  "/root/repo/src/sgm/glasgow/glasgow.cc" "src/CMakeFiles/sgm.dir/sgm/glasgow/glasgow.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/glasgow/glasgow.cc.o.d"
+  "/root/repo/src/sgm/graph/generators.cc" "src/CMakeFiles/sgm.dir/sgm/graph/generators.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/graph/generators.cc.o.d"
+  "/root/repo/src/sgm/graph/graph.cc" "src/CMakeFiles/sgm.dir/sgm/graph/graph.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/graph/graph.cc.o.d"
+  "/root/repo/src/sgm/graph/graph_builder.cc" "src/CMakeFiles/sgm.dir/sgm/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/graph/graph_builder.cc.o.d"
+  "/root/repo/src/sgm/graph/graph_io.cc" "src/CMakeFiles/sgm.dir/sgm/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/graph/graph_io.cc.o.d"
+  "/root/repo/src/sgm/graph/graph_stats.cc" "src/CMakeFiles/sgm.dir/sgm/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/graph/graph_stats.cc.o.d"
+  "/root/repo/src/sgm/graph/graph_utils.cc" "src/CMakeFiles/sgm.dir/sgm/graph/graph_utils.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/graph/graph_utils.cc.o.d"
+  "/root/repo/src/sgm/graph/pattern_catalog.cc" "src/CMakeFiles/sgm.dir/sgm/graph/pattern_catalog.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/graph/pattern_catalog.cc.o.d"
+  "/root/repo/src/sgm/graph/query_generator.cc" "src/CMakeFiles/sgm.dir/sgm/graph/query_generator.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/graph/query_generator.cc.o.d"
+  "/root/repo/src/sgm/matcher.cc" "src/CMakeFiles/sgm.dir/sgm/matcher.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/matcher.cc.o.d"
+  "/root/repo/src/sgm/parallel/parallel_matcher.cc" "src/CMakeFiles/sgm.dir/sgm/parallel/parallel_matcher.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/parallel/parallel_matcher.cc.o.d"
+  "/root/repo/src/sgm/util/qfilter.cc" "src/CMakeFiles/sgm.dir/sgm/util/qfilter.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/util/qfilter.cc.o.d"
+  "/root/repo/src/sgm/util/set_intersection.cc" "src/CMakeFiles/sgm.dir/sgm/util/set_intersection.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/util/set_intersection.cc.o.d"
+  "/root/repo/src/sgm/wcoj/generic_join.cc" "src/CMakeFiles/sgm.dir/sgm/wcoj/generic_join.cc.o" "gcc" "src/CMakeFiles/sgm.dir/sgm/wcoj/generic_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

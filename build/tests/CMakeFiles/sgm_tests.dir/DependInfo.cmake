@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aux_structure_test.cc" "tests/CMakeFiles/sgm_tests.dir/aux_structure_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/aux_structure_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/sgm_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/bitset_test.cc" "tests/CMakeFiles/sgm_tests.dir/bitset_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/bitset_test.cc.o.d"
+  "/root/repo/tests/candidate_sets_test.cc" "tests/CMakeFiles/sgm_tests.dir/candidate_sets_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/candidate_sets_test.cc.o.d"
+  "/root/repo/tests/catalog_counting_test.cc" "tests/CMakeFiles/sgm_tests.dir/catalog_counting_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/catalog_counting_test.cc.o.d"
+  "/root/repo/tests/config_matrix_test.cc" "tests/CMakeFiles/sgm_tests.dir/config_matrix_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/config_matrix_test.cc.o.d"
+  "/root/repo/tests/enumerator_property_test.cc" "tests/CMakeFiles/sgm_tests.dir/enumerator_property_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/enumerator_property_test.cc.o.d"
+  "/root/repo/tests/enumerator_test.cc" "tests/CMakeFiles/sgm_tests.dir/enumerator_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/enumerator_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/sgm_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/failing_set_test.cc" "tests/CMakeFiles/sgm_tests.dir/failing_set_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/failing_set_test.cc.o.d"
+  "/root/repo/tests/filter_property_test.cc" "tests/CMakeFiles/sgm_tests.dir/filter_property_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/filter_property_test.cc.o.d"
+  "/root/repo/tests/filter_test.cc" "tests/CMakeFiles/sgm_tests.dir/filter_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/filter_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/sgm_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/glasgow_test.cc" "tests/CMakeFiles/sgm_tests.dir/glasgow_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/glasgow_test.cc.o.d"
+  "/root/repo/tests/graph_io_test.cc" "tests/CMakeFiles/sgm_tests.dir/graph_io_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/graph_io_test.cc.o.d"
+  "/root/repo/tests/graph_stats_test.cc" "tests/CMakeFiles/sgm_tests.dir/graph_stats_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/graph_stats_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/sgm_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/graph_utils_test.cc" "tests/CMakeFiles/sgm_tests.dir/graph_utils_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/graph_utils_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/sgm_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/matcher_test.cc" "tests/CMakeFiles/sgm_tests.dir/matcher_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/matcher_test.cc.o.d"
+  "/root/repo/tests/order_test.cc" "tests/CMakeFiles/sgm_tests.dir/order_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/order_test.cc.o.d"
+  "/root/repo/tests/paper_example_test.cc" "tests/CMakeFiles/sgm_tests.dir/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/paper_example_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/sgm_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/parallel_test.cc.o.d"
+  "/root/repo/tests/prng_test.cc" "tests/CMakeFiles/sgm_tests.dir/prng_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/prng_test.cc.o.d"
+  "/root/repo/tests/query_generator_test.cc" "tests/CMakeFiles/sgm_tests.dir/query_generator_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/query_generator_test.cc.o.d"
+  "/root/repo/tests/set_intersection_test.cc" "tests/CMakeFiles/sgm_tests.dir/set_intersection_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/set_intersection_test.cc.o.d"
+  "/root/repo/tests/spectrum_test.cc" "tests/CMakeFiles/sgm_tests.dir/spectrum_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/spectrum_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/sgm_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/structural_count_test.cc" "tests/CMakeFiles/sgm_tests.dir/structural_count_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/structural_count_test.cc.o.d"
+  "/root/repo/tests/test_main.cc" "tests/CMakeFiles/sgm_tests.dir/test_main.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/test_main.cc.o.d"
+  "/root/repo/tests/wcoj_test.cc" "tests/CMakeFiles/sgm_tests.dir/wcoj_test.cc.o" "gcc" "tests/CMakeFiles/sgm_tests.dir/wcoj_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_generate.dir/sgm_generate.cc.o"
+  "CMakeFiles/sgm_generate.dir/sgm_generate.cc.o.d"
+  "sgm_generate"
+  "sgm_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

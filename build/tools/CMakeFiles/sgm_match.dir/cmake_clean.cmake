@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgm_match.dir/sgm_match.cc.o"
+  "CMakeFiles/sgm_match.dir/sgm_match.cc.o.d"
+  "sgm_match"
+  "sgm_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgm_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
