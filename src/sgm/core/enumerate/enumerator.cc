@@ -1,8 +1,10 @@
 #include "sgm/core/enumerate/enumerator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
+#include "sgm/core/enumerate/enumeration_engine.h"
 #include "sgm/core/filter/filter.h"
 #include "sgm/util/timer.h"
 
@@ -22,422 +24,468 @@ const char* LocalCandidateMethodName(LocalCandidateMethod method) {
   return "unknown";
 }
 
-namespace {
+EnumerationEngine::EnumerationEngine(
+    const Graph& query, const Graph& data, const CandidateSets& candidates,
+    const AuxStructure* aux, std::span<const Vertex> order,
+    const EnumerateOptions& options, const DpisoWeights* weights,
+    MatchCallback callback)
+    : query_(query),
+      data_(data),
+      candidates_(candidates),
+      aux_(aux),
+      order_(order.begin(), order.end()),
+      options_(options),
+      weights_(weights),
+      callback_(std::move(callback)),
+      n_(query.vertex_count()),
+      slice_begin_(options.root_slice_begin),
+      slice_end_(options.root_slice_end) {
+  SGM_CHECK(n_ >= 1 && n_ <= kMaxQueryVertices);
+  SGM_CHECK(order.size() == n_);
+  SGM_CHECK(options.root_slice_begin <= options.root_slice_end);
+  full_mask_ = QuerySetFull(n_);
 
-// One enumeration run. Owns all per-run scratch state; the recursive
-// Explore implements lines 4-12 of Algorithm 1 plus the optional
-// optimizations.
-class EnumerationEngine {
- public:
-  EnumerationEngine(const Graph& query, const Graph& data,
-                    const CandidateSets& candidates, const AuxStructure* aux,
-                    std::span<const Vertex> order,
-                    const EnumerateOptions& options,
-                    const DpisoWeights* weights, const MatchCallback& callback)
-      : query_(query),
-        data_(data),
-        candidates_(candidates),
-        aux_(aux),
-        order_(order.begin(), order.end()),
-        options_(options),
-        weights_(weights),
-        callback_(callback),
-        n_(query.vertex_count()) {
-    SGM_CHECK(n_ >= 1 && n_ <= kMaxQueryVertices);
-    SGM_CHECK(order.size() == n_);
-    SGM_CHECK(options.root_slice_begin <= options.root_slice_end);
-    full_mask_ = QuerySetFull(n_);
+  position_.assign(n_, 0);
+  for (uint32_t i = 0; i < n_; ++i) position_[order_[i]] = i;
 
-    position_.assign(n_, 0);
-    for (uint32_t i = 0; i < n_; ++i) position_[order_[i]] = i;
+  // Backward neighbors (w.r.t. the order), their masks, and pivots.
+  backward_neighbors_.assign(n_, {});
+  backward_mask_.assign(n_, 0);
+  pivot_.assign(n_, kInvalidVertex);
+  for (Vertex u = 0; u < n_; ++u) {
+    uint32_t best_pos = std::numeric_limits<uint32_t>::max();
+    for (const Vertex w : query_.neighbors(u)) {
+      if (position_[w] < position_[u]) {
+        backward_neighbors_[u].push_back(w);
+        backward_mask_[u] |= QuerySetBit(w);
+        if (position_[w] < best_pos) {
+          best_pos = position_[w];
+          pivot_[u] = w;
+        }
+      }
+    }
+    if (options_.lc_method == LocalCandidateMethod::kPivotIndex &&
+        !backward_neighbors_[u].empty()) {
+      // The pivot must carry a candidate-adjacency index (a tree edge of
+      // q_t). Prefer the earliest such backward neighbor.
+      SGM_CHECK_MSG(aux_ != nullptr, "pivot-index needs an aux structure");
+      Vertex indexed = kInvalidVertex;
+      uint32_t indexed_pos = std::numeric_limits<uint32_t>::max();
+      for (const Vertex w : backward_neighbors_[u]) {
+        if (aux_->HasIndex(w, u) && position_[w] < indexed_pos) {
+          indexed_pos = position_[w];
+          indexed = w;
+        }
+      }
+      SGM_CHECK_MSG(indexed != kInvalidVertex,
+                    "pivot-index requires an indexed backward edge per vertex");
+      pivot_[u] = indexed;
+    }
+  }
+  if (options_.lc_method == LocalCandidateMethod::kIntersect) {
+    SGM_CHECK_MSG(aux_ != nullptr, "intersect needs an aux structure");
+  }
 
-    // Backward neighbors (w.r.t. the order), their masks, and pivots.
-    backward_neighbors_.assign(n_, {});
-    backward_mask_.assign(n_, 0);
-    pivot_.assign(n_, kInvalidVertex);
+  mapping_.assign(n_, kInvalidVertex);
+  inverse_.assign(data_.vertex_count(), kInvalidVertex);
+  lc_buffer_.assign(n_, {});
+  backward_lists_.reserve(n_);
+
+  if (options_.vf2pp_lookahead) {
+    // Forward-neighbor label requirements per query vertex.
+    forward_label_counts_.assign(n_, {});
     for (Vertex u = 0; u < n_; ++u) {
-      uint32_t best_pos = std::numeric_limits<uint32_t>::max();
+      std::vector<std::pair<Label, uint32_t>> counts;
       for (const Vertex w : query_.neighbors(u)) {
-        if (position_[w] < position_[u]) {
-          backward_neighbors_[u].push_back(w);
-          backward_mask_[u] |= QuerySetBit(w);
-          if (position_[w] < best_pos) {
-            best_pos = position_[w];
-            pivot_[u] = w;
-          }
-        }
-      }
-      if (options_.lc_method == LocalCandidateMethod::kPivotIndex &&
-          !backward_neighbors_[u].empty()) {
-        // The pivot must carry a candidate-adjacency index (a tree edge of
-        // q_t). Prefer the earliest such backward neighbor.
-        SGM_CHECK_MSG(aux_ != nullptr, "pivot-index needs an aux structure");
-        Vertex indexed = kInvalidVertex;
-        uint32_t indexed_pos = std::numeric_limits<uint32_t>::max();
-        for (const Vertex w : backward_neighbors_[u]) {
-          if (aux_->HasIndex(w, u) && position_[w] < indexed_pos) {
-            indexed_pos = position_[w];
-            indexed = w;
-          }
-        }
-        SGM_CHECK_MSG(indexed != kInvalidVertex,
-                      "pivot-index requires an indexed backward edge per vertex");
-        pivot_[u] = indexed;
-      }
-    }
-    if (options_.lc_method == LocalCandidateMethod::kIntersect) {
-      SGM_CHECK_MSG(aux_ != nullptr, "intersect needs an aux structure");
-    }
-
-    mapping_.assign(n_, kInvalidVertex);
-    inverse_.assign(data_.vertex_count(), kInvalidVertex);
-    lc_buffer_.assign(n_, {});
-
-    if (options_.vf2pp_lookahead) {
-      // Forward-neighbor label requirements per query vertex.
-      forward_label_counts_.assign(n_, {});
-      for (Vertex u = 0; u < n_; ++u) {
-        std::vector<std::pair<Label, uint32_t>> counts;
-        for (const Vertex w : query_.neighbors(u)) {
-          if (position_[w] > position_[u]) {
-            bool found = false;
-            for (auto& [l, c] : counts) {
-              if (l == query_.label(w)) {
-                ++c;
-                found = true;
-              }
+        if (position_[w] > position_[u]) {
+          bool found = false;
+          for (auto& [l, c] : counts) {
+            if (l == query_.label(w)) {
+              ++c;
+              found = true;
             }
-            if (!found) counts.emplace_back(query_.label(w), 1);
           }
+          if (!found) counts.emplace_back(query_.label(w), 1);
         }
-        forward_label_counts_[u] = std::move(counts);
       }
-    }
-
-    if (options_.adaptive_order) {
-      SGM_CHECK_MSG(weights_ != nullptr && !weights_->empty(),
-                    "adaptive ordering needs DP-iso weights");
-      SGM_CHECK_MSG(options_.lc_method == LocalCandidateMethod::kIntersect,
-                    "adaptive ordering requires the intersect method");
-      unmapped_backward_.assign(n_, 0);
-      extendable_.assign(n_, false);
-      adaptive_lc_.assign(n_, {});
-      adaptive_weight_.assign(n_, 0.0);
-      for (Vertex u = 0; u < n_; ++u) {
-        unmapped_backward_[u] =
-            static_cast<uint32_t>(backward_neighbors_[u].size());
-        if (unmapped_backward_[u] == 0) MakeExtendable(u);
-      }
+      forward_label_counts_[u] = std::move(counts);
     }
   }
 
-  EnumerateStats Run() {
-    timer_.Reset();
-    if (n_ > 0 && !candidates_.AnyEmpty()) Explore(0);
-    stats_.enumeration_ms = timer_.ElapsedMillis();
-    return stats_;
-  }
-
- private:
-  // ---- Adaptive-order bookkeeping (DP-iso). ----
-
-  void MakeExtendable(Vertex u) {
-    extendable_[u] = true;
-    auto& lc = adaptive_lc_[u];
-    lc.clear();
-    if (backward_neighbors_[u].empty()) {
-      const auto cands = candidates_.candidates(u);
-      lc.assign(cands.begin(), cands.end());
-    } else {
-      ComputeIntersectionLc(u, &lc);
-    }
-    double weight = 0.0;
-    for (const Vertex v : lc) {
-      const uint32_t index = candidates_.IndexOf(u, v);
-      weight += weights_->WeightByIndex(u, index);
-    }
-    adaptive_weight_[u] = weight;
-  }
-
-  void OnMapped(Vertex u) {
-    if (!options_.adaptive_order) return;
-    for (const Vertex w : query_.neighbors(u)) {
-      if (position_[w] > position_[u]) {
-        if (--unmapped_backward_[w] == 0) MakeExtendable(w);
-      }
-    }
-  }
-
-  void OnUnmapped(Vertex u) {
-    if (!options_.adaptive_order) return;
-    for (const Vertex w : query_.neighbors(u)) {
-      if (position_[w] > position_[u]) {
-        if (unmapped_backward_[w]++ == 0) extendable_[w] = false;
-      }
-    }
-  }
-
-  // Selects the next query vertex to extend (line 6 of Algorithm 1).
-  Vertex SelectVertex(uint32_t depth) {
-    if (!options_.adaptive_order) return order_[depth];
-    Vertex best = kInvalidVertex;
-    double best_weight = std::numeric_limits<double>::infinity();
+  if (options_.adaptive_order) {
+    SGM_CHECK_MSG(weights_ != nullptr && !weights_->empty(),
+                  "adaptive ordering needs DP-iso weights");
+    SGM_CHECK_MSG(options_.lc_method == LocalCandidateMethod::kIntersect,
+                  "adaptive ordering requires the intersect method");
+    unmapped_backward_.assign(n_, 0);
+    extendable_.assign(n_, false);
+    adaptive_lc_.assign(n_, {});
+    adaptive_weight_.assign(n_, 0.0);
     for (Vertex u = 0; u < n_; ++u) {
-      if (extendable_[u] && mapping_[u] == kInvalidVertex &&
-          adaptive_weight_[u] < best_weight) {
-        best_weight = adaptive_weight_[u];
-        best = u;
-      }
-    }
-    SGM_CHECK_MSG(best != kInvalidVertex, "no extendable vertex");
-    return best;
-  }
-
-  // ---- Local candidate computation (Algorithms 2-5). ----
-
-  // Intersects the candidate-adjacency lists of all backward neighbors of u
-  // into *out (Algorithm 5 with more than one backward neighbor).
-  void ComputeIntersectionLc(Vertex u, std::vector<Vertex>* out) {
-    const auto& backward = backward_neighbors_[u];
-    SGM_CHECK(!backward.empty());
-    if (backward.size() == 1) {
-      const auto list =
-          aux_->NeighborsOfVertex(backward[0], mapping_[backward[0]], u);
-      out->assign(list.begin(), list.end());
-      return;
-    }
-    // Start from the smallest list to bound the intersection cost.
-    std::span<const Vertex> smallest;
-    size_t smallest_size = std::numeric_limits<size_t>::max();
-    for (const Vertex w : backward) {
-      const auto list = aux_->NeighborsOfVertex(w, mapping_[w], u);
-      if (list.size() < smallest_size) {
-        smallest_size = list.size();
-        smallest = list;
-      }
-    }
-    out->assign(smallest.begin(), smallest.end());
-    for (const Vertex w : backward) {
-      const auto list = aux_->NeighborsOfVertex(w, mapping_[w], u);
-      if (list.data() == smallest.data()) continue;
-      Intersect(options_.intersection, *out, list, &intersect_scratch_);
-      out->swap(intersect_scratch_);
-      if (out->empty()) return;
+      unmapped_backward_[u] =
+          static_cast<uint32_t>(backward_neighbors_[u].size());
+      if (unmapped_backward_[u] == 0) MakeExtendable(u);
     }
   }
+}
 
-  // VF2++ look-ahead: every forward-neighbor label class of u must have
-  // enough unmapped neighbors around v.
-  bool PassesVf2ppLookahead(Vertex u, Vertex v) {
-    const auto& required = forward_label_counts_[u];
-    if (required.empty()) return true;
-    for (const auto& [label, count] : required) {
-      uint32_t available = 0;
-      for (const Vertex w : data_.neighbors(v)) {
-        if (inverse_[w] == kInvalidVertex && data_.label(w) == label &&
-            ++available >= count) {
-          break;
-        }
-      }
-      if (available < count) return false;
+void EnumerationEngine::Reset() {
+  // Backtracking restores the scratch state even on abort, so this scan
+  // normally finds nothing; it exists so a future mid-search suspension
+  // cannot leak mappings into the next run.
+  bool dirty = false;
+  for (Vertex u = 0; u < n_; ++u) {
+    if (mapping_[u] != kInvalidVertex) {
+      inverse_[mapping_[u]] = kInvalidVertex;
+      mapping_[u] = kInvalidVertex;
+      dirty = true;
     }
-    return true;
   }
-
-  // Computes LC(u, M) at the given depth into a span valid until the next
-  // ComputeLocalCandidates call at the same depth.
-  std::span<const Vertex> ComputeLocalCandidates(Vertex u, uint32_t depth) {
-    if (options_.adaptive_order) {
-      // Computed once when u became extendable; still valid (see DESIGN.md).
-      return adaptive_lc_[u];
+  aborted_ = false;
+  current_root_image_ = kInvalidVertex;
+  if (options_.adaptive_order && dirty) {
+    for (Vertex u = 0; u < n_; ++u) {
+      unmapped_backward_[u] =
+          static_cast<uint32_t>(backward_neighbors_[u].size());
+      extendable_[u] = false;
     }
-    const auto& backward = backward_neighbors_[u];
-    if (depth == 0 || backward.empty()) return candidates_.candidates(u);
+    for (Vertex u = 0; u < n_; ++u) {
+      if (unmapped_backward_[u] == 0) MakeExtendable(u);
+    }
+  }
+}
 
-    auto& buffer = lc_buffer_[depth];
-    buffer.clear();
-    switch (options_.lc_method) {
-      case LocalCandidateMethod::kNeighborScan: {
-        // Algorithm 2: scan the neighbors of the pivot's image.
-        const Vertex pivot = pivot_[u];
-        for (const Vertex v : data_.neighbors(mapping_[pivot])) {
-          const bool admissible =
-              options_.restrict_neighbor_scan_to_candidates
-                  ? candidates_.Contains(u, v)
-                  : PassesLdf(query_, data_, u, v);
-          if (!admissible) continue;
-          bool ok = true;
-          for (const Vertex w : backward) {
-            if (w != pivot && !data_.HasEdge(v, mapping_[w])) {
-              ok = false;
-              break;
-            }
-          }
-          if (ok && options_.vf2pp_lookahead && !PassesVf2ppLookahead(u, v)) {
+void EnumerationEngine::RunSlice(uint32_t begin, uint32_t end) {
+  if (aborted_ || n_ == 0 || candidates_.AnyEmpty()) return;
+  slice_depth_ = 0;
+  slice_begin_ = begin;
+  slice_end_ = end;
+  Explore(0);
+}
+
+void EnumerationEngine::RunSubtree(Vertex root_image, uint32_t d1_begin,
+                                   uint32_t d1_end) {
+  if (aborted_ || n_ < 2 || candidates_.AnyEmpty()) return;
+  const Vertex u0 = SelectVertex(0);
+  SGM_CHECK(inverse_[root_image] == kInvalidVertex);
+  mapping_[u0] = root_image;
+  inverse_[root_image] = u0;
+  current_root_image_ = root_image;
+  OnMapped(u0);
+  slice_depth_ = 1;
+  slice_begin_ = d1_begin;
+  slice_end_ = d1_end;
+  Explore(1);
+  OnUnmapped(u0);
+  inverse_[root_image] = kInvalidVertex;
+  mapping_[u0] = kInvalidVertex;
+  current_root_image_ = kInvalidVertex;
+  slice_depth_ = 0;
+}
+
+EnumerateStats EnumerationEngine::Run() {
+  timer_.Reset();
+  RunSlice(options_.root_slice_begin, options_.root_slice_end);
+  stats_.enumeration_ms = timer_.ElapsedMillis();
+  return stats_;
+}
+
+// ---- Adaptive-order bookkeeping (DP-iso). ----
+
+void EnumerationEngine::MakeExtendable(Vertex u) {
+  extendable_[u] = true;
+  auto& lc = adaptive_lc_[u];
+  lc.clear();
+  if (backward_neighbors_[u].empty()) {
+    const auto cands = candidates_.candidates(u);
+    lc.assign(cands.begin(), cands.end());
+  } else {
+    ComputeIntersectionLc(u, &lc);
+  }
+  double weight = 0.0;
+  for (const Vertex v : lc) {
+    const uint32_t index = candidates_.IndexOf(u, v);
+    weight += weights_->WeightByIndex(u, index);
+  }
+  adaptive_weight_[u] = weight;
+}
+
+void EnumerationEngine::OnMapped(Vertex u) {
+  if (!options_.adaptive_order) return;
+  for (const Vertex w : query_.neighbors(u)) {
+    if (position_[w] > position_[u]) {
+      if (--unmapped_backward_[w] == 0) MakeExtendable(w);
+    }
+  }
+}
+
+void EnumerationEngine::OnUnmapped(Vertex u) {
+  if (!options_.adaptive_order) return;
+  for (const Vertex w : query_.neighbors(u)) {
+    if (position_[w] > position_[u]) {
+      if (unmapped_backward_[w]++ == 0) extendable_[w] = false;
+    }
+  }
+}
+
+// Selects the next query vertex to extend (line 6 of Algorithm 1).
+Vertex EnumerationEngine::SelectVertex(uint32_t depth) {
+  if (!options_.adaptive_order) return order_[depth];
+  Vertex best = kInvalidVertex;
+  double best_weight = std::numeric_limits<double>::infinity();
+  for (Vertex u = 0; u < n_; ++u) {
+    if (extendable_[u] && mapping_[u] == kInvalidVertex &&
+        adaptive_weight_[u] < best_weight) {
+      best_weight = adaptive_weight_[u];
+      best = u;
+    }
+  }
+  SGM_CHECK_MSG(best != kInvalidVertex, "no extendable vertex");
+  return best;
+}
+
+// ---- Local candidate computation (Algorithms 2-5). ----
+
+// Intersects the candidate-adjacency lists of all backward neighbors of u
+// into *out (Algorithm 5 with more than one backward neighbor).
+void EnumerationEngine::ComputeIntersectionLc(Vertex u,
+                                              std::vector<Vertex>* out) {
+  const auto& backward = backward_neighbors_[u];
+  SGM_CHECK(!backward.empty());
+  if (backward.size() == 1) {
+    const auto list =
+        aux_->NeighborsOfVertex(backward[0], mapping_[backward[0]], u);
+    out->assign(list.begin(), list.end());
+    return;
+  }
+  // Fetch every backward adjacency list exactly once (each lookup is a
+  // binary search in C(w)), then start from the smallest to bound the
+  // intersection cost.
+  backward_lists_.clear();
+  size_t smallest = 0;
+  for (const Vertex w : backward) {
+    backward_lists_.push_back(aux_->NeighborsOfVertex(w, mapping_[w], u));
+    if (backward_lists_.back().size() < backward_lists_[smallest].size()) {
+      smallest = backward_lists_.size() - 1;
+    }
+  }
+  out->assign(backward_lists_[smallest].begin(),
+              backward_lists_[smallest].end());
+  for (size_t i = 0; i < backward_lists_.size(); ++i) {
+    if (i == smallest) continue;
+    Intersect(options_.intersection, *out, backward_lists_[i],
+              &intersect_scratch_);
+    out->swap(intersect_scratch_);
+    if (out->empty()) return;
+  }
+}
+
+// VF2++ look-ahead: every forward-neighbor label class of u must have
+// enough unmapped neighbors around v.
+bool EnumerationEngine::PassesVf2ppLookahead(Vertex u, Vertex v) {
+  const auto& required = forward_label_counts_[u];
+  if (required.empty()) return true;
+  for (const auto& [label, count] : required) {
+    uint32_t available = 0;
+    for (const Vertex w : data_.neighbors(v)) {
+      if (inverse_[w] == kInvalidVertex && data_.label(w) == label &&
+          ++available >= count) {
+        break;
+      }
+    }
+    if (available < count) return false;
+  }
+  return true;
+}
+
+// Computes LC(u, M) at the given depth into a span valid until the next
+// ComputeLocalCandidates call at the same depth.
+std::span<const Vertex> EnumerationEngine::ComputeLocalCandidates(
+    Vertex u, uint32_t depth) {
+  if (options_.adaptive_order) {
+    // Computed once when u became extendable; still valid (see DESIGN.md).
+    return adaptive_lc_[u];
+  }
+  const auto& backward = backward_neighbors_[u];
+  if (depth == 0 || backward.empty()) return candidates_.candidates(u);
+
+  auto& buffer = lc_buffer_[depth];
+  buffer.clear();
+  switch (options_.lc_method) {
+    case LocalCandidateMethod::kNeighborScan: {
+      // Algorithm 2: scan the neighbors of the pivot's image.
+      const Vertex pivot = pivot_[u];
+      for (const Vertex v : data_.neighbors(mapping_[pivot])) {
+        const bool admissible =
+            options_.restrict_neighbor_scan_to_candidates
+                ? candidates_.Contains(u, v)
+                : PassesLdf(query_, data_, u, v);
+        if (!admissible) continue;
+        bool ok = true;
+        for (const Vertex w : backward) {
+          if (w != pivot && !data_.HasEdge(v, mapping_[w])) {
             ok = false;
+            break;
           }
-          if (ok) buffer.push_back(v);
         }
-        break;
-      }
-      case LocalCandidateMethod::kCandidateScan: {
-        // Algorithm 3: scan C(u) and verify every backward edge.
-        for (const Vertex v : candidates_.candidates(u)) {
-          bool ok = true;
-          for (const Vertex w : backward) {
-            if (!data_.HasEdge(v, mapping_[w])) {
-              ok = false;
-              break;
-            }
-          }
-          if (ok) buffer.push_back(v);
+        if (ok && options_.vf2pp_lookahead && !PassesVf2ppLookahead(u, v)) {
+          ok = false;
         }
-        break;
+        if (ok) buffer.push_back(v);
       }
-      case LocalCandidateMethod::kPivotIndex: {
-        // Algorithm 4: pivot list from A, remaining edges against G.
-        const Vertex pivot = pivot_[u];
-        const auto base = aux_->NeighborsOfVertex(pivot, mapping_[pivot], u);
-        if (backward.size() == 1) return base;
-        for (const Vertex v : base) {
-          bool ok = true;
-          for (const Vertex w : backward) {
-            if (w != pivot && !data_.HasEdge(v, mapping_[w])) {
-              ok = false;
-              break;
-            }
-          }
-          if (ok) buffer.push_back(v);
-        }
-        break;
-      }
-      case LocalCandidateMethod::kIntersect: {
-        // Algorithm 5: set intersections over A.
-        if (backward.size() == 1) {
-          return aux_->NeighborsOfVertex(backward[0], mapping_[backward[0]],
-                                         u);
-        }
-        ComputeIntersectionLc(u, &buffer);
-        break;
-      }
+      break;
     }
-    return buffer;
+    case LocalCandidateMethod::kCandidateScan: {
+      // Algorithm 3: scan C(u) and verify every backward edge.
+      for (const Vertex v : candidates_.candidates(u)) {
+        bool ok = true;
+        for (const Vertex w : backward) {
+          if (!data_.HasEdge(v, mapping_[w])) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) buffer.push_back(v);
+      }
+      break;
+    }
+    case LocalCandidateMethod::kPivotIndex: {
+      // Algorithm 4: pivot list from A, remaining edges against G.
+      const Vertex pivot = pivot_[u];
+      const auto base = aux_->NeighborsOfVertex(pivot, mapping_[pivot], u);
+      if (backward.size() == 1) return base;
+      for (const Vertex v : base) {
+        bool ok = true;
+        for (const Vertex w : backward) {
+          if (w != pivot && !data_.HasEdge(v, mapping_[w])) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) buffer.push_back(v);
+      }
+      break;
+    }
+    case LocalCandidateMethod::kIntersect: {
+      // Algorithm 5: set intersections over A.
+      if (backward.size() == 1) {
+        return aux_->NeighborsOfVertex(backward[0], mapping_[backward[0]], u);
+      }
+      ComputeIntersectionLc(u, &buffer);
+      break;
+    }
   }
+  return buffer;
+}
 
-  // ---- The search (lines 4-12 of Algorithm 1). ----
+// ---- The search (lines 4-12 of Algorithm 1). ----
 
-  // Explores all extensions of the current partial match. Returns the
-  // failing set of this subtree (meaningful only when failing sets are on).
-  QueryVertexSet Explore(uint32_t depth) {
-    ++stats_.recursion_calls;
-    if ((stats_.recursion_calls & 1023) == 0 && options_.time_limit_ms > 0 &&
+// Explores all extensions of the current partial match. Returns the
+// failing set of this subtree (meaningful only when failing sets are on).
+QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
+  ++stats_.recursion_calls;
+  if ((stats_.recursion_calls & 1023) == 0) {
+    if (options_.time_limit_ms > 0 &&
         timer_.ElapsedMillis() > options_.time_limit_ms) {
       aborted_ = true;
       stats_.timed_out = true;
     }
-    if (aborted_) return full_mask_;
-
-    const Vertex u = SelectVertex(depth);
-    auto local_candidates = ComputeLocalCandidates(u, depth);
-    if (depth == 0) {
-      const auto begin = std::min<size_t>(options_.root_slice_begin,
-                                          local_candidates.size());
-      const auto end =
-          std::min<size_t>(options_.root_slice_end, local_candidates.size());
-      local_candidates = local_candidates.subspan(begin, end - begin);
-    }
-    stats_.local_candidates_scanned += local_candidates.size();
-
-    if (local_candidates.empty()) {
-      // "Emptyset class" failing set: u and its mapped neighbors.
-      return QuerySetBit(u) | backward_mask_[u];
-    }
-
-    QueryVertexSet node_set = 0;
-    for (size_t i = 0; i < local_candidates.size(); ++i) {
-      const Vertex v = local_candidates[i];
-      QueryVertexSet child_set;
-      if (inverse_[v] != kInvalidVertex) {
-        // Injectivity conflict: the failure involves u and the query vertex
-        // already holding v ("conflict class").
-        child_set = QuerySetBit(u) | QuerySetBit(inverse_[v]);
-      } else {
-        mapping_[u] = v;
-        inverse_[v] = u;
-        OnMapped(u);
-        if (depth + 1 == n_) {
-          RecordMatch();
-          child_set = full_mask_;
-        } else {
-          child_set = Explore(depth + 1);
-        }
-        OnUnmapped(u);
-        inverse_[v] = kInvalidVertex;
-        mapping_[u] = kInvalidVertex;
-      }
-      if (aborted_) return full_mask_;
-      if (options_.use_failing_sets) {
-        if (!QuerySetContains(child_set, u)) {
-          // The failure did not involve u: re-binding u cannot help, skip
-          // the remaining siblings (Example 3.5).
-          stats_.failing_set_prunes += local_candidates.size() - i - 1;
-          return child_set;
-        }
-        node_set |= child_set;
-      }
-    }
-    // Every extension of u failed for u-dependent reasons. The node's
-    // failure additionally depends on u's mapped neighbors: they determine
-    // LC(u, M), so a different assignment of one of them could surface a
-    // fresh candidate. Their bits must stay in the failing set (this is why
-    // DP-iso uses ancestor sets).
-    return node_set | QuerySetBit(u) | backward_mask_[u];
-  }
-
-  void RecordMatch() {
-    ++stats_.match_count;
-    if (callback_ && !callback_(mapping_)) aborted_ = true;
-    if (options_.max_matches > 0 &&
-        stats_.match_count >= options_.max_matches) {
+    if (options_.cancel_flag != nullptr &&
+        options_.cancel_flag->load(std::memory_order_relaxed)) {
       aborted_ = true;
-      stats_.reached_match_limit = true;
     }
   }
+  if (aborted_) return full_mask_;
 
-  const Graph& query_;
-  const Graph& data_;
-  const CandidateSets& candidates_;
-  const AuxStructure* aux_;
-  std::vector<Vertex> order_;
-  EnumerateOptions options_;
-  const DpisoWeights* weights_;
-  const MatchCallback& callback_;
-  uint32_t n_;
-  QueryVertexSet full_mask_ = 0;
+  const Vertex u = SelectVertex(depth);
+  auto local_candidates = ComputeLocalCandidates(u, depth);
+  size_t offset = 0;
+  if (depth == slice_depth_) {
+    const auto begin = std::min<size_t>(slice_begin_, local_candidates.size());
+    const auto end = std::min<size_t>(slice_end_, local_candidates.size());
+    local_candidates = local_candidates.subspan(begin, end - begin);
+    offset = begin;
+  }
+  stats_.local_candidates_scanned += local_candidates.size();
 
-  std::vector<uint32_t> position_;
-  std::vector<std::vector<Vertex>> backward_neighbors_;
-  std::vector<QueryVertexSet> backward_mask_;
-  std::vector<Vertex> pivot_;
+  if (local_candidates.empty()) {
+    // "Emptyset class" failing set: u and its mapped neighbors.
+    return QuerySetBit(u) | backward_mask_[u];
+  }
 
-  std::vector<Vertex> mapping_;
-  std::vector<Vertex> inverse_;
-  std::vector<std::vector<Vertex>> lc_buffer_;
-  std::vector<Vertex> intersect_scratch_;
+  QueryVertexSet node_set = 0;
+  size_t limit = local_candidates.size();
+  bool donated = false;
+  for (size_t i = 0; i < limit; ++i) {
+    if (depth == 1 && split_hook_ && i + 1 < limit) {
+      // Work-stealing endgame: offer the depth-1 candidates we have not
+      // started yet as stealable subtasks. Indices are absolute within the
+      // full depth-1 list, so a thief recomputes the identical list and
+      // takes exactly the donated window.
+      const uint32_t kept =
+          split_hook_(current_root_image_, static_cast<uint32_t>(offset + i + 1),
+                      static_cast<uint32_t>(offset + limit));
+      if (kept < offset + limit) {
+        donated = true;
+        limit = kept - offset;
+      }
+    }
+    const Vertex v = local_candidates[i];
+    QueryVertexSet child_set;
+    if (inverse_[v] != kInvalidVertex) {
+      // Injectivity conflict: the failure involves u and the query vertex
+      // already holding v ("conflict class").
+      child_set = QuerySetBit(u) | QuerySetBit(inverse_[v]);
+    } else {
+      mapping_[u] = v;
+      inverse_[v] = u;
+      if (depth == 0) current_root_image_ = v;
+      OnMapped(u);
+      if (depth + 1 == n_) {
+        RecordMatch();
+        child_set = full_mask_;
+      } else {
+        child_set = Explore(depth + 1);
+      }
+      OnUnmapped(u);
+      inverse_[v] = kInvalidVertex;
+      mapping_[u] = kInvalidVertex;
+    }
+    if (aborted_) return full_mask_;
+    if (options_.use_failing_sets) {
+      if (!QuerySetContains(child_set, u)) {
+        // The failure did not involve u: re-binding u cannot help, skip
+        // the remaining siblings (Example 3.5). Donated siblings provably
+        // fail too, so the set stays valid even after a split.
+        stats_.failing_set_prunes += limit - i - 1;
+        return child_set;
+      }
+      node_set |= child_set;
+    }
+  }
+  // When part of this node's children were donated to thieves, we cannot
+  // claim the node failed — a donated subtree may still contain matches —
+  // so return the full mask, which never prunes anything above.
+  if (donated) return full_mask_;
+  // Every extension of u failed for u-dependent reasons. The node's
+  // failure additionally depends on u's mapped neighbors: they determine
+  // LC(u, M), so a different assignment of one of them could surface a
+  // fresh candidate. Their bits must stay in the failing set (this is why
+  // DP-iso uses ancestor sets).
+  return node_set | QuerySetBit(u) | backward_mask_[u];
+}
 
-  std::vector<std::vector<std::pair<Label, uint32_t>>> forward_label_counts_;
-
-  std::vector<uint32_t> unmapped_backward_;
-  std::vector<uint8_t> extendable_;
-  std::vector<std::vector<Vertex>> adaptive_lc_;
-  std::vector<double> adaptive_weight_;
-
-  EnumerateStats stats_;
-  Timer timer_;
-  bool aborted_ = false;
-};
-
-}  // namespace
+void EnumerationEngine::RecordMatch() {
+  // Delivered-match semantics: the match is counted even when the callback
+  // vetoes it — the veto stops the search *after* this delivery. The
+  // parallel matcher implements the same rule (see parallel_matcher.cc).
+  ++stats_.match_count;
+  if (callback_ && !callback_(mapping_)) aborted_ = true;
+  if (options_.max_matches > 0 && stats_.match_count >= options_.max_matches) {
+    aborted_ = true;
+    stats_.reached_match_limit = true;
+  }
+}
 
 EnumerateStats Enumerate(const Graph& query, const Graph& data,
                          const CandidateSets& candidates,

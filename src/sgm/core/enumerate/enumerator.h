@@ -6,6 +6,7 @@
 #ifndef SGM_CORE_ENUMERATE_ENUMERATOR_H_
 #define SGM_CORE_ENUMERATE_ENUMERATOR_H_
 
+#include <atomic>
 #include <functional>
 #include <span>
 #include <vector>
@@ -66,10 +67,20 @@ struct EnumerateOptions {
   /// by the parallel matcher. Defaults cover the whole candidate set.
   uint32_t root_slice_begin = 0;
   uint32_t root_slice_end = 0xffffffffu;
+  /// Optional cooperative cancellation: checked (relaxed) every 1024
+  /// recursion calls; a set flag aborts the search like a timeout, without
+  /// marking it timed out. Used by the parallel matcher so a global stop
+  /// (budget reached, callback veto) halts workers stuck in matchless
+  /// subtrees. Must outlive the run; may be null.
+  const std::atomic<bool>* cancel_flag = nullptr;
 };
 
 /// Outcome and search statistics of one enumeration run.
 struct EnumerateStats {
+  /// Matches delivered. Counting uses delivered-match semantics: a match
+  /// whose callback returns false is still counted — the veto stops the
+  /// search after the delivery, it does not un-deliver the match. The
+  /// serial and parallel paths agree on this rule.
   uint64_t match_count = 0;
   /// Recursive Enumerate invocations (search-tree nodes).
   uint64_t recursion_calls = 0;
@@ -86,7 +97,8 @@ struct EnumerateStats {
 /// query vertex i (not order position). Return false to stop enumeration.
 using MatchCallback = std::function<bool(std::span<const Vertex>)>;
 
-/// Runs the backtracking enumeration.
+/// Runs the backtracking enumeration (single-shot; schedulers that reuse
+/// one engine per worker use EnumerationEngine in enumeration_engine.h).
 ///
 /// `order` is the matching order (or the BFS order δ when adaptive ordering
 /// is on). `aux` may be null only for kNeighborScan / kCandidateScan.

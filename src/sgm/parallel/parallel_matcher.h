@@ -1,29 +1,100 @@
 // Shared-memory parallel subgraph matching — the single-machine parallel
 // execution style of PSM/CECI/pRI that Table 1 of the paper lists for most
 // algorithm families. Preprocessing (filtering, auxiliary structure,
-// ordering) runs once; the candidate set of the first order vertex is then
-// partitioned into contiguous slices, one enumeration engine per worker
-// thread, with a shared atomic match budget.
+// ordering) runs once; enumeration then fans out over the candidates of the
+// first order vertex, with a shared atomic match budget.
+//
+// Two dispatch modes:
+//  - kStaticSlices: the original scheme — the root candidate range is cut
+//    into one contiguous slice per worker up front. Simple, but enumeration
+//    trees are heavily skewed, so one worker usually drains a hub root while
+//    the rest sit idle.
+//  - kWorkStealing (default): root candidates are dispensed as fine-grained
+//    chunks from a shared atomic counter; each worker owns one long-lived
+//    EnumerationEngine whose scratch is reset (not reallocated) per chunk.
+//    In the endgame, the worker holding the last remaining work publishes
+//    the untried depth-1 subtrees of its current root as stealable
+//    subtasks, so even a single dominant root spreads across all workers.
 #ifndef SGM_PARALLEL_PARALLEL_MATCHER_H_
 #define SGM_PARALLEL_PARALLEL_MATCHER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "sgm/matcher.h"
 
 namespace sgm {
+
+/// How enumeration work is distributed across workers.
+enum class ParallelMode : uint8_t {
+  kStaticSlices = 0,
+  kWorkStealing = 1,
+};
+
+/// Returns "static" / "work-stealing".
+const char* ParallelModeName(ParallelMode mode);
+
+/// Knobs of a parallel run (beyond the per-query MatchOptions).
+struct ParallelOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  uint32_t thread_count = 0;
+  ParallelMode mode = ParallelMode::kWorkStealing;
+  /// Root candidates per dispatched chunk (work-stealing mode);
+  /// 0 = auto-tuned from candidate count and thread count.
+  uint32_t chunk_size = 0;
+  /// Depth-1 subtree splitting in the endgame (work-stealing mode).
+  bool subtree_stealing = true;
+};
+
+/// Per-worker accounting of one parallel run, for load-balance analysis.
+struct ParallelWorkerStats {
+  /// Root chunks this worker claimed (1 contiguous slice in static mode).
+  uint32_t root_chunks = 0;
+  /// Stolen depth-1 subtasks this worker executed.
+  uint32_t stolen_subtasks = 0;
+  uint64_t recursion_calls = 0;
+  uint64_t matches_found = 0;
+  /// CPU time spent executing work items (thread CPU clock, so comparable
+  /// even when workers outnumber cores).
+  double busy_ms = 0.0;
+  /// CPU time of each individual work item this worker executed, in
+  /// execution order (static mode: one entry, the whole slice). Summing
+  /// gives busy_ms; schedulers/benches can replay these costs to evaluate
+  /// an assignment independently of how the OS scheduled the threads —
+  /// essential on hosts with fewer cores than workers.
+  std::vector<double> item_costs_ms;
+};
 
 /// Result of a parallel run: the standard MatchResult (times are wall
 /// clock; search counters are summed over workers) plus worker accounting.
 struct ParallelMatchResult {
   MatchResult result;
   uint32_t workers_used = 0;
+  ParallelMode mode = ParallelMode::kWorkStealing;
+  /// Root chunk size actually used (the full slice length in static mode).
+  uint32_t chunk_size = 0;
+  /// Depth-1 subtasks published across the run (work-stealing mode).
+  uint64_t subtasks_published = 0;
+  std::vector<ParallelWorkerStats> worker_stats;
+
+  /// Load-imbalance factor: max worker busy time / mean worker busy time.
+  /// 1.0 is perfect balance; a static split of a skewed tree typically
+  /// lands at ~workers_used. Returns 1.0 when there was no measurable work.
+  double LoadImbalance() const;
 };
 
-/// Runs one query with `thread_count` workers (0 = hardware concurrency).
-/// Matches are counted exactly once across workers; options.max_matches is
-/// a global budget. The per-match callback, when provided, is serialized
-/// under a mutex and may be called from any worker.
+/// Runs one query with the given parallel configuration. Matches are
+/// counted exactly once across workers; options.max_matches is a global
+/// budget. The per-match callback, when provided, is serialized under a
+/// mutex and may be called from any worker; match counting is exact in that
+/// case (count == callbacks delivered, see EnumerateStats::match_count).
+ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
+                                       const MatchOptions& options,
+                                       const ParallelOptions& parallel_options,
+                                       const MatchCallback& callback = {});
+
+/// Back-compatible wrapper: `thread_count` workers (0 = hardware
+/// concurrency) in the default work-stealing mode.
 ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
                                        const MatchOptions& options,
                                        uint32_t thread_count = 0,

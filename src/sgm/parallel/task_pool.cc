@@ -1,0 +1,87 @@
+#include "sgm/parallel/task_pool.h"
+
+#include <algorithm>
+
+namespace sgm::parallel {
+
+TaskPool::TaskPool(uint32_t workers, uint32_t root_count, uint32_t chunk_size)
+    : workers_(workers),
+      roots_(root_count,
+             chunk_size == 0 ? AutoChunkSize(root_count, workers) : chunk_size),
+      active_(workers) {
+  SGM_CHECK(workers >= 1);
+}
+
+bool TaskPool::NextWork(WorkItem* item) {
+  if (!stop_.load(std::memory_order_relaxed)) {
+    uint32_t begin, end;
+    if (roots_.NextChunk(&begin, &end)) {
+      item->kind = WorkItem::Kind::kRootChunk;
+      item->begin = begin;
+      item->end = end;
+      return true;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      cv_.notify_all();
+      return false;
+    }
+    if (!subtasks_.empty()) {
+      item->kind = WorkItem::Kind::kSubtask;
+      item->subtask = subtasks_.back();
+      subtasks_.pop_back();
+      active_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (active_.load(std::memory_order_relaxed) == 0) {
+      // Nothing queued and nobody running who could publish more: done.
+      cv_.notify_all();
+      return false;
+    }
+    cv_.wait(lock);
+  }
+}
+
+uint32_t TaskPool::OfferSplit(Vertex root_image, uint32_t next, uint32_t end) {
+  if (end - next < 2) return end;  // nothing worth sharing
+  if (stop_.load(std::memory_order_relaxed)) return end;
+  // Split only in the endgame: every root chunk claimed, someone idle.
+  if (roots_.RemainingChunks() > 0) return end;
+  const uint32_t idle = IdleWorkers();
+  if (idle == 0) return end;
+
+  const uint32_t range = end - next;
+  const uint32_t pieces = std::min(idle + 1, range);
+  const uint32_t piece = range / pieces;
+  // The caller keeps the first piece (plus the rounding remainder) and
+  // continues without a queue round-trip; the rest become subtasks.
+  const uint32_t keep_end = next + piece + range % pieces;
+  uint32_t published = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Don't oversupply: if the queue already holds enough for every idle
+    // worker, splitting again only shatters the work (a thread that is
+    // merely descheduled, not starving, still counts as idle here).
+    if (subtasks_.size() >= idle) return end;
+    for (uint32_t b = keep_end; b < end; b += piece) {
+      subtasks_.push_back({root_image, b, std::min(b + piece, end)});
+      ++published;
+    }
+  }
+  subtasks_published_.fetch_add(published, std::memory_order_relaxed);
+  cv_.notify_all();
+  return keep_end;
+}
+
+void TaskPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace sgm::parallel

@@ -1,0 +1,66 @@
+// Chunked work distribution for parallel enumeration. Root candidates are
+// handed out as fine-grained [begin, end) chunks from a single atomic
+// counter — the classic dynamic-scheduling answer to the heavily skewed
+// enumeration trees of subgraph matching, where a static per-worker slice
+// leaves most threads idle while one drains the hub vertex.
+#ifndef SGM_PARALLEL_WORK_QUEUE_H_
+#define SGM_PARALLEL_WORK_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sgm::parallel {
+
+/// Picks a chunk size for `total` work items shared by `workers` threads.
+/// Small enough that every worker sees many chunks (so skew averages out),
+/// large enough that the atomic fetch_add is amortized. Roughly 16 chunks
+/// per worker, clamped to [1, 256].
+uint32_t AutoChunkSize(uint32_t total, uint32_t workers);
+
+/// Lock-free dispenser of contiguous index chunks over [0, total).
+/// Any number of threads may call NextChunk concurrently; each index is
+/// handed out exactly once.
+class ChunkQueue {
+ public:
+  ChunkQueue(uint32_t total, uint32_t chunk_size)
+      : total_(total), chunk_(chunk_size == 0 ? 1 : chunk_size) {}
+
+  ChunkQueue(const ChunkQueue&) = delete;
+  ChunkQueue& operator=(const ChunkQueue&) = delete;
+
+  /// Claims the next chunk. Returns false when the range is exhausted.
+  bool NextChunk(uint32_t* begin, uint32_t* end) {
+    const uint32_t b = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (b >= total_) return false;
+    *begin = b;
+    *end = b + chunk_ < total_ ? b + chunk_ : total_;
+    return true;
+  }
+
+  /// Number of unclaimed chunks (approximate under concurrency; exact once
+  /// claiming has quiesced). 0 means every chunk has been handed out —
+  /// the trigger for depth-1 subtree splitting.
+  uint32_t RemainingChunks() const {
+    const uint32_t n = next_.load(std::memory_order_relaxed);
+    if (n >= total_) return 0;
+    return (total_ - n + chunk_ - 1) / chunk_;
+  }
+
+  uint32_t chunk_size() const { return chunk_; }
+  uint32_t total() const { return total_; }
+
+ private:
+  const uint32_t total_;
+  const uint32_t chunk_;
+  std::atomic<uint32_t> next_{0};
+};
+
+/// CPU time of the calling thread in milliseconds. Unlike wall clock, this
+/// is not inflated when threads are descheduled (e.g. more workers than
+/// cores), so per-worker busy times remain comparable on oversubscribed
+/// machines; the load-imbalance factor is computed from it.
+double ThreadCpuMillis();
+
+}  // namespace sgm::parallel
+
+#endif  // SGM_PARALLEL_WORK_QUEUE_H_
