@@ -3,7 +3,9 @@
 // O-DP, O-RI, O-2PP and the Glasgow constraint-programming solver. Reports
 // mean total query time (preprocessing + enumeration). Glasgow runs under a
 // memory budget proportional to the dataset scale, reproducing the paper's
-// out-of-memory behaviour on the larger graphs.
+// out-of-memory behaviour on the larger graphs. Also writes
+// BENCH_overall.json: per framework configuration, the full RunReport of
+// every executed query (the schema of sgm/obs/run_report.h).
 #include "report.h"
 #include "runner.h"
 #include "sgm/glasgow/glasgow.h"
@@ -27,6 +29,7 @@ void Run() {
                                     ? size_t{2} * 1024 * 1024 * 1024
                                     : size_t{256} * 1024 * 1024;
 
+  std::vector<ReportSeries> series;
   for (const DatasetSpec& spec : SelectedAnalogs(config)) {
     const Graph data = BuildDataset(spec, config.seed);
     const auto queries =
@@ -41,8 +44,11 @@ void Run() {
       options.use_failing_sets = true;
       options.max_matches = config.max_matches;
       options.time_limit_ms = config.time_limit_ms;
-      row.push_back(
-          FormatDouble(RunQuerySet(data, queries, options).total_ms.mean()));
+      QuerySetRun run = RunQuerySet(data, queries, options);
+      row.push_back(FormatDouble(run.total_ms.mean()));
+      series.push_back({spec.code + std::string("/") +
+                            AlgorithmName(algorithm) + "fs",
+                        std::move(run.reports)});
     }
     for (const Algorithm algorithm :
          {Algorithm::kCECI, Algorithm::kDPiso, Algorithm::kRI,
@@ -50,8 +56,11 @@ void Run() {
       MatchOptions options = MatchOptions::Classic(algorithm);
       options.max_matches = config.max_matches;
       options.time_limit_ms = config.time_limit_ms;
-      row.push_back(
-          FormatDouble(RunQuerySet(data, queries, options).total_ms.mean()));
+      QuerySetRun run = RunQuerySet(data, queries, options);
+      row.push_back(FormatDouble(run.total_ms.mean()));
+      series.push_back({spec.code + std::string("/O-") +
+                            AlgorithmName(algorithm),
+                        std::move(run.reports)});
     }
 
     // Glasgow.
@@ -74,6 +83,8 @@ void Run() {
     row.push_back(oom ? "OOM" : FormatDouble(glasgow_ms.mean()));
     PrintRow(row);
   }
+
+  WriteRunReportsJson("BENCH_overall.json", "fig16_overall", config, series);
 }
 
 }  // namespace

@@ -95,6 +95,9 @@ struct ParallelAgg {
   uint64_t stolen_subtasks = 0;
   uint64_t subtasks_published = 0;
   uint32_t unsolved = 0;
+  /// Full RunReport of the set's last query under this configuration — the
+  /// per-run schema every BENCH_*.json entry carries.
+  obs::RunReport exemplar_report;
 };
 
 ParallelAgg RunParallelSet(const Graph& data, const std::vector<Graph>& queries,
@@ -114,6 +117,7 @@ ParallelAgg RunParallelSet(const Graph& data, const std::vector<Graph>& queries,
     agg.recursion_calls += run.result.enumerate.recursion_calls;
     agg.subtasks_published += run.subtasks_published;
     if (run.result.unsolved()) ++agg.unsolved;
+    agg.exemplar_report = obs::BuildRunReport(query, data, options, run);
     for (uint32_t w = 0; w < run.worker_stats.size() && w < threads; ++w) {
       const ParallelWorkerStats& ws = run.worker_stats[w];
       agg.worker_busy_ms[w] += ws.busy_ms;
@@ -270,51 +274,49 @@ void RunParallelScalability(const BenchConfig& config) {
               FormatCount(row.agg.stolen_subtasks)});
   }
 
-  // Machine-readable trajectory record.
-  std::FILE* json = std::fopen("BENCH_scalability.json", "w");
-  if (json == nullptr) {
-    std::printf("could not open BENCH_scalability.json for writing\n");
-    return;
-  }
-  std::fprintf(json, "{\n");
-  std::fprintf(json, "  \"bench\": \"fig17_scalability_parallel\",\n");
-  std::fprintf(json, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(config.seed));
-  std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(json,
-               "  \"scheduling_model\": \"per-item thread-CPU costs replayed"
-               " onto T workers: exact assignment for static slices, greedy"
-               " list-scheduling for work-stealing\",\n");
-  std::fprintf(json, "  \"runs\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const ParallelRow& row = rows[i];
+  // Machine-readable trajectory record. Built as an obs::Json document so
+  // each run entry embeds a full RunReport — the same per-run schema as
+  // sgm_match --report and the other BENCH_*.json writers.
+  obs::Json doc = obs::Json::Object();
+  doc.Set("bench", obs::Json::String("fig17_scalability_parallel"));
+  doc.Set("seed", obs::Json::Number(config.seed));
+  doc.Set("hardware_concurrency",
+          obs::Json::Number(uint64_t{std::thread::hardware_concurrency()}));
+  doc.Set("scheduling_model",
+          obs::Json::String(
+              "per-item thread-CPU costs replayed onto T workers: exact"
+              " assignment for static slices, greedy list-scheduling for"
+              " work-stealing"));
+  obs::Json runs = obs::Json::Array();
+  for (const ParallelRow& row : rows) {
     const double baseline = baseline_of(row.workload, row.mode);
     const double makespan = row.modeled.makespan_ms;
-    std::fprintf(
-        json,
-        "    {\"workload\": \"%s\", \"mode\": \"%s\", \"threads\": %u,"
-        " \"wall_ms\": %.3f, \"total_busy_ms\": %.3f, \"makespan_ms\": %.3f,"
-        " \"load_imbalance\": %.3f, \"critical_path_speedup\": %.3f,"
-        " \"matches\": %llu, \"recursion_calls\": %llu,"
-        " \"root_chunks\": %llu, \"stolen_subtasks\": %llu,"
-        " \"subtasks_published\": %llu, \"unsolved\": %u}%s\n",
-        row.workload, ParallelModeName(row.mode), row.threads, row.agg.wall_ms,
-        row.modeled.total_ms, makespan, row.modeled.imbalance,
-        makespan > 0.0 ? baseline / makespan : 1.0,
-        static_cast<unsigned long long>(row.agg.matches),
-        static_cast<unsigned long long>(row.agg.recursion_calls),
-        static_cast<unsigned long long>(row.agg.root_chunks),
-        static_cast<unsigned long long>(row.agg.stolen_subtasks),
-        static_cast<unsigned long long>(row.agg.subtasks_published),
-        row.agg.unsolved, i + 1 < rows.size() ? "," : "");
+    obs::Json entry = obs::Json::Object();
+    entry.Set("workload", obs::Json::String(row.workload));
+    entry.Set("mode", obs::Json::String(ParallelModeName(row.mode)));
+    entry.Set("threads", obs::Json::Number(uint64_t{row.threads}));
+    entry.Set("wall_ms", obs::Json::Number(row.agg.wall_ms));
+    entry.Set("total_busy_ms", obs::Json::Number(row.modeled.total_ms));
+    entry.Set("makespan_ms", obs::Json::Number(makespan));
+    entry.Set("load_imbalance", obs::Json::Number(row.modeled.imbalance));
+    entry.Set("critical_path_speedup",
+              obs::Json::Number(makespan > 0.0 ? baseline / makespan : 1.0));
+    entry.Set("matches", obs::Json::Number(row.agg.matches));
+    entry.Set("recursion_calls", obs::Json::Number(row.agg.recursion_calls));
+    entry.Set("root_chunks", obs::Json::Number(row.agg.root_chunks));
+    entry.Set("stolen_subtasks", obs::Json::Number(row.agg.stolen_subtasks));
+    entry.Set("subtasks_published",
+              obs::Json::Number(row.agg.subtasks_published));
+    entry.Set("unsolved", obs::Json::Number(uint64_t{row.agg.unsolved}));
+    entry.Set("run_report", row.agg.exemplar_report.ToJson());
+    runs.Append(std::move(entry));
   }
-  std::fprintf(json, "  ],\n");
+  doc.Set("runs", std::move(runs));
+
   // Acceptance at 8 threads, per workload: work-stealing throughput
   // relative to static slicing (makespan basis) plus both load-imbalance
   // factors.
-  std::fprintf(json, "  \"acceptance\": {\n");
-  bool first_workload = true;
+  obs::Json acceptance = obs::Json::Object();
   for (const char* workload : {"rmat", "skewed-hub"}) {
     double static_ms8 = 0.0, ws_ms8 = 0.0, static_imb8 = 1.0, ws_imb8 = 1.0;
     bool found = false;
@@ -332,17 +334,23 @@ void RunParallelScalability(const BenchConfig& config) {
       }
     }
     if (!found) continue;
-    std::fprintf(json,
-                 "%s    \"%s\": {\"throughput_ratio_8t\": %.3f,"
-                 " \"work_stealing_imbalance_8t\": %.3f,"
-                 " \"static_imbalance_8t\": %.3f}",
-                 first_workload ? "" : ",\n", workload,
-                 ws_ms8 > 0.0 ? static_ms8 / ws_ms8 : 1.0, ws_imb8,
-                 static_imb8);
-    first_workload = false;
+    obs::Json entry = obs::Json::Object();
+    entry.Set("throughput_ratio_8t",
+              obs::Json::Number(ws_ms8 > 0.0 ? static_ms8 / ws_ms8 : 1.0));
+    entry.Set("work_stealing_imbalance_8t", obs::Json::Number(ws_imb8));
+    entry.Set("static_imbalance_8t", obs::Json::Number(static_imb8));
+    acceptance.Set(workload, std::move(entry));
   }
-  std::fprintf(json, "\n  }\n");
-  std::fprintf(json, "}\n");
+  doc.Set("acceptance", std::move(acceptance));
+
+  std::FILE* json = std::fopen("BENCH_scalability.json", "w");
+  if (json == nullptr) {
+    std::printf("could not open BENCH_scalability.json for writing\n");
+    return;
+  }
+  const std::string text = doc.Dump(2);
+  std::fwrite(text.data(), 1, text.size(), json);
+  std::fputc('\n', json);
   std::fclose(json);
   std::printf("wrote BENCH_scalability.json\n");
 }

@@ -51,4 +51,39 @@ std::string FormatCount(uint64_t value) {
   return buffer;
 }
 
+bool WriteRunReportsJson(const std::string& path, const std::string& bench_id,
+                         const BenchConfig& config,
+                         const std::vector<ReportSeries>& series) {
+  obs::Json doc = obs::Json::Object();
+  doc.Set("bench", obs::Json::String(bench_id));
+  doc.Set("seed", obs::Json::Number(config.seed));
+  doc.Set("full_scale", obs::Json::Bool(config.full_scale));
+  doc.Set("queries_per_set",
+          obs::Json::Number(uint64_t{config.queries_per_set}));
+  obs::Json series_json = obs::Json::Array();
+  for (const ReportSeries& entry : series) {
+    obs::Json entry_json = obs::Json::Object();
+    entry_json.Set("label", obs::Json::String(entry.label));
+    obs::Json reports_json = obs::Json::Array();
+    for (const obs::RunReport& report : entry.reports) {
+      reports_json.Append(report.ToJson());
+    }
+    entry_json.Set("run_reports", std::move(reports_json));
+    series_json.Append(std::move(entry_json));
+  }
+  doc.Set("series", std::move(series_json));
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("could not open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string text = doc.Dump(2);
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace sgm::bench

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "sgm/obs/run_report.h"
 #include "workloads.h"
 
 namespace sgm::bench {
@@ -25,6 +26,20 @@ void PrintRow(const std::vector<std::string>& cells);
 /// Formats helpers.
 std::string FormatDouble(double value, int precision = 2);
 std::string FormatCount(uint64_t value);
+
+/// One labeled series of RunReports inside a BENCH_*.json file.
+struct ReportSeries {
+  std::string label;
+  std::vector<obs::RunReport> reports;
+};
+
+/// Writes `{"bench": ..., "seed": ..., "series": [{"label": ...,
+/// "run_reports": [...]}]}` to `path`, so every BENCH_*.json entry carries
+/// the same per-run schema as sgm_match --report. Returns false (after
+/// printing a diagnostic) when the file cannot be written.
+bool WriteRunReportsJson(const std::string& path, const std::string& bench_id,
+                         const BenchConfig& config,
+                         const std::vector<ReportSeries>& series);
 
 }  // namespace sgm::bench
 

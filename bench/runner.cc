@@ -20,6 +20,7 @@ QuerySetRun RunQuerySet(const Graph& data, const std::vector<Graph>& queries,
     run.failing_set_prunes += result.enumerate.failing_set_prunes;
     run.per_query_enumeration_ms.push_back(enumeration_ms);
     run.per_query_unsolved.push_back(unsolved);
+    run.reports.push_back(obs::BuildRunReport(query, data, options, result));
   }
   return run;
 }

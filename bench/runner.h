@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sgm/matcher.h"
+#include "sgm/obs/run_report.h"
 #include "sgm/util/stats.h"
 
 namespace sgm::bench {
@@ -25,6 +26,9 @@ struct QuerySetRun {
   uint64_t failing_set_prunes = 0;
   std::vector<double> per_query_enumeration_ms;
   std::vector<bool> per_query_unsolved;
+  /// One structured RunReport per executed query (same schema as sgm_match
+  /// --report and every BENCH_*.json entry; see sgm/obs/run_report.h).
+  std::vector<obs::RunReport> reports;
 };
 
 /// Runs all queries against the data graph. Unsolved (timed-out) queries

@@ -6,6 +6,18 @@
 
 namespace sgm {
 
+const char* AuxEdgeScopeName(AuxEdgeScope scope) {
+  switch (scope) {
+    case AuxEdgeScope::kNone:
+      return "none";
+    case AuxEdgeScope::kTreeEdges:
+      return "tree-edges";
+    case AuxEdgeScope::kAllEdges:
+      return "all-edges";
+  }
+  return "unknown";
+}
+
 AuxStructure::AuxStructure(const Graph& query, const Graph& data,
                            const CandidateSets& candidates,
                            std::span<const std::pair<Vertex, Vertex>> edges)

@@ -28,6 +28,9 @@ enum class AuxEdgeScope : uint8_t {
   kAllEdges = 2,
 };
 
+/// Returns a short name ("none", "tree-edges", "all-edges").
+const char* AuxEdgeScopeName(AuxEdgeScope scope);
+
 /// Candidate-edge index. Immutable after construction.
 class AuxStructure {
  public:

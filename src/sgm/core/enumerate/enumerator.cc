@@ -127,6 +127,9 @@ EnumerationEngine::EnumerationEngine(
       if (unmapped_backward_[u] == 0) MakeExtendable(u);
     }
   }
+
+  profile_ = options_.depth_profile;
+  if (profile_ != nullptr) profile_->Resize(n_);
 }
 
 void EnumerationEngine::Reset() {
@@ -185,6 +188,7 @@ void EnumerationEngine::RunSubtree(Vertex root_image, uint32_t d1_begin,
 
 EnumerateStats EnumerationEngine::Run() {
   timer_.Reset();
+  profile_last_ms_ = 0.0;
   RunSlice(options_.root_slice_begin, options_.root_slice_end);
   stats_.enumeration_ms = timer_.ElapsedMillis();
   return stats_;
@@ -384,11 +388,21 @@ std::span<const Vertex> EnumerationEngine::ComputeLocalCandidates(
 // failing set of this subtree (meaningful only when failing sets are on).
 QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
   ++stats_.recursion_calls;
+  if (profile_ != nullptr) ++profile_->depths[depth].recursion_calls;
   if ((stats_.recursion_calls & 1023) == 0) {
-    if (options_.time_limit_ms > 0 &&
-        timer_.ElapsedMillis() > options_.time_limit_ms) {
-      aborted_ = true;
-      stats_.timed_out = true;
+    if (options_.time_limit_ms > 0 || profile_ != nullptr) {
+      const double now_ms = timer_.ElapsedMillis();
+      if (options_.time_limit_ms > 0 && now_ms > options_.time_limit_ms) {
+        aborted_ = true;
+        stats_.timed_out = true;
+      }
+      if (profile_ != nullptr) {
+        // Sampled time attribution: charge the wall time since the last
+        // checkpoint to the depth active now. Unbiased over long runs; runs
+        // shorter than 1024 calls leave sampled_ms at zero.
+        profile_->depths[depth].sampled_ms += now_ms - profile_last_ms_;
+        profile_last_ms_ = now_ms;
+      }
     }
     if (options_.cancel_flag != nullptr &&
         options_.cancel_flag->load(std::memory_order_relaxed)) {
@@ -407,8 +421,12 @@ QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
     offset = begin;
   }
   stats_.local_candidates_scanned += local_candidates.size();
+  if (profile_ != nullptr) {
+    profile_->depths[depth].local_candidates += local_candidates.size();
+  }
 
   if (local_candidates.empty()) {
+    if (profile_ != nullptr) ++profile_->depths[depth].empty_local_candidates;
     // "Emptyset class" failing set: u and its mapped neighbors.
     return QuerySetBit(u) | backward_mask_[u];
   }
@@ -435,6 +453,7 @@ QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
     if (inverse_[v] != kInvalidVertex) {
       // Injectivity conflict: the failure involves u and the query vertex
       // already holding v ("conflict class").
+      if (profile_ != nullptr) ++profile_->depths[depth].conflicts;
       child_set = QuerySetBit(u) | QuerySetBit(inverse_[v]);
     } else {
       mapping_[u] = v;
@@ -442,6 +461,7 @@ QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
       if (depth == 0) current_root_image_ = v;
       OnMapped(u);
       if (depth + 1 == n_) {
+        if (profile_ != nullptr) ++profile_->depths[depth].matches;
         RecordMatch();
         child_set = full_mask_;
       } else {
@@ -458,6 +478,9 @@ QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
         // the remaining siblings (Example 3.5). Donated siblings provably
         // fail too, so the set stays valid even after a split.
         stats_.failing_set_prunes += limit - i - 1;
+        if (profile_ != nullptr) {
+          profile_->depths[depth].failing_set_prunes += limit - i - 1;
+        }
         return child_set;
       }
       node_set |= child_set;

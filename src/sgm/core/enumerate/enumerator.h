@@ -16,6 +16,7 @@
 #include "sgm/core/enumerate/failing_set.h"
 #include "sgm/core/order/dpiso_order.h"
 #include "sgm/graph/graph.h"
+#include "sgm/obs/depth_profile.h"
 #include "sgm/util/set_intersection.h"
 
 namespace sgm {
@@ -73,6 +74,12 @@ struct EnumerateOptions {
   /// (budget reached, callback veto) halts workers stuck in matchless
   /// subtrees. Must outlive the run; may be null.
   const std::atomic<bool>* cancel_flag = nullptr;
+  /// Optional search-depth profile sink (see obs/depth_profile.h). Null (the
+  /// default) keeps the recursion free of profiling work; non-null adds a
+  /// few counter increments per recursion call plus one clock read per 1024
+  /// calls. Not thread-safe: one profile per engine; the parallel matcher
+  /// merges per-worker profiles after the run. Must outlive the run.
+  obs::DepthProfile* depth_profile = nullptr;
 };
 
 /// Outcome and search statistics of one enumeration run.

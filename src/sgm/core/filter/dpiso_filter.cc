@@ -6,7 +6,10 @@
 // positioned before u.
 #include "sgm/core/filter/filter.h"
 
+#include <string>
 #include <vector>
+
+#include "sgm/util/timer.h"
 
 namespace sgm {
 
@@ -14,7 +17,11 @@ FilterResult RunDpisoFilter(const Graph& query, const Graph& data,
                             const FilterOptions& options) {
   const uint32_t n = query.vertex_count();
 
+  Timer round_timer;
+  std::vector<FilterRound> rounds;
   const CandidateSets seed = BuildLdfCandidates(query, data);
+  rounds.push_back({"ldf-seed", seed.TotalCount(),
+                    round_timer.ElapsedMillis()});
   const Vertex root = SelectRootMinCandidatesOverDegree(query, seed);
   BfsTree tree = BuildBfsTree(query, root);
 
@@ -29,6 +36,7 @@ FilterResult RunDpisoFilter(const Graph& query, const Graph& data,
 
   std::vector<uint8_t> scratch(data.vertex_count(), 0);
   for (uint32_t pass = 0; pass < options.dpiso_refinement_rounds; ++pass) {
+    round_timer.Reset();
     const bool reverse = (pass % 2 == 0);  // first pass walks reverse δ
     for (uint32_t step = 0; step < n; ++step) {
       const uint32_t i = reverse ? n - 1 - step : step;
@@ -50,11 +58,18 @@ FilterResult RunDpisoFilter(const Graph& query, const Graph& data,
                                     candidates.candidates(u_prime), &scratch);
         }
       }
-      if (set.empty()) return {std::move(candidates), std::move(tree)};
+      if (set.empty()) {
+        rounds.push_back({"pass-" + std::to_string(pass + 1),
+                          candidates.TotalCount(),
+                          round_timer.ElapsedMillis()});
+        return {std::move(candidates), std::move(tree), std::move(rounds)};
+      }
     }
+    rounds.push_back({"pass-" + std::to_string(pass + 1),
+                      candidates.TotalCount(), round_timer.ElapsedMillis()});
   }
 
-  return {std::move(candidates), std::move(tree)};
+  return {std::move(candidates), std::move(tree), std::move(rounds)};
 }
 
 }  // namespace sgm

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "sgm/util/timer.h"
+
 namespace sgm {
 
 const char* FilterMethodName(FilterMethod method) {
@@ -27,24 +29,39 @@ const char* FilterMethodName(FilterMethod method) {
 
 FilterResult RunFilter(FilterMethod method, const Graph& query,
                        const Graph& data, const FilterOptions& options) {
+  Timer timer;
+  FilterResult result;
   switch (method) {
     case FilterMethod::kLDF:
-      return {BuildLdfCandidates(query, data), std::nullopt};
+      result = {BuildLdfCandidates(query, data), std::nullopt, {}};
+      break;
     case FilterMethod::kNLF:
-      return {BuildNlfCandidates(query, data), std::nullopt};
+      result = {BuildNlfCandidates(query, data), std::nullopt, {}};
+      break;
     case FilterMethod::kGraphQL:
-      return RunGraphQlFilter(query, data, options);
+      result = RunGraphQlFilter(query, data, options);
+      break;
     case FilterMethod::kCFL:
-      return RunCflFilter(query, data);
+      result = RunCflFilter(query, data);
+      break;
     case FilterMethod::kCECI:
-      return RunCeciFilter(query, data);
+      result = RunCeciFilter(query, data);
+      break;
     case FilterMethod::kDPiso:
-      return RunDpisoFilter(query, data, options);
+      result = RunDpisoFilter(query, data, options);
+      break;
     case FilterMethod::kSteady:
-      return RunSteadyFilter(query, data);
+      result = RunSteadyFilter(query, data);
+      break;
   }
-  SGM_CHECK_MSG(false, "unreachable filter method");
-  return {};
+  // Methods without internal round instrumentation still contribute one
+  // terminal round, so RunReport::filter_rounds is never empty.
+  if (result.rounds.empty()) {
+    result.rounds.push_back({FilterMethodName(method),
+                             result.candidates.TotalCount(),
+                             timer.ElapsedMillis()});
+  }
+  return result;
 }
 
 bool PruneByNeighborConstraint(const Graph& data,

@@ -16,6 +16,8 @@
 #define SGM_CORE_FILTER_FILTER_H_
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "sgm/core/candidate_sets.h"
 #include "sgm/graph/graph.h"
@@ -51,12 +53,26 @@ struct FilterOptions {
   uint32_t dpiso_refinement_rounds = 3;
 };
 
+/// One pruning step of a filtering method, recorded for observability: how
+/// many candidates survived the step (sum of |C(u)| over all query
+/// vertices) and how long it took. The sequence of rounds is what Figure 8
+/// of the paper plots per method, and what RunReport carries per run.
+struct FilterRound {
+  std::string name;
+  /// Sum of |C(u)| after this round.
+  uint64_t total_candidates = 0;
+  double ms = 0.0;
+};
+
 /// Output of a filtering method. The BFS tree is populated by the methods
 /// that build one (CFL, CECI, DP-iso) so that downstream components (CFL's
-/// path-based ordering, tree-edge aux structures) can reuse it.
+/// path-based ordering, tree-edge aux structures) can reuse it. `rounds`
+/// records the per-round pruning trajectory; RunFilter guarantees at least
+/// one terminal round for methods without internal instrumentation.
 struct FilterResult {
   CandidateSets candidates;
   std::optional<BfsTree> bfs_tree;
+  std::vector<FilterRound> rounds;
 };
 
 /// Runs the selected filtering method. The query must be connected.

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "sgm/util/timer.h"
+
 namespace sgm {
 
 namespace {
@@ -146,6 +148,8 @@ FilterResult RunGraphQlFilter(const Graph& query, const Graph& data,
   // individually complete, so the conjunction is too, and radius r strictly
   // refines radius r-1).
   SGM_CHECK(options.graphql_profile_radius >= 1);
+  Timer round_timer;
+  std::vector<FilterRound> rounds;
   ProfileCollector query_profiles(query);
   ProfileCollector data_profiles(data);
   CandidateSets candidates(query.vertex_count());
@@ -169,6 +173,9 @@ FilterResult RunGraphQlFilter(const Graph& query, const Graph& data,
     }
   }
 
+  rounds.push_back({"local-pruning", candidates.TotalCount(),
+                    round_timer.ElapsedMillis()});
+
   // Step 2: global refinement. Membership flags over the data graph are kept
   // per query vertex and updated as candidates are pruned, so a check
   // "v' ∈ C(u')" is O(1).
@@ -181,6 +188,7 @@ FilterResult RunGraphQlFilter(const Graph& query, const Graph& data,
   SemiPerfectMatcher matcher;
   std::vector<std::vector<uint32_t>> adjacency;
   for (uint32_t round = 0; round < options.graphql_refinement_rounds; ++round) {
+    round_timer.Reset();
     bool changed = false;
     for (Vertex u = 0; u < query.vertex_count(); ++u) {
       auto& set = candidates.mutable_candidates(u);
@@ -212,10 +220,12 @@ FilterResult RunGraphQlFilter(const Graph& query, const Graph& data,
       }
       set.resize(out);
     }
+    rounds.push_back({"refine-" + std::to_string(round + 1),
+                      candidates.TotalCount(), round_timer.ElapsedMillis()});
     if (!changed) break;
   }
 
-  return {std::move(candidates), std::nullopt};
+  return {std::move(candidates), std::nullopt, std::move(rounds)};
 }
 
 }  // namespace sgm

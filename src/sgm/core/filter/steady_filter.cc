@@ -6,14 +6,21 @@
 // refinement steps).
 #include "sgm/core/filter/filter.h"
 
+#include <string>
 #include <vector>
+
+#include "sgm/util/timer.h"
 
 namespace sgm {
 
 FilterResult RunSteadyFilter(const Graph& query, const Graph& data) {
   const uint32_t n = query.vertex_count();
+  Timer round_timer;
+  std::vector<FilterRound> rounds;
   CandidateSets candidates(n);
   const CandidateSets seed = BuildNlfCandidates(query, data);
+  rounds.push_back({"nlf-seed", seed.TotalCount(),
+                    round_timer.ElapsedMillis()});
   for (Vertex u = 0; u < n; ++u) {
     const auto s = seed.candidates(u);
     candidates.mutable_candidates(u).assign(s.begin(), s.end());
@@ -21,7 +28,10 @@ FilterResult RunSteadyFilter(const Graph& query, const Graph& data) {
 
   std::vector<uint8_t> scratch(data.vertex_count(), 0);
   bool changed = true;
+  uint32_t iteration = 0;
   while (changed) {
+    round_timer.Reset();
+    ++iteration;
     changed = false;
     for (Vertex u = 0; u < n; ++u) {
       auto& set = candidates.mutable_candidates(u);
@@ -32,10 +42,17 @@ FilterResult RunSteadyFilter(const Graph& query, const Graph& data) {
           changed = true;
         }
       }
-      if (set.empty()) return {std::move(candidates), std::nullopt};
+      if (set.empty()) {
+        rounds.push_back({"fixpoint-" + std::to_string(iteration),
+                          candidates.TotalCount(),
+                          round_timer.ElapsedMillis()});
+        return {std::move(candidates), std::nullopt, std::move(rounds)};
+      }
     }
+    rounds.push_back({"fixpoint-" + std::to_string(iteration),
+                      candidates.TotalCount(), round_timer.ElapsedMillis()});
   }
-  return {std::move(candidates), std::nullopt};
+  return {std::move(candidates), std::nullopt, std::move(rounds)};
 }
 
 }  // namespace sgm

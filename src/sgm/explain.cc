@@ -4,7 +4,8 @@
 #include <sstream>
 
 #include "sgm/core/order/dpiso_order.h"
-#include "sgm/util/timer.h"
+#include "sgm/obs/collector.h"
+#include "sgm/obs/phase_timer.h"
 
 namespace sgm {
 
@@ -17,10 +18,12 @@ QueryPlan ExplainQuery(const Graph& query, const Graph& data,
   plan.use_failing_sets = options.use_failing_sets;
   plan.adaptive_order = options.adaptive_order;
 
-  Timer phase_timer;
+  obs::PhaseTimer phase_timer(
+      options.collector != nullptr ? options.collector->trace() : nullptr);
+  phase_timer.Begin(obs::kPhaseFilter);
   FilterResult filtered =
       RunFilter(options.filter, query, data, options.filter_options);
-  plan.filter_ms = phase_timer.ElapsedMillis();
+  plan.filter_ms = phase_timer.End();
   plan.candidate_memory_bytes = filtered.candidates.MemoryBytes();
   plan.candidate_counts.resize(query.vertex_count());
   for (Vertex u = 0; u < query.vertex_count(); ++u) {
@@ -35,13 +38,12 @@ QueryPlan ExplainQuery(const Graph& query, const Graph& data,
 
   // The explanation always builds the all-edges structure: it is what the
   // tree-embedding estimate needs, and a superset of every scope.
-  phase_timer.Reset();
+  phase_timer.Begin(obs::kPhaseAuxBuild);
   const AuxStructure aux =
       AuxStructure::BuildAllEdges(query, data, filtered.candidates);
-  plan.aux_build_ms = phase_timer.ElapsedMillis();
   plan.aux_memory_bytes = aux.MemoryBytes();
 
-  phase_timer.Reset();
+  plan.aux_build_ms = phase_timer.Begin(obs::kPhaseOrder);
   OrderInputs order_inputs;
   order_inputs.candidates = &filtered.candidates;
   order_inputs.tree =
@@ -52,7 +54,7 @@ QueryPlan ExplainQuery(const Graph& query, const Graph& data,
     plan.matching_order =
         PostponeDegreeOneVertices(query, plan.matching_order);
   }
-  plan.order_ms = phase_timer.ElapsedMillis();
+  plan.order_ms = phase_timer.End();
 
   // Tree-embedding estimate: DP-iso's weight array over the chosen order;
   // summing the root weights over its candidates estimates the number of

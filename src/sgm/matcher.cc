@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "sgm/core/order/dpiso_order.h"
+#include "sgm/obs/collector.h"
+#include "sgm/obs/phase_timer.h"
 #include "sgm/util/timer.h"
 
 namespace sgm {
@@ -114,14 +116,19 @@ MatchResult MatchQuery(const Graph& query, const Graph& data,
 
   MatchResult result;
   Timer total_timer;
+  obs::TraceBuffer* trace =
+      options.collector != nullptr ? options.collector->trace() : nullptr;
+  if (trace != nullptr) trace->SetThreadName(0, "pipeline");
+  obs::PhaseTimer phase_timer(trace);
 
   // ---- Filtering (line 1 of Algorithm 1). ----
-  Timer phase_timer;
+  phase_timer.Begin(obs::kPhaseFilter);
   FilterResult filtered = RunFilter(options.filter, query, data,
                                     options.filter_options);
-  result.filter_ms = phase_timer.ElapsedMillis();
+  result.filter_ms = phase_timer.End();
   result.average_candidates = filtered.candidates.AverageCount();
   result.candidate_memory_bytes = filtered.candidates.MemoryBytes();
+  result.filter_rounds = std::move(filtered.rounds);
 
   if (filtered.candidates.AnyEmpty()) {
     // Some query vertex has no candidate: no match exists.
@@ -131,7 +138,7 @@ MatchResult MatchQuery(const Graph& query, const Graph& data,
   }
 
   // ---- Auxiliary structure. ----
-  phase_timer.Reset();
+  phase_timer.Begin(obs::kPhaseAuxBuild);
   AuxStructure aux;
   switch (options.aux_scope) {
     case AuxEdgeScope::kNone:
@@ -147,11 +154,10 @@ MatchResult MatchQuery(const Graph& query, const Graph& data,
       aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates);
       break;
   }
-  result.aux_build_ms = phase_timer.ElapsedMillis();
   result.aux_memory_bytes = aux.MemoryBytes();
 
   // ---- Ordering (line 2 of Algorithm 1). ----
-  phase_timer.Reset();
+  result.aux_build_ms = phase_timer.Begin(obs::kPhaseOrder);
   OrderInputs order_inputs;
   order_inputs.candidates = &filtered.candidates;
   order_inputs.tree =
@@ -172,7 +178,7 @@ MatchResult MatchQuery(const Graph& query, const Graph& data,
     weights = DpisoWeights::Build(query, filtered.candidates, aux,
                                   result.matching_order);
   }
-  result.order_ms = phase_timer.ElapsedMillis();
+  result.order_ms = phase_timer.End();
   result.preprocessing_ms =
       result.filter_ms + result.aux_build_ms + result.order_ms;
 
@@ -187,12 +193,22 @@ MatchResult MatchQuery(const Graph& query, const Graph& data,
   enumerate_options.max_matches = options.max_matches;
   enumerate_options.time_limit_ms = options.time_limit_ms;
   enumerate_options.intersection = options.intersection;
+  if (options.collector != nullptr &&
+      options.collector->depth_profile_enabled()) {
+    enumerate_options.depth_profile = &result.depth_profile;
+  }
 
-  result.enumerate = Enumerate(
-      query, data, filtered.candidates,
-      options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux,
-      result.matching_order, enumerate_options,
-      options.adaptive_order ? &weights : nullptr, callback);
+  {
+    obs::TraceSpan span(trace, obs::kPhaseEnumeration, "phase");
+    result.enumerate = Enumerate(
+        query, data, filtered.candidates,
+        options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux,
+        result.matching_order, enumerate_options,
+        options.adaptive_order ? &weights : nullptr, callback);
+    span.AddArg("recursion_calls",
+                static_cast<double>(result.enumerate.recursion_calls));
+    span.AddArg("matches", static_cast<double>(result.enumerate.match_count));
+  }
   result.match_count = result.enumerate.match_count;
   result.enumeration_ms = result.enumerate.enumeration_ms;
   result.total_ms = total_timer.ElapsedMillis();

@@ -24,6 +24,10 @@
 
 namespace sgm {
 
+namespace obs {
+class Collector;
+}  // namespace obs
+
 /// The seven framework algorithms of the paper (Glasgow is separate).
 enum class Algorithm : uint8_t {
   kQuickSI = 0,
@@ -62,6 +66,11 @@ struct MatchOptions {
   double time_limit_ms = 300000.0;
   IntersectionMethod intersection = IntersectionMethod::kHybrid;
   FilterOptions filter_options;
+  /// Optional observability collector (sgm/obs/collector.h). Null — the
+  /// default — keeps the run on the uninstrumented path: no spans, no depth
+  /// profile, only the cheap aggregate counters MatchResult always carries.
+  /// The collector must outlive the call; it is not owned.
+  obs::Collector* collector = nullptr;
 
   /// The original algorithm, as published.
   static MatchOptions Classic(Algorithm algorithm);
@@ -96,6 +105,12 @@ struct MatchResult {
   size_t aux_memory_bytes = 0;
   std::vector<Vertex> matching_order;
   EnumerateStats enumerate;
+  /// Per-round pruning trajectory of the filtering phase (always recorded;
+  /// a round is a handful of bytes and filters run once per query).
+  std::vector<FilterRound> filter_rounds;
+  /// Per-depth search profile; empty unless options.collector had depth
+  /// profiling enabled (see obs/depth_profile.h).
+  obs::DepthProfile depth_profile;
 
   /// True when the query was killed by the per-query time limit — an
   /// "unsolved query" in the paper's terminology.

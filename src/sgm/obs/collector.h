@@ -1,0 +1,57 @@
+// The observability collector: the one object a caller attaches to a
+// matching run (MatchOptions::collector) to opt into instrumentation. It
+// carries the feature toggles and owns the trace buffer; the structured
+// RunReport is built separately from the returned result (see
+// run_report.h), so the collector holds no per-run mutable state besides
+// the appended trace events and can be reused across runs (events
+// accumulate, which is exactly what a multi-query trace wants).
+//
+// Overhead-when-off guarantees:
+//  * no collector (the default): the pipeline takes one null-pointer test
+//    per phase and none in the enumeration recursion — no allocation, no
+//    clock reads, no atomics beyond what the run already does;
+//  * collector without trace/profile: same as above (the toggles gate
+//    every collection site);
+//  * trace on: spans wrap the preprocessing phases and per-worker work
+//    items — O(phases + work items) events, never per-recursion;
+//  * depth profile on: a handful of counter increments per recursion call
+//    plus one clock read per 1024 calls (piggybacking on the existing
+//    timeout checkpoint).
+#ifndef SGM_OBS_COLLECTOR_H_
+#define SGM_OBS_COLLECTOR_H_
+
+#include "sgm/obs/trace.h"
+
+namespace sgm::obs {
+
+/// Instrumentation sink for one or more matching runs. Thread-compatible:
+/// toggles are set before the run; the trace buffer itself is thread-safe.
+class Collector {
+ public:
+  Collector() = default;
+
+  /// Collect span traces (Chrome trace-event export via trace()).
+  void EnableTrace() { trace_enabled_ = true; }
+  bool trace_enabled() const { return trace_enabled_; }
+
+  /// Collect the per-depth search profile into MatchResult::depth_profile.
+  void EnableDepthProfile() { depth_profile_enabled_ = true; }
+  bool depth_profile_enabled() const { return depth_profile_enabled_; }
+
+  /// The span sink when tracing is enabled, nullptr otherwise — call sites
+  /// pass this straight to TraceSpan, which no-ops on null.
+  TraceBuffer* trace() { return trace_enabled_ ? &trace_ : nullptr; }
+
+  /// The buffer itself (for export), regardless of the toggle.
+  TraceBuffer& trace_buffer() { return trace_; }
+  const TraceBuffer& trace_buffer() const { return trace_; }
+
+ private:
+  bool trace_enabled_ = false;
+  bool depth_profile_enabled_ = false;
+  TraceBuffer trace_;
+};
+
+}  // namespace sgm::obs
+
+#endif  // SGM_OBS_COLLECTOR_H_

@@ -1,0 +1,73 @@
+// Search-depth profile: per-depth counters of the backtracking enumeration
+// (recursion calls, local-candidate volume, dead-end and conflict counts,
+// failing-set prunes, matches, sampled time attribution). Collected by
+// EnumerationEngine only when a profile is attached via
+// EnumerateOptions::depth_profile — the default hot path never touches it.
+//
+// The per-depth counters tie out exactly against EnumerateStats: summed over
+// depths, recursion_calls, local_candidates, failing_set_prunes and matches
+// equal the corresponding run totals (asserted in obs_test.cc).
+// sampled_ms is a statistical attribution: wall time between the engine's
+// periodic checkpoints (every 1024 recursion calls) is charged to the depth
+// active at the checkpoint, so it converges on the true per-depth share for
+// searches long enough to matter while costing zero extra clock reads.
+#ifndef SGM_OBS_DEPTH_PROFILE_H_
+#define SGM_OBS_DEPTH_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sgm::obs {
+
+/// Counters of one recursion depth (depth d extends the d-th order vertex).
+struct DepthStats {
+  uint64_t recursion_calls = 0;
+  /// Total size of the local candidate sets computed at this depth.
+  uint64_t local_candidates = 0;
+  /// Dead ends: local candidate set came up empty.
+  uint64_t empty_local_candidates = 0;
+  /// Extensions rejected because the data vertex was already mapped.
+  uint64_t conflicts = 0;
+  /// Sibling extensions skipped by failing-set pruning at this depth.
+  uint64_t failing_set_prunes = 0;
+  /// Matches completed by extending at this depth (always depth n-1).
+  uint64_t matches = 0;
+  /// Sampled wall-time attribution (see file comment).
+  double sampled_ms = 0.0;
+};
+
+/// Per-depth profile of one enumeration run (or one worker's share of it).
+struct DepthProfile {
+  std::vector<DepthStats> depths;
+
+  bool empty() const { return depths.empty(); }
+
+  /// Sizes the profile for an n-vertex query, keeping existing counts.
+  void Resize(uint32_t query_vertex_count) {
+    if (depths.size() < query_vertex_count) depths.resize(query_vertex_count);
+  }
+
+  /// Accumulates another profile (per-worker profiles into the run total).
+  void Merge(const DepthProfile& other) {
+    if (depths.size() < other.depths.size()) depths.resize(other.depths.size());
+    for (size_t d = 0; d < other.depths.size(); ++d) {
+      depths[d].recursion_calls += other.depths[d].recursion_calls;
+      depths[d].local_candidates += other.depths[d].local_candidates;
+      depths[d].empty_local_candidates += other.depths[d].empty_local_candidates;
+      depths[d].conflicts += other.depths[d].conflicts;
+      depths[d].failing_set_prunes += other.depths[d].failing_set_prunes;
+      depths[d].matches += other.depths[d].matches;
+      depths[d].sampled_ms += other.depths[d].sampled_ms;
+    }
+  }
+
+  uint64_t TotalRecursionCalls() const {
+    uint64_t total = 0;
+    for (const DepthStats& d : depths) total += d.recursion_calls;
+    return total;
+  }
+};
+
+}  // namespace sgm::obs
+
+#endif  // SGM_OBS_DEPTH_PROFILE_H_

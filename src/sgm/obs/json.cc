@@ -1,0 +1,499 @@
+#include "sgm/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sgm/core/types.h"
+
+namespace sgm::obs {
+
+Json Json::Bool(bool value) {
+  Json json;
+  json.type_ = Type::kBool;
+  json.bool_ = value;
+  return json;
+}
+
+Json Json::Number(double value) {
+  Json json;
+  json.type_ = Type::kNumber;
+  json.number_ = value;
+  return json;
+}
+
+Json Json::Number(uint64_t value) {
+  return Number(static_cast<double>(value));
+}
+
+Json Json::Number(int64_t value) { return Number(static_cast<double>(value)); }
+
+Json Json::String(std::string value) {
+  Json json;
+  json.type_ = Type::kString;
+  json.string_ = std::move(value);
+  return json;
+}
+
+Json Json::Array() {
+  Json json;
+  json.type_ = Type::kArray;
+  return json;
+}
+
+Json Json::Object() {
+  Json json;
+  json.type_ = Type::kObject;
+  return json;
+}
+
+bool Json::AsBool() const {
+  SGM_CHECK(is_bool());
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  SGM_CHECK(is_number());
+  return number_;
+}
+
+uint64_t Json::AsUint64() const {
+  SGM_CHECK(is_number());
+  SGM_CHECK(number_ >= 0.0);
+  return static_cast<uint64_t>(number_);
+}
+
+const std::string& Json::AsString() const {
+  SGM_CHECK(is_string());
+  return string_;
+}
+
+size_t Json::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const Json& Json::at(size_t index) const {
+  SGM_CHECK(is_array() && index < array_.size());
+  return array_[index];
+}
+
+void Json::Append(Json value) {
+  SGM_CHECK(is_array());
+  array_.push_back(std::move(value));
+}
+
+const Json* Json::Get(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::Set(std::string_view key, Json value) {
+  SGM_CHECK(is_object());
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  SGM_CHECK(is_object());
+  return object_;
+}
+
+double Json::GetDouble(std::string_view key, double fallback) const {
+  const Json* value = Get(key);
+  return value != nullptr && value->is_number() ? value->number_ : fallback;
+}
+
+uint64_t Json::GetUint64(std::string_view key, uint64_t fallback) const {
+  const Json* value = Get(key);
+  return value != nullptr && value->is_number() ? value->AsUint64() : fallback;
+}
+
+bool Json::GetBool(std::string_view key, bool fallback) const {
+  const Json* value = Get(key);
+  return value != nullptr && value->is_bool() ? value->bool_ : fallback;
+}
+
+std::string Json::GetString(std::string_view key, std::string fallback) const {
+  const Json* value = Get(key);
+  return value != nullptr && value->is_string() ? value->string_
+                                                : std::move(fallback);
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Prints a number the way the reports want it: integers without a decimal
+// point (so counters survive a round trip textually), everything else with
+// enough digits to reconstruct the double.
+void AppendNumber(std::string* out, double value) {
+  char buffer[40];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else if (std::isfinite(value)) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  } else {
+    // JSON has no Inf/NaN; clamp to null-ish zero rather than emit garbage.
+    std::snprintf(buffer, sizeof(buffer), "0");
+  }
+  *out += buffer;
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  *out += '\n';
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      return;
+    case Type::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      return;
+    case Type::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) *out += ',';
+        AppendIndent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) AppendIndent(out, indent, depth);
+      *out += ']';
+      return;
+    }
+    case Type::kObject: {
+      *out += '{';
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) *out += ',';
+        AppendIndent(out, indent, depth + 1);
+        *out += '"';
+        *out += JsonEscape(object_[i].first);
+        *out += "\":";
+        if (indent > 0) *out += ' ';
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) AppendIndent(out, indent, depth);
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---- Parser: recursive descent over a string_view cursor. ----
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Json> ParseDocument() {
+    SkipWhitespace();
+    Json value;
+    if (!ParseValue(&value)) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void Fail(const char* message) {
+    if (error_ != nullptr && error_->empty()) {
+      char buffer[128];
+      std::snprintf(buffer, sizeof(buffer), "%s (at offset %zu)", message,
+                    pos_);
+      *error_ = buffer;
+    }
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Json* out) {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string value;
+        if (!ParseString(&value)) return false;
+        *out = Json::String(std::move(value));
+        return true;
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          *out = Json::Bool(true);
+          return true;
+        }
+        Fail("invalid literal");
+        return false;
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          *out = Json::Bool(false);
+          return true;
+        }
+        Fail("invalid literal");
+        return false;
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          *out = Json::Null();
+          return true;
+        }
+        Fail("invalid literal");
+        return false;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected a value");
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      Fail("malformed number");
+      return false;
+    }
+    *out = Json::Number(value);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      Fail("expected string");
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return false;
+          }
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          // Only BMP code points below 0x80 are produced by our writer;
+          // others are transcoded to UTF-8 without surrogate handling.
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape");
+          return false;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseArray(Json* out) {
+    Consume('[');
+    *out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    while (true) {
+      Json element;
+      SkipWhitespace();
+      if (!ParseValue(&element)) return false;
+      out->Append(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) {
+        Fail("expected ',' or ']' in array");
+        return false;
+      }
+    }
+  }
+
+  bool ParseObject(Json* out) {
+    Consume('{');
+    *out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (!Consume(':')) {
+        Fail("expected ':' in object");
+        return false;
+      }
+      SkipWhitespace();
+      Json value;
+      if (!ParseValue(&value)) return false;
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) {
+        Fail("expected ',' or '}' in object");
+        return false;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::Parse(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser parser(text, error);
+  return parser.ParseDocument();
+}
+
+}  // namespace sgm::obs

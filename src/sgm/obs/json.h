@@ -1,0 +1,99 @@
+// Minimal JSON document model for the observability layer: enough to build
+// run reports and Chrome trace files, dump them deterministically, and parse
+// them back for round-trip validation in tests. Not a general-purpose JSON
+// library — no streaming, no comments, numbers are doubles (with integer
+// values printed without a fractional part), objects preserve insertion
+// order so dumps are stable and diffable.
+#ifndef SGM_OBS_JSON_H_
+#define SGM_OBS_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sgm::obs {
+
+/// One JSON value (null, bool, number, string, array or object).
+class Json {
+ public:
+  enum class Type : uint8_t {
+    kNull = 0,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;
+  static Json Null() { return Json(); }
+  static Json Bool(bool value);
+  static Json Number(double value);
+  static Json Number(uint64_t value);
+  static Json Number(int64_t value);
+  static Json String(std::string value);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; SGM_CHECK on type mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  uint64_t AsUint64() const;
+  const std::string& AsString() const;
+
+  /// Array access.
+  size_t size() const;
+  const Json& at(size_t index) const;
+  void Append(Json value);
+
+  /// Object access. `Get` returns nullptr when the key is absent; `Set`
+  /// overwrites an existing key in place (order preserved) or appends.
+  const Json* Get(std::string_view key) const;
+  void Set(std::string_view key, Json value);
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Convenience typed lookups with defaults, for report parsing.
+  double GetDouble(std::string_view key, double fallback = 0.0) const;
+  uint64_t GetUint64(std::string_view key, uint64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+  std::string GetString(std::string_view key,
+                        std::string fallback = {}) const;
+
+  /// Serializes the value. `indent` > 0 pretty-prints with that many spaces
+  /// per level; 0 emits a compact single line.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document. Returns std::nullopt and fills
+  /// *error (when non-null) on malformed input or trailing garbage.
+  static std::optional<Json> Parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes). Exposed for the few places that stream JSON with fprintf.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace sgm::obs
+
+#endif  // SGM_OBS_JSON_H_

@@ -1,0 +1,125 @@
+// RunReport: one structured, JSON-serializable record per query run — the
+// single schema shared by the serial matcher, the parallel matcher, the
+// sgm_match CLI (--report) and the bench runners' BENCH_*.json files.
+//
+// Design rules:
+//  * Built from the returned results by a pure function (BuildRunReport);
+//    the match pipeline itself carries no report plumbing.
+//  * Every key is always emitted: a serial run produces the same shape as a
+//    parallel one (with a degenerate "parallel" section), so downstream
+//    tooling never branches on presence. Asserted in obs_test.cc.
+//  * Config fields are stored as the canonical short names ("GQL",
+//    "intersect", "all-edges", ...), so a report is self-describing and
+//    FromJson needs no enum tables.
+#ifndef SGM_OBS_RUN_REPORT_H_
+#define SGM_OBS_RUN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "sgm/matcher.h"
+#include "sgm/obs/depth_profile.h"
+#include "sgm/obs/json.h"
+#include "sgm/parallel/parallel_matcher.h"
+
+namespace sgm::obs {
+
+/// Per-worker accounting carried by a report of a parallel run.
+struct RunReportWorker {
+  uint32_t root_chunks = 0;
+  uint32_t stolen_subtasks = 0;
+  uint64_t recursion_calls = 0;
+  uint64_t matches_found = 0;
+  double busy_ms = 0.0;
+};
+
+/// The structured record of one matching run. See file comment.
+struct RunReport {
+  /// Bumped on any change to the JSON shape.
+  static constexpr uint64_t kSchemaVersion = 1;
+
+  /// "serial" or "parallel".
+  std::string engine = "serial";
+
+  // ---- Graph shapes. ----
+  uint32_t query_vertices = 0;
+  uint32_t query_edges = 0;
+  uint32_t data_vertices = 0;
+  uint32_t data_edges = 0;
+  uint32_t data_labels = 0;
+
+  // ---- Configuration (canonical short names). ----
+  std::string filter;
+  std::string order;
+  std::string lc_method;
+  std::string aux_scope;
+  std::string intersection;
+  bool use_failing_sets = false;
+  bool adaptive_order = false;
+  bool vf2pp_lookahead = false;
+  bool postpone_degree_one = false;
+  uint64_t max_matches = 0;
+  double time_limit_ms = 0.0;
+
+  // ---- Per-phase wall times. ----
+  double filter_ms = 0.0;
+  double aux_build_ms = 0.0;
+  double order_ms = 0.0;
+  double enumeration_ms = 0.0;
+  double preprocessing_ms = 0.0;
+  double total_ms = 0.0;
+
+  // ---- Candidate statistics. ----
+  double average_candidates = 0.0;
+  uint64_t candidate_memory_bytes = 0;
+  uint64_t aux_memory_bytes = 0;
+  /// Pruning trajectory of the filtering phase, one entry per round.
+  std::vector<FilterRound> filter_rounds;
+
+  std::vector<uint32_t> matching_order;
+
+  // ---- Enumeration counters (identical to EnumerateStats). ----
+  uint64_t match_count = 0;
+  uint64_t recursion_calls = 0;
+  uint64_t local_candidates_scanned = 0;
+  uint64_t failing_set_prunes = 0;
+  bool timed_out = false;
+  bool reached_match_limit = false;
+
+  /// Per-depth search profile; empty unless the run collected one.
+  DepthProfile depth_profile;
+
+  // ---- Parallel execution (degenerate for serial runs). ----
+  /// "none" (serial), "static" or "work-stealing".
+  std::string parallel_mode = "none";
+  uint32_t workers_used = 1;
+  uint32_t chunk_size = 0;
+  uint64_t subtasks_published = 0;
+  double load_imbalance = 1.0;
+  std::vector<RunReportWorker> workers;
+
+  /// Serializes to the stable JSON schema (every key always present).
+  Json ToJson() const;
+
+  /// Rebuilds a report from ToJson() output. Unknown keys are ignored and
+  /// missing keys default, so old readers tolerate newer files.
+  static RunReport FromJson(const Json& json);
+
+  /// Writes ToJson() to `path` (pretty-printed). Returns false and fills
+  /// *error on failure.
+  bool WriteFile(const std::string& path, std::string* error = nullptr) const;
+};
+
+/// Builds the report of a serial MatchQuery run.
+RunReport BuildRunReport(const Graph& query, const Graph& data,
+                         const MatchOptions& options,
+                         const MatchResult& result);
+
+/// Builds the report of a ParallelMatchQuery run.
+RunReport BuildRunReport(const Graph& query, const Graph& data,
+                         const MatchOptions& options,
+                         const ParallelMatchResult& result);
+
+}  // namespace sgm::obs
+
+#endif  // SGM_OBS_RUN_REPORT_H_

@@ -1,0 +1,133 @@
+#include "sgm/obs/trace.h"
+
+#include <cstdio>
+
+namespace sgm::obs {
+
+void TraceBuffer::Add(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceBuffer::SetThreadName(uint32_t tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, existing] : thread_names_) {
+    if (id == tid) {
+      existing = std::move(name);
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, std::move(name));
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+Json TraceBuffer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json doc = Json::Object();
+  doc.Set("displayTimeUnit", Json::String("ms"));
+  Json trace_events = Json::Array();
+  for (const auto& [tid, name] : thread_names_) {
+    Json meta = Json::Object();
+    meta.Set("name", Json::String("thread_name"));
+    meta.Set("ph", Json::String("M"));
+    meta.Set("ts", Json::Number(0.0));
+    meta.Set("pid", Json::Number(uint64_t{1}));
+    meta.Set("tid", Json::Number(uint64_t{tid}));
+    Json args = Json::Object();
+    args.Set("name", Json::String(name));
+    meta.Set("args", std::move(args));
+    trace_events.Append(std::move(meta));
+  }
+  for (const TraceEvent& event : events_) {
+    Json record = Json::Object();
+    record.Set("name", Json::String(event.name));
+    record.Set("cat", Json::String(event.category));
+    record.Set("ph", Json::String("X"));
+    record.Set("ts", Json::Number(event.ts_us));
+    record.Set("dur", Json::Number(event.dur_us));
+    record.Set("pid", Json::Number(uint64_t{1}));
+    record.Set("tid", Json::Number(uint64_t{event.tid}));
+    if (event.tts_us >= 0.0) {
+      record.Set("tts", Json::Number(event.tts_us));
+      record.Set("tdur", Json::Number(event.tdur_us >= 0.0 ? event.tdur_us
+                                                           : 0.0));
+    }
+    if (!event.args.empty()) {
+      Json args = Json::Object();
+      for (const TraceArg& arg : event.args) {
+        args.Set(arg.key, arg.is_string ? Json::String(arg.string_value)
+                                        : Json::Number(arg.number_value));
+      }
+      record.Set("args", std::move(args));
+    }
+    trace_events.Append(std::move(record));
+  }
+  doc.Set("traceEvents", std::move(trace_events));
+  return doc;
+}
+
+bool TraceBuffer::WriteFile(const std::string& path,
+                            std::string* error) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "could not open " + path + " for writing";
+    return false;
+  }
+  const std::string text = ToJson().Dump(2);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), file) ==
+                      text.size() &&
+                  std::fputc('\n', file) != EOF;
+  std::fclose(file);
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+TraceSpan::TraceSpan(TraceBuffer* buffer, std::string name,
+                     std::string category, uint32_t tid)
+    : buffer_(buffer) {
+  if (buffer_ == nullptr) return;
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.tid = tid;
+  event_.ts_us = buffer_->NowUs();
+  cpu_start_nanos_ = ThreadCpuTimer::NowNanos();
+  event_.tts_us = static_cast<double>(cpu_start_nanos_) * 1e-3;
+}
+
+void TraceSpan::AddArg(std::string key, double value) {
+  if (buffer_ == nullptr) return;
+  TraceArg arg;
+  arg.key = std::move(key);
+  arg.number_value = value;
+  event_.args.push_back(std::move(arg));
+}
+
+void TraceSpan::AddArg(std::string key, std::string value) {
+  if (buffer_ == nullptr) return;
+  TraceArg arg;
+  arg.key = std::move(key);
+  arg.is_string = true;
+  arg.string_value = std::move(value);
+  event_.args.push_back(std::move(arg));
+}
+
+void TraceSpan::End() {
+  if (buffer_ == nullptr) return;
+  event_.dur_us = buffer_->NowUs() - event_.ts_us;
+  event_.tdur_us =
+      static_cast<double>(ThreadCpuTimer::NowNanos() - cpu_start_nanos_) *
+      1e-3;
+  buffer_->Add(std::move(event_));
+  buffer_ = nullptr;
+}
+
+}  // namespace sgm::obs

@@ -1,0 +1,110 @@
+// Span-based tracing with Chrome trace-event export. A TraceBuffer collects
+// complete ("ph": "X") events — name, category, wall timestamp/duration and,
+// when available, thread-CPU timestamp/duration — from any number of threads
+// and serializes them to the JSON Object Format understood by
+// chrome://tracing and Perfetto (ui.perfetto.dev). The matcher emits one
+// span per pipeline phase and, in the parallel path, one span per work item
+// per worker, so a trace file shows exactly where a query's time went.
+//
+// Cost model: a span records two clock reads at open and two at close plus
+// one mutex-guarded vector push; spans are only created when a Collector
+// with tracing enabled is attached, so the untraced hot path pays nothing.
+#ifndef SGM_OBS_TRACE_H_
+#define SGM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sgm/obs/json.h"
+#include "sgm/util/timer.h"
+
+namespace sgm::obs {
+
+/// One argument attached to a trace event (shown in the Perfetto side
+/// panel when the span is selected).
+struct TraceArg {
+  std::string key;
+  bool is_string = false;
+  std::string string_value;
+  double number_value = 0.0;
+};
+
+/// One complete trace event. Timestamps are microseconds relative to the
+/// owning buffer's epoch (its construction time).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  /// Thread-CPU timestamp/duration in microseconds; negative = not sampled.
+  double tts_us = -1.0;
+  double tdur_us = -1.0;
+  /// Logical thread id: 0 = the orchestrating thread, 1+N = worker N.
+  uint32_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Thread-safe append-only buffer of trace events.
+class TraceBuffer {
+ public:
+  TraceBuffer() = default;
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Wall-clock microseconds since this buffer's construction — the ts
+  /// domain of every event it holds.
+  double NowUs() const { return static_cast<double>(epoch_.ElapsedNanos()) * 1e-3; }
+
+  /// Appends one event (any thread).
+  void Add(TraceEvent event);
+
+  /// Names a logical thread in the trace viewer ("pipeline", "worker-3").
+  void SetThreadName(uint32_t tid, std::string name);
+
+  size_t size() const;
+  std::vector<TraceEvent> events() const;
+
+  /// Full Chrome trace document: {"displayTimeUnit": "ms", "traceEvents":
+  /// [...]} with one "M"-phase thread_name record per named thread and one
+  /// "X"-phase record per span.
+  Json ToJson() const;
+
+  /// Writes ToJson() to `path`. Returns false and fills *error on failure.
+  bool WriteFile(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  Timer epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<uint32_t, std::string>> thread_names_;
+};
+
+/// RAII span: opens at construction, records a complete event (wall and
+/// thread-CPU duration) into the buffer at destruction or End(). A null
+/// buffer makes every operation a no-op, so call sites need no branching.
+class TraceSpan {
+ public:
+  TraceSpan(TraceBuffer* buffer, std::string name, std::string category,
+            uint32_t tid = 0);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { End(); }
+
+  void AddArg(std::string key, double value);
+  void AddArg(std::string key, std::string value);
+
+  /// Closes the span early (idempotent).
+  void End();
+
+ private:
+  TraceBuffer* buffer_;
+  TraceEvent event_;
+  int64_t cpu_start_nanos_ = 0;
+};
+
+}  // namespace sgm::obs
+
+#endif  // SGM_OBS_TRACE_H_

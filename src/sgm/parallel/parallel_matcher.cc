@@ -9,6 +9,8 @@
 
 #include "sgm/core/enumerate/enumeration_engine.h"
 #include "sgm/core/order/dpiso_order.h"
+#include "sgm/obs/collector.h"
+#include "sgm/obs/phase_timer.h"
 #include "sgm/parallel/task_pool.h"
 #include "sgm/parallel/work_queue.h"
 #include "sgm/util/timer.h"
@@ -49,21 +51,28 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
   parallel.mode = parallel_options.mode;
   MatchResult& result = parallel.result;
   Timer total_timer;
+  obs::TraceBuffer* trace =
+      options.collector != nullptr ? options.collector->trace() : nullptr;
+  if (trace != nullptr) trace->SetThreadName(0, "pipeline");
+  const bool profile_enabled = options.collector != nullptr &&
+                               options.collector->depth_profile_enabled();
+  obs::PhaseTimer phase_timer(trace);
 
   // ---- Shared preprocessing (identical to MatchQuery). ----
-  Timer phase_timer;
+  phase_timer.Begin(obs::kPhaseFilter);
   FilterResult filtered =
       RunFilter(options.filter, query, data, options.filter_options);
-  result.filter_ms = phase_timer.ElapsedMillis();
+  result.filter_ms = phase_timer.End();
   result.average_candidates = filtered.candidates.AverageCount();
   result.candidate_memory_bytes = filtered.candidates.MemoryBytes();
+  result.filter_rounds = std::move(filtered.rounds);
   if (filtered.candidates.AnyEmpty()) {
     result.preprocessing_ms = result.filter_ms;
     result.total_ms = total_timer.ElapsedMillis();
     return parallel;
   }
 
-  phase_timer.Reset();
+  phase_timer.Begin(obs::kPhaseAuxBuild);
   AuxStructure aux;
   switch (options.aux_scope) {
     case AuxEdgeScope::kNone:
@@ -78,10 +87,9 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
       aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates);
       break;
   }
-  result.aux_build_ms = phase_timer.ElapsedMillis();
   result.aux_memory_bytes = aux.MemoryBytes();
 
-  phase_timer.Reset();
+  result.aux_build_ms = phase_timer.Begin(obs::kPhaseOrder);
   OrderInputs order_inputs;
   order_inputs.candidates = &filtered.candidates;
   order_inputs.tree =
@@ -96,7 +104,7 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
     weights = DpisoWeights::Build(query, filtered.candidates, aux,
                                   result.matching_order);
   }
-  result.order_ms = phase_timer.ElapsedMillis();
+  result.order_ms = phase_timer.End();
   result.preprocessing_ms =
       result.filter_ms + result.aux_build_ms + result.order_ms;
 
@@ -117,6 +125,7 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
   std::atomic<bool> stop{false};
   std::mutex callback_mutex;
   std::vector<EnumerateStats> worker_enumerate(workers);
+  std::vector<obs::DepthProfile> worker_profiles(profile_enabled ? workers : 0);
 
   EnumerateOptions base_options;
   base_options.lc_method = options.lc_method;
@@ -181,12 +190,25 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
     enumerate_options.root_slice_end =
         static_cast<uint32_t>(static_cast<uint64_t>(root_candidates) *
                               (worker + 1) / workers);
-    const double busy_start = parallel::ThreadCpuMillis();
+    if (profile_enabled) {
+      enumerate_options.depth_profile = &worker_profiles[worker];
+    }
+    if (trace != nullptr) {
+      trace->SetThreadName(worker + 1, "worker-" + std::to_string(worker));
+    }
+    obs::TraceSpan span(trace,
+                        "slice[" +
+                            std::to_string(enumerate_options.root_slice_begin) +
+                            "," +
+                            std::to_string(enumerate_options.root_slice_end) +
+                            ")",
+                        "work-item", worker + 1);
+    ThreadCpuTimer cpu_timer;
     worker_enumerate[worker] = Enumerate(
         query, data, filtered.candidates, aux_ptr, result.matching_order,
         enumerate_options, weights_ptr, worker_callback);
     ParallelWorkerStats& ws = parallel.worker_stats[worker];
-    ws.busy_ms = parallel::ThreadCpuMillis() - busy_start;
+    ws.busy_ms = cpu_timer.ElapsedMillis();
     ws.item_costs_ms.push_back(ws.busy_ms);
     ws.root_chunks = 1;
     ws.recursion_calls = worker_enumerate[worker].recursion_calls;
@@ -199,8 +221,12 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
   const auto stealing_worker = [&](uint32_t worker) {
     // One long-lived engine per worker: scratch buffers are allocated once
     // and Reset() between chunks.
+    EnumerateOptions worker_options = base_options;
+    if (profile_enabled) {
+      worker_options.depth_profile = &worker_profiles[worker];
+    }
     EnumerationEngine engine(query, data, filtered.candidates, aux_ptr,
-                             result.matching_order, base_options, weights_ptr,
+                             result.matching_order, worker_options, weights_ptr,
                              worker_callback);
     if (parallel_options.subtree_stealing) {
       engine.set_split_hook(
@@ -208,12 +234,27 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
             return pool.OfferSplit(root, next, end);
           });
     }
+    if (trace != nullptr) {
+      trace->SetThreadName(worker + 1, "worker-" + std::to_string(worker));
+    }
     ParallelWorkerStats& ws = parallel.worker_stats[worker];
     parallel::WorkItem item;
+    ThreadCpuTimer cpu_timer;
     while (!stop.load(std::memory_order_relaxed) && pool.NextWork(&item)) {
-      const double busy_start = parallel::ThreadCpuMillis();
+      const bool is_chunk = item.kind == parallel::WorkItem::Kind::kRootChunk;
+      std::string span_name;
+      if (trace != nullptr) {
+        span_name = is_chunk
+                        ? "chunk[" + std::to_string(item.begin) + "," +
+                              std::to_string(item.end) + ")"
+                        : "steal root=" +
+                              std::to_string(item.subtask.root_image);
+      }
+      obs::TraceSpan span(trace, std::move(span_name), "work-item",
+                          worker + 1);
+      cpu_timer.Reset();
       engine.Reset();
-      if (item.kind == parallel::WorkItem::Kind::kRootChunk) {
+      if (is_chunk) {
         engine.RunSlice(item.begin, item.end);
         ++ws.root_chunks;
       } else {
@@ -221,7 +262,7 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
                           item.subtask.d1_end);
         ++ws.stolen_subtasks;
       }
-      const double item_ms = parallel::ThreadCpuMillis() - busy_start;
+      const double item_ms = cpu_timer.ElapsedMillis();
       ws.busy_ms += item_ms;
       ws.item_costs_ms.push_back(item_ms);
       if (engine.aborted()) break;
@@ -247,16 +288,23 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
       static_worker(worker);
     }
   };
-  if (workers == 1) {
-    worker_fn(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
-    for (auto& thread : threads) thread.join();
+  {
+    obs::TraceSpan enum_span(trace, obs::kPhaseEnumeration, "phase");
+    enum_span.AddArg("workers", static_cast<double>(workers));
+    if (workers == 1) {
+      worker_fn(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+      for (auto& thread : threads) thread.join();
+    }
   }
   result.enumeration_ms = enumeration_timer.ElapsedMillis();
   if (stealing) parallel.subtasks_published = pool.subtasks_published();
+  for (const obs::DepthProfile& profile : worker_profiles) {
+    result.depth_profile.Merge(profile);
+  }
 
   // Aggregate worker statistics.
   EnumerateStats& stats = result.enumerate;

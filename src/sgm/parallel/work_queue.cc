@@ -1,12 +1,8 @@
 #include "sgm/parallel/work_queue.h"
 
 #include <algorithm>
-#include <chrono>
 
-#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
-#include <time.h>
-#define SGM_HAVE_THREAD_CPUTIME 1
-#endif
+#include "sgm/util/timer.h"
 
 namespace sgm::parallel {
 
@@ -17,19 +13,7 @@ uint32_t AutoChunkSize(uint32_t total, uint32_t workers) {
 }
 
 double ThreadCpuMillis() {
-#ifdef SGM_HAVE_THREAD_CPUTIME
-  struct timespec ts;
-  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
-    return static_cast<double>(ts.tv_sec) * 1e3 +
-           static_cast<double>(ts.tv_nsec) * 1e-6;
-  }
-#endif
-  // Fallback: wall clock (inflated under oversubscription, but monotone).
-  return static_cast<double>(
-             std::chrono::duration_cast<std::chrono::nanoseconds>(
-                 std::chrono::steady_clock::now().time_since_epoch())
-                 .count()) *
-         1e-6;
+  return static_cast<double>(ThreadCpuTimer::NowNanos()) * 1e-6;
 }
 
 }  // namespace sgm::parallel

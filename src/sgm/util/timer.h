@@ -1,9 +1,15 @@
-// Wall-clock timing helpers used by the matcher and the bench harness.
+// Wall-clock and thread-CPU timing helpers used by the matcher, the
+// observability layer and the bench harness.
 #ifndef SGM_UTIL_TIMER_H_
 #define SGM_UTIL_TIMER_H_
 
 #include <chrono>
 #include <cstdint>
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#define SGM_HAVE_THREAD_CPUTIME 1
+#endif
 
 namespace sgm {
 
@@ -35,6 +41,44 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Thread-CPU-time stopwatch: counts only the time the calling thread spends
+/// executing on a core (CLOCK_THREAD_CPUTIME_ID), so measurements are not
+/// inflated while the OS has the thread descheduled — the property that
+/// keeps per-worker busy times comparable when workers outnumber cores.
+/// Falls back to the wall clock on platforms without a thread CPU clock.
+/// One instance per thread; reading another thread's timer is meaningless.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(NowNanos()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = NowNanos(); }
+
+  /// Thread CPU time consumed since construction or the last Reset.
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+  /// Current thread-CPU clock reading in nanoseconds (epoch unspecified;
+  /// only differences are meaningful).
+  static int64_t NowNanos() {
+#ifdef SGM_HAVE_THREAD_CPUTIME
+    struct timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+    }
+#endif
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  int64_t start_;
 };
 
 }  // namespace sgm

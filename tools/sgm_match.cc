@@ -2,7 +2,7 @@
 //
 //   sgm_match --query q.graph --data g.graph [options]
 //
-// Options:
+// Options (value flags accept both "--flag VALUE" and "--flag=VALUE"):
 //   --algorithm NAME   QSI|GQL|CFL|CECI|DP|RI|2PP|GLW|ULL|VF2|WCOJ
 //                      (framework names run the optimized variant; prefix
 //                      with "classic-" for the original, e.g. classic-CFL)
@@ -10,8 +10,16 @@
 //   --max-matches N    stop after N matches (default 100000, 0 = all)
 //   --time-limit-ms N  per-query kill limit (default 300000)
 //   --threads N        parallel enumeration with N workers (framework only)
+//   --report FILE      write the structured RunReport JSON (framework only)
+//   --trace FILE       write a Chrome trace-event file — open it in
+//                      ui.perfetto.dev or chrome://tracing (framework only)
+//   --depth-profile    collect the per-depth search profile; printed as a
+//                      table and embedded in --report (framework only)
 //   --print-matches    write each embedding to stdout
 //   --count-only       suppress everything except the match count
+//
+// Exit codes: 0 ok, 1 load error, 2 usage error, 3 query unsolved (killed
+// by the time limit).
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -23,6 +31,8 @@
 #include "sgm/graph/graph_io.h"
 #include "sgm/graph/graph_utils.h"
 #include "sgm/matcher.h"
+#include "sgm/obs/collector.h"
+#include "sgm/obs/run_report.h"
 #include "sgm/parallel/parallel_matcher.h"
 #include "sgm/wcoj/generic_join.h"
 
@@ -36,6 +46,9 @@ struct CliArgs {
   uint64_t max_matches = 100000;
   double time_limit_ms = 300000.0;
   uint32_t threads = 1;
+  std::string report_path;
+  std::string trace_path;
+  bool depth_profile = false;
   bool print_matches = false;
   bool count_only = false;
 };
@@ -44,42 +57,62 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: sgm_match --query q.graph --data g.graph"
                " [--algorithm NAME] [--failing-sets] [--max-matches N]"
-               " [--time-limit-ms N] [--threads N] [--print-matches]"
+               " [--time-limit-ms N] [--threads N] [--report FILE.json]"
+               " [--trace FILE.json] [--depth-profile] [--print-matches]"
                " [--count-only]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
+    std::string flag = argv[i];
+    // Accept --flag=value: split once, treating the remainder as the value.
+    std::optional<std::string> inline_value;
+    if (const size_t eq = flag.find('='); eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag.resize(eq);
+    }
+    const auto next = [&]() -> std::optional<std::string> {
+      if (inline_value.has_value()) return inline_value;
+      if (i + 1 < argc) return std::string(argv[++i]);
+      return std::nullopt;
     };
     if (flag == "--query") {
-      const char* value = next();
-      if (value == nullptr) return false;
-      args->query_path = value;
+      const auto value = next();
+      if (!value.has_value()) return false;
+      args->query_path = *value;
     } else if (flag == "--data") {
-      const char* value = next();
-      if (value == nullptr) return false;
-      args->data_path = value;
+      const auto value = next();
+      if (!value.has_value()) return false;
+      args->data_path = *value;
     } else if (flag == "--algorithm") {
-      const char* value = next();
-      if (value == nullptr) return false;
-      args->algorithm = value;
+      const auto value = next();
+      if (!value.has_value()) return false;
+      args->algorithm = *value;
     } else if (flag == "--failing-sets") {
       args->failing_sets = true;
     } else if (flag == "--max-matches") {
-      const char* value = next();
-      if (value == nullptr) return false;
-      args->max_matches = std::strtoull(value, nullptr, 10);
+      const auto value = next();
+      if (!value.has_value()) return false;
+      args->max_matches = std::strtoull(value->c_str(), nullptr, 10);
     } else if (flag == "--time-limit-ms") {
-      const char* value = next();
-      if (value == nullptr) return false;
-      args->time_limit_ms = std::strtod(value, nullptr);
+      const auto value = next();
+      if (!value.has_value()) return false;
+      args->time_limit_ms = std::strtod(value->c_str(), nullptr);
     } else if (flag == "--threads") {
-      const char* value = next();
-      if (value == nullptr) return false;
-      args->threads = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+      const auto value = next();
+      if (!value.has_value()) return false;
+      args->threads =
+          static_cast<uint32_t>(std::strtoul(value->c_str(), nullptr, 10));
+    } else if (flag == "--report") {
+      const auto value = next();
+      if (!value.has_value()) return false;
+      args->report_path = *value;
+    } else if (flag == "--trace") {
+      const auto value = next();
+      if (!value.has_value()) return false;
+      args->trace_path = *value;
+    } else if (flag == "--depth-profile") {
+      args->depth_profile = true;
     } else if (flag == "--print-matches") {
       args->print_matches = true;
     } else if (flag == "--count-only") {
@@ -111,6 +144,23 @@ sgm::MatchCallback MakePrinter(const CliArgs& args, uint32_t query_size) {
   };
 }
 
+void PrintDepthProfile(const sgm::obs::DepthProfile& profile) {
+  std::printf(
+      "depth-profile: depth calls lc-total lc-empty conflicts fs-prunes"
+      " matches sampled-ms\n");
+  for (size_t d = 0; d < profile.depths.size(); ++d) {
+    const sgm::obs::DepthStats& s = profile.depths[d];
+    std::printf("depth-profile: %5zu %5llu %8llu %8llu %9llu %9llu %7llu"
+                " %10.2f\n",
+                d, static_cast<unsigned long long>(s.recursion_calls),
+                static_cast<unsigned long long>(s.local_candidates),
+                static_cast<unsigned long long>(s.empty_local_candidates),
+                static_cast<unsigned long long>(s.conflicts),
+                static_cast<unsigned long long>(s.failing_set_prunes),
+                static_cast<unsigned long long>(s.matches), s.sampled_ms);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,7 +189,13 @@ int main(int argc, char** argv) {
   uint64_t matches = 0;
   double total_ms = 0.0;
   std::string status = "ok";
+  // Counters of the framework engines; stays null for the baselines.
+  const sgm::EnumerateStats* counters = nullptr;
+  sgm::EnumerateStats framework_counters;
   const auto printer = MakePrinter(args, query->vertex_count());
+
+  const bool wants_obs = !args.report_path.empty() ||
+                         !args.trace_path.empty() || args.depth_profile;
 
   if (args.algorithm == "GLW") {
     sgm::GlasgowOptions options;
@@ -188,27 +244,76 @@ int main(int argc, char** argv) {
     options.use_failing_sets = args.failing_sets || options.use_failing_sets;
     options.max_matches = args.max_matches;
     options.time_limit_ms = args.time_limit_ms;
+
+    sgm::obs::Collector collector;
+    if (!args.trace_path.empty()) collector.EnableTrace();
+    if (args.depth_profile || !args.report_path.empty()) {
+      collector.EnableDepthProfile();
+    }
+    if (wants_obs) options.collector = &collector;
+
+    sgm::obs::RunReport report;
     if (args.threads > 1) {
       const auto parallel = sgm::ParallelMatchQuery(*query, *data, options,
                                                     args.threads, printer);
       matches = parallel.result.match_count;
       total_ms = parallel.result.total_ms;
       if (parallel.result.unsolved()) status = "timeout";
+      framework_counters = parallel.result.enumerate;
+      report = sgm::obs::BuildRunReport(*query, *data, options, parallel);
+      if (args.depth_profile && !args.count_only) {
+        PrintDepthProfile(parallel.result.depth_profile);
+      }
     } else {
       const auto result = sgm::MatchQuery(*query, *data, options, printer);
       matches = result.match_count;
       total_ms = result.total_ms;
       if (result.unsolved()) status = "timeout";
+      framework_counters = result.enumerate;
+      report = sgm::obs::BuildRunReport(*query, *data, options, result);
+      if (args.depth_profile && !args.count_only) {
+        PrintDepthProfile(result.depth_profile);
+      }
     }
+    counters = &framework_counters;
+
+    if (!args.report_path.empty() &&
+        !report.WriteFile(args.report_path, &error)) {
+      std::fprintf(stderr, "failed to write report: %s\n", error.c_str());
+      return 1;
+    }
+    if (!args.trace_path.empty() &&
+        !collector.trace_buffer().WriteFile(args.trace_path, &error)) {
+      std::fprintf(stderr, "failed to write trace: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  if (wants_obs && counters == nullptr) {
+    std::fprintf(stderr,
+                 "warning: --report/--trace/--depth-profile are only"
+                 " supported by the framework algorithms; ignored for %s\n",
+                 args.algorithm.c_str());
   }
 
   if (args.count_only) {
     std::printf("%llu\n", static_cast<unsigned long long>(matches));
+  } else if (counters != nullptr) {
+    std::printf(
+        "algorithm=%s matches=%llu time_ms=%.3f status=%s"
+        " recursion_calls=%llu local_candidates_scanned=%llu"
+        " failing_set_prunes=%llu\n",
+        args.algorithm.c_str(), static_cast<unsigned long long>(matches),
+        total_ms, status.c_str(),
+        static_cast<unsigned long long>(counters->recursion_calls),
+        static_cast<unsigned long long>(counters->local_candidates_scanned),
+        static_cast<unsigned long long>(counters->failing_set_prunes));
   } else {
     std::printf("algorithm=%s matches=%llu time_ms=%.3f status=%s\n",
                 args.algorithm.c_str(),
                 static_cast<unsigned long long>(matches), total_ms,
                 status.c_str());
   }
-  return 0;
+  // An unsolved (timed-out) query is a failed run for scripting purposes.
+  return status == "timeout" ? 3 : 0;
 }
