@@ -116,6 +116,16 @@ class EnumerationEngine {
 
   std::vector<Vertex> mapping_;
   std::vector<Vertex> inverse_;
+  /// Bitset of currently-mapped query vertices, kept in sync with
+  /// mapping_. Failing-set attribution needs it when the VF2++ lookahead
+  /// drops a candidate: the lookahead reads the whole mapping (it counts
+  /// unmapped data neighbors), so such a failure depends on every ancestor,
+  /// not just the backward neighbors of the current vertex.
+  QueryVertexSet mapped_mask_ = 0;
+  /// Set by ComputeLocalCandidates when the lookahead rejected at least one
+  /// otherwise-admissible candidate of the vertex being extended; consumed
+  /// immediately by Explore (recursion clobbers it).
+  bool lc_lookahead_dropped_ = false;
   std::vector<std::vector<Vertex>> lc_buffer_;
   std::vector<Vertex> intersect_scratch_;
   /// Backward candidate-adjacency spans of the vertex currently being

@@ -146,6 +146,7 @@ void EnumerationEngine::Reset() {
   }
   aborted_ = false;
   current_root_image_ = kInvalidVertex;
+  mapped_mask_ = 0;
   if (options_.adaptive_order && dirty) {
     for (Vertex u = 0; u < n_; ++u) {
       unmapped_backward_[u] =
@@ -173,6 +174,7 @@ void EnumerationEngine::RunSubtree(Vertex root_image, uint32_t d1_begin,
   SGM_CHECK(inverse_[root_image] == kInvalidVertex);
   mapping_[u0] = root_image;
   inverse_[root_image] = u0;
+  mapped_mask_ |= QuerySetBit(u0);
   current_root_image_ = root_image;
   OnMapped(u0);
   slice_depth_ = 1;
@@ -182,6 +184,7 @@ void EnumerationEngine::RunSubtree(Vertex root_image, uint32_t d1_begin,
   OnUnmapped(u0);
   inverse_[root_image] = kInvalidVertex;
   mapping_[u0] = kInvalidVertex;
+  mapped_mask_ &= ~QuerySetBit(u0);
   current_root_image_ = kInvalidVertex;
   slice_depth_ = 0;
 }
@@ -306,6 +309,7 @@ bool EnumerationEngine::PassesVf2ppLookahead(Vertex u, Vertex v) {
 // ComputeLocalCandidates call at the same depth.
 std::span<const Vertex> EnumerationEngine::ComputeLocalCandidates(
     Vertex u, uint32_t depth) {
+  lc_lookahead_dropped_ = false;
   if (options_.adaptive_order) {
     // Computed once when u became extendable; still valid (see DESIGN.md).
     return adaptive_lc_[u];
@@ -334,6 +338,7 @@ std::span<const Vertex> EnumerationEngine::ComputeLocalCandidates(
         }
         if (ok && options_.vf2pp_lookahead && !PassesVf2ppLookahead(u, v)) {
           ok = false;
+          lc_lookahead_dropped_ = true;
         }
         if (ok) buffer.push_back(v);
       }
@@ -413,6 +418,13 @@ QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
 
   const Vertex u = SelectVertex(depth);
   auto local_candidates = ComputeLocalCandidates(u, depth);
+  // When the VF2++ lookahead dropped a candidate, LC(u, M) depended on the
+  // whole mapping — the lookahead counts unmapped data neighbors, so any
+  // ancestor's image can exclude a candidate here. The failure of this node
+  // must then be attributed to every mapped vertex, or a failing-set prune
+  // above could skip a sibling under which the dropped candidate survives.
+  const QueryVertexSet lc_extra_mask =
+      lc_lookahead_dropped_ ? mapped_mask_ : 0;
   size_t offset = 0;
   if (depth == slice_depth_) {
     const auto begin = std::min<size_t>(slice_begin_, local_candidates.size());
@@ -428,7 +440,7 @@ QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
   if (local_candidates.empty()) {
     if (profile_ != nullptr) ++profile_->depths[depth].empty_local_candidates;
     // "Emptyset class" failing set: u and its mapped neighbors.
-    return QuerySetBit(u) | backward_mask_[u];
+    return QuerySetBit(u) | backward_mask_[u] | lc_extra_mask;
   }
 
   QueryVertexSet node_set = 0;
@@ -458,6 +470,7 @@ QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
     } else {
       mapping_[u] = v;
       inverse_[v] = u;
+      mapped_mask_ |= QuerySetBit(u);
       if (depth == 0) current_root_image_ = v;
       OnMapped(u);
       if (depth + 1 == n_) {
@@ -470,6 +483,7 @@ QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
       OnUnmapped(u);
       inverse_[v] = kInvalidVertex;
       mapping_[u] = kInvalidVertex;
+      mapped_mask_ &= ~QuerySetBit(u);
     }
     if (aborted_) return full_mask_;
     if (options_.use_failing_sets) {
@@ -495,7 +509,7 @@ QueryVertexSet EnumerationEngine::Explore(uint32_t depth) {
   // LC(u, M), so a different assignment of one of them could surface a
   // fresh candidate. Their bits must stay in the failing set (this is why
   // DP-iso uses ancestor sets).
-  return node_set | QuerySetBit(u) | backward_mask_[u];
+  return node_set | QuerySetBit(u) | backward_mask_[u] | lc_extra_mask;
 }
 
 void EnumerationEngine::RecordMatch() {

@@ -23,6 +23,9 @@ uint64_t LabelPairKey(Label a, Label b) {
 
 std::vector<Vertex> QuickSiOrder(const Graph& query, const Graph& data) {
   const uint32_t n = query.vertex_count();
+  // An edgeless connected query is a single vertex; the edge-seeded loop
+  // below would emit that vertex twice.
+  if (n <= 1) return n == 0 ? std::vector<Vertex>{} : std::vector<Vertex>{0};
 
   // Edge-label-pair frequencies over the data graph.
   std::unordered_map<uint64_t, uint64_t> pair_frequency;

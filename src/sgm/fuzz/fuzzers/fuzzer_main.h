@@ -1,0 +1,44 @@
+// Standalone driver for libFuzzer-style entry points, used when the
+// toolchain cannot link libFuzzer (gcc, or -DSGM_BUILD_FUZZERS without
+// clang). Each corpus file passed on the command line is fed once through
+// LLVMFuzzerTestOneInput, turning the fuzz target into a corpus regression
+// runner:
+//
+//   graph_reader_fuzzer tests/corpus/graph_reader/*
+//
+// Under clang with -fsanitize=fuzzer the real libFuzzer main() takes over
+// and this header contributes nothing.
+#ifndef SGM_FUZZ_FUZZERS_FUZZER_MAIN_H_
+#define SGM_FUZZ_FUZZERS_FUZZER_MAIN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#ifndef SGM_HAVE_LIBFUZZER
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      failures = 1;
+      continue;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    std::printf("ok %s (%zu bytes)\n", argv[i], bytes.size());
+  }
+  return failures;
+}
+#endif  // SGM_HAVE_LIBFUZZER
+
+#endif  // SGM_FUZZ_FUZZERS_FUZZER_MAIN_H_

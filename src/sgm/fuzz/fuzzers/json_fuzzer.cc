@@ -1,0 +1,24 @@
+// Fuzz target for the observability-layer JSON parser. Any byte sequence
+// must either parse or fail with an error — no crashes, no unbounded
+// recursion (the parser carries an explicit nesting cap). Parsed documents
+// are round-tripped through Dump → Parse, which must succeed: the dumper
+// and parser are used as inverse pairs by the run-report tests.
+#include <string>
+#include <string_view>
+
+#include "sgm/fuzz/fuzzers/fuzzer_main.h"
+#include "sgm/obs/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const auto value = sgm::obs::Json::Parse(text, &error);
+  if (!value.has_value()) return 0;
+
+  const std::string dumped = value->Dump();
+  const auto reparsed = sgm::obs::Json::Parse(dumped, &error);
+  if (!reparsed.has_value() || reparsed->type() != value->type()) {
+    __builtin_trap();  // Dump produced something Parse rejects.
+  }
+  return 0;
+}

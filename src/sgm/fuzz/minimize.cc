@@ -1,0 +1,249 @@
+#include "sgm/fuzz/minimize.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sgm/graph/graph_builder.h"
+
+namespace sgm::fuzz {
+
+namespace {
+
+// Mutable mirror of a Graph, cheap to edit and rebuild at fuzz-case sizes.
+struct EditableGraph {
+  std::vector<Label> labels;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+};
+
+EditableGraph ToEditable(const Graph& graph) {
+  EditableGraph editable;
+  editable.labels.reserve(graph.vertex_count());
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    editable.labels.push_back(graph.label(v));
+  }
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    for (const Vertex w : graph.neighbors(v)) {
+      if (v < w) editable.edges.emplace_back(v, w);
+    }
+  }
+  return editable;
+}
+
+Graph BuildGraph(const EditableGraph& editable) {
+  GraphBuilder builder;
+  for (const Label label : editable.labels) builder.AddVertex(label);
+  for (const auto& [u, v] : editable.edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+// Removes `count` vertices starting at index `begin`, dropping incident
+// edges and renumbering the survivors.
+EditableGraph WithoutVertices(const EditableGraph& graph, uint32_t begin,
+                              uint32_t count) {
+  EditableGraph out;
+  const uint32_t end = begin + count;
+  for (uint32_t v = 0; v < graph.labels.size(); ++v) {
+    if (v < begin || v >= end) out.labels.push_back(graph.labels[v]);
+  }
+  const auto remap = [&](Vertex v) -> Vertex {
+    return v < begin ? v : v - count;
+  };
+  for (const auto& [u, v] : graph.edges) {
+    const bool u_gone = u >= begin && u < end;
+    const bool v_gone = v >= begin && v < end;
+    if (!u_gone && !v_gone) out.edges.emplace_back(remap(u), remap(v));
+  }
+  return out;
+}
+
+EditableGraph WithoutEdges(const EditableGraph& graph, size_t begin,
+                           size_t count) {
+  EditableGraph out;
+  out.labels = graph.labels;
+  for (size_t i = 0; i < graph.edges.size(); ++i) {
+    if (i < begin || i >= begin + count) out.edges.push_back(graph.edges[i]);
+  }
+  return out;
+}
+
+class Minimizer {
+ public:
+  Minimizer(const FuzzCase& failing, const OracleOptions& oracle_options,
+            const MinimizeOptions& options, MinimizeStats* stats)
+      : best_(failing),
+        oracle_options_(oracle_options),
+        options_(options),
+        stats_(stats) {}
+
+  FuzzCase Run() {
+    if (!Fails(best_)) return best_;  // Not failing: nothing to minimize.
+    for (uint32_t round = 0; round < options_.max_rounds; ++round) {
+      if (stats_ != nullptr) stats_->rounds = round + 1;
+      bool changed = false;
+      changed |= ShrinkConfigs();
+      changed |= ShrinkQueryVertices();
+      changed |= ShrinkQueryEdges();
+      changed |= ShrinkDataVertices();
+      changed |= ShrinkDataEdges();
+      changed |= MergeLabels();
+      if (!changed || OutOfBudget()) break;
+    }
+    return best_;
+  }
+
+ private:
+  bool OutOfBudget() const { return runs_ >= options_.max_oracle_runs; }
+
+  bool Fails(const FuzzCase& candidate) {
+    if (OutOfBudget()) return false;
+    ++runs_;
+    if (stats_ != nullptr) stats_->oracle_runs = runs_;
+    // The oracle validates the candidate itself: a shrink that disconnects
+    // the query comes back kRejected, which is not Failed(), so the
+    // attempt is simply not adopted.
+    return RunOracle(candidate, oracle_options_).Failed();
+  }
+
+  bool Adopt(FuzzCase candidate) {
+    if (!Fails(candidate)) return false;
+    best_ = std::move(candidate);
+    return true;
+  }
+
+  bool ShrinkConfigs() {
+    bool changed = false;
+    for (size_t i = best_.configs.size(); i-- > 0 && !OutOfBudget();) {
+      if (best_.configs.size() <= 1) break;
+      FuzzCase candidate = best_;
+      candidate.configs.erase(candidate.configs.begin() +
+                              static_cast<ptrdiff_t>(i));
+      changed |= Adopt(std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool ShrinkQueryVertices() {
+    bool changed = false;
+    const EditableGraph query = ToEditable(best_.query);
+    for (uint32_t v = static_cast<uint32_t>(query.labels.size());
+         v-- > 0 && !OutOfBudget();) {
+      const EditableGraph current = ToEditable(best_.query);
+      if (v >= current.labels.size() || current.labels.size() <= 1) continue;
+      FuzzCase candidate = best_;
+      candidate.query = BuildGraph(WithoutVertices(current, v, 1));
+      changed |= Adopt(std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool ShrinkQueryEdges() {
+    bool changed = false;
+    for (size_t i = ToEditable(best_.query).edges.size();
+         i-- > 0 && !OutOfBudget();) {
+      const EditableGraph current = ToEditable(best_.query);
+      if (i >= current.edges.size()) continue;
+      FuzzCase candidate = best_;
+      candidate.query = BuildGraph(WithoutEdges(current, i, 1));
+      changed |= Adopt(std::move(candidate));
+    }
+    return changed;
+  }
+
+  // ddmin-style halving over the data graph: try big chunks first so the
+  // typical 100-vertex case collapses in tens of oracle runs, then polish
+  // vertex by vertex.
+  bool ShrinkDataVertices() {
+    bool changed = false;
+    for (uint32_t chunk =
+             std::max<uint32_t>(1, best_.data.vertex_count() / 2);
+         chunk >= 1 && !OutOfBudget(); chunk /= 2) {
+      uint32_t pos = 0;
+      while (!OutOfBudget()) {
+        const EditableGraph current = ToEditable(best_.data);
+        const uint32_t n = static_cast<uint32_t>(current.labels.size());
+        if (pos >= n) break;
+        const uint32_t count = std::min(chunk, n - pos);
+        FuzzCase candidate = best_;
+        candidate.data = BuildGraph(WithoutVertices(current, pos, count));
+        if (Adopt(std::move(candidate))) {
+          changed = true;  // List shrank; retry the same position.
+        } else {
+          pos += count;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return changed;
+  }
+
+  bool ShrinkDataEdges() {
+    bool changed = false;
+    for (size_t chunk = std::max<size_t>(1, best_.data.edge_count() / 2);
+         chunk >= 1 && !OutOfBudget(); chunk /= 2) {
+      size_t pos = 0;
+      while (!OutOfBudget()) {
+        const EditableGraph current = ToEditable(best_.data);
+        if (pos >= current.edges.size()) break;
+        const size_t count = std::min(chunk, current.edges.size() - pos);
+        FuzzCase candidate = best_;
+        candidate.data = BuildGraph(WithoutEdges(current, pos, count));
+        if (Adopt(std::move(candidate))) {
+          changed = true;
+        } else {
+          pos += count;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return changed;
+  }
+
+  // Try lowering every label class to 0, largest label first, shrinking
+  // the alphabet of the reproducer.
+  bool MergeLabels() {
+    bool changed = false;
+    std::set<Label> labels;
+    const auto collect = [&labels](const Graph& graph) {
+      for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+        labels.insert(graph.label(v));
+      }
+    };
+    collect(best_.data);
+    collect(best_.query);
+    for (auto it = labels.rbegin(); it != labels.rend() && !OutOfBudget();
+         ++it) {
+      const Label from = *it;
+      if (from == 0) continue;
+      const auto relabel = [from](const Graph& graph) {
+        EditableGraph editable = ToEditable(graph);
+        for (Label& label : editable.labels) {
+          if (label == from) label = 0;
+        }
+        return BuildGraph(editable);
+      };
+      FuzzCase candidate = best_;
+      candidate.data = relabel(best_.data);
+      candidate.query = relabel(best_.query);
+      changed |= Adopt(std::move(candidate));
+    }
+    return changed;
+  }
+
+  FuzzCase best_;
+  OracleOptions oracle_options_;
+  MinimizeOptions options_;
+  MinimizeStats* stats_;
+  uint32_t runs_ = 0;
+};
+
+}  // namespace
+
+FuzzCase MinimizeCase(const FuzzCase& failing,
+                      const OracleOptions& oracle_options,
+                      const MinimizeOptions& options, MinimizeStats* stats) {
+  return Minimizer(failing, oracle_options, options, stats).Run();
+}
+
+}  // namespace sgm::fuzz

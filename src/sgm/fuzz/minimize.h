@@ -1,0 +1,53 @@
+// Greedy reproducer minimization: shrink a failing case while the failure
+// persists, so the reproducer that lands on disk is the smallest version of
+// the bug the greedy passes can reach. Passes, applied to fixpoint:
+//
+//   1. drop configurations (usually 8 → the 1 or 2 involved in the bug),
+//   2. drop query vertices (induced subgraph; connectivity preserved),
+//   3. drop query edges (connectivity preserved),
+//   4. drop data vertices, largest chunks first (ddmin-style halving),
+//   5. drop data edges, same chunking,
+//   6. merge label classes downwards (every label → the smallest that
+//      still fails).
+//
+// "Still fails" means the oracle returns any failing verdict — not
+// necessarily the original kind: if shrinking morphs a count mismatch into
+// a crash-adjacent embedding mismatch, the smaller case is still the better
+// reproducer.
+#ifndef SGM_FUZZ_MINIMIZE_H_
+#define SGM_FUZZ_MINIMIZE_H_
+
+#include <cstdint>
+
+#include "sgm/fuzz/fuzz_case.h"
+#include "sgm/fuzz/oracle.h"
+
+namespace sgm::fuzz {
+
+/// Accounting of one minimization, for the driver's log line.
+struct MinimizeStats {
+  uint32_t oracle_runs = 0;
+  uint32_t rounds = 0;
+};
+
+/// Knobs of the minimizer.
+struct MinimizeOptions {
+  /// Upper bound on oracle invocations; the minimizer returns the best
+  /// case found so far when it runs out.
+  uint32_t max_oracle_runs = 4000;
+  /// Full pass rounds before giving up on reaching a fixpoint.
+  uint32_t max_rounds = 6;
+};
+
+/// Shrinks `failing` (a case whose oracle verdict has Failed() == true) and
+/// returns the smallest still-failing case found. Returns the input
+/// unchanged when it does not fail under `oracle_options` in the first
+/// place.
+FuzzCase MinimizeCase(const FuzzCase& failing,
+                      const OracleOptions& oracle_options = {},
+                      const MinimizeOptions& options = {},
+                      MinimizeStats* stats = nullptr);
+
+}  // namespace sgm::fuzz
+
+#endif  // SGM_FUZZ_MINIMIZE_H_

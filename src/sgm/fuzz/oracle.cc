@@ -1,0 +1,170 @@
+#include "sgm/fuzz/oracle.h"
+
+#include <algorithm>
+#include <string>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/graph/graph_utils.h"
+#include "sgm/parallel/parallel_matcher.h"
+
+namespace sgm::fuzz {
+
+const char* VerdictKindName(VerdictKind kind) {
+  switch (kind) {
+    case VerdictKind::kAgree:
+      return "agree";
+    case VerdictKind::kRejected:
+      return "rejected";
+    case VerdictKind::kCountMismatch:
+      return "count-mismatch";
+    case VerdictKind::kEmbeddingMismatch:
+      return "embedding-mismatch";
+    case VerdictKind::kLimitStatusMismatch:
+      return "limit-status-mismatch";
+  }
+  return "unknown";
+}
+
+bool ParseVerdictKind(const std::string& name, VerdictKind* out) {
+  for (const VerdictKind kind :
+       {VerdictKind::kAgree, VerdictKind::kRejected,
+        VerdictKind::kCountMismatch, VerdictKind::kEmbeddingMismatch,
+        VerdictKind::kLimitStatusMismatch}) {
+    if (name == VerdictKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Runs one configuration, optionally collecting the embeddings. The
+// parallel path serializes the callback internally, so collection is safe
+// in both modes.
+ConfigOutcome RunConfig(const FuzzCase& fuzz_case, const ConfigSpec& config,
+                        uint64_t budget, bool collect,
+                        std::vector<std::vector<Vertex>>* embeddings) {
+  const MatchOptions options = config.ToMatchOptions(
+      fuzz_case.query.vertex_count(), budget, fuzz_case.time_limit_ms);
+  MatchCallback callback;
+  if (collect) {
+    callback = [embeddings](std::span<const Vertex> mapping) {
+      embeddings->emplace_back(mapping.begin(), mapping.end());
+      return true;
+    };
+  }
+  MatchResult result;
+  if (config.threads > 1) {
+    result = ParallelMatchQuery(fuzz_case.query, fuzz_case.data, options,
+                                config.threads, callback)
+                 .result;
+  } else {
+    result = MatchQuery(fuzz_case.query, fuzz_case.data, options, callback);
+  }
+  ConfigOutcome outcome;
+  outcome.name = config.Name();
+  outcome.match_count = result.match_count;
+  outcome.timed_out = result.enumerate.timed_out;
+  outcome.reached_limit = result.enumerate.reached_match_limit;
+  outcome.total_ms = result.total_ms;
+  return outcome;
+}
+
+}  // namespace
+
+OracleResult RunOracle(const FuzzCase& fuzz_case,
+                       const OracleOptions& options) {
+  OracleResult oracle;
+
+  // ---- Contract validation: reject cleanly instead of tripping the
+  // engine's internal invariant checks. ----
+  if (fuzz_case.query.vertex_count() == 0) {
+    oracle.kind = VerdictKind::kRejected;
+    oracle.detail = "query has no vertices";
+    return oracle;
+  }
+  if (fuzz_case.query.vertex_count() > kMaxQueryVertices) {
+    oracle.kind = VerdictKind::kRejected;
+    oracle.detail = "query exceeds " + std::to_string(kMaxQueryVertices) +
+                    " vertices";
+    return oracle;
+  }
+  if (!IsConnected(fuzz_case.query)) {
+    oracle.kind = VerdictKind::kRejected;
+    oracle.detail = "query is disconnected";
+    return oracle;
+  }
+  if (fuzz_case.configs.empty()) {
+    oracle.kind = VerdictKind::kRejected;
+    oracle.detail = "no configurations to check";
+    return oracle;
+  }
+
+  // ---- Brute-force reference. ----
+  const uint64_t budget = fuzz_case.max_matches > 0 ? fuzz_case.max_matches
+                                                    : options.count_cap;
+  const uint64_t reference = BruteForceCount(fuzz_case.query, fuzz_case.data,
+                                             budget);
+  oracle.reference_count = reference;
+  const bool budget_hit = reference >= budget;
+
+  // Embedding sets are only comparable when the budget never interferes:
+  // every engine then delivers the complete set.
+  const bool compare_embeddings =
+      !budget_hit && reference <= options.embedding_cap;
+  std::vector<std::vector<Vertex>> reference_embeddings;
+  if (compare_embeddings) {
+    reference_embeddings =
+        BruteForceMatches(fuzz_case.query, fuzz_case.data, budget);
+    std::sort(reference_embeddings.begin(), reference_embeddings.end());
+  }
+
+  // ---- Run and compare every configuration. ----
+  for (const ConfigSpec& config : fuzz_case.configs) {
+    std::vector<std::vector<Vertex>> embeddings;
+    const ConfigOutcome outcome =
+        RunConfig(fuzz_case, config, budget, compare_embeddings, &embeddings);
+    oracle.outcomes.push_back(outcome);
+    if (oracle.kind != VerdictKind::kAgree) continue;  // Keep running all.
+
+    if (outcome.match_count != reference) {
+      oracle.kind = VerdictKind::kCountMismatch;
+      oracle.detail = outcome.name + " found " +
+                      std::to_string(outcome.match_count) +
+                      " matches, reference found " + std::to_string(reference);
+      continue;
+    }
+    if (outcome.timed_out && fuzz_case.time_limit_ms <= 0.0) {
+      oracle.kind = VerdictKind::kLimitStatusMismatch;
+      oracle.detail = outcome.name + " reported a timeout with no time limit";
+      continue;
+    }
+    // When the true count is strictly below the budget, no engine may
+    // claim it was cut off by it. (At reference == budget the flag depends
+    // on whether the engine attempted a further extension, so it is not
+    // comparable across engines.)
+    if (!budget_hit && outcome.reached_limit) {
+      oracle.kind = VerdictKind::kLimitStatusMismatch;
+      oracle.detail = outcome.name + " claimed the match budget (" +
+                      std::to_string(budget) + ") was hit at " +
+                      std::to_string(outcome.match_count) + " matches";
+      continue;
+    }
+    if (compare_embeddings) {
+      std::sort(embeddings.begin(), embeddings.end());
+      if (embeddings != reference_embeddings) {
+        oracle.kind = VerdictKind::kEmbeddingMismatch;
+        oracle.detail = outcome.name +
+                        " delivered a different embedding set than the"
+                        " reference (equal counts: " +
+                        std::to_string(outcome.match_count) + ")";
+        continue;
+      }
+    }
+  }
+  return oracle;
+}
+
+}  // namespace sgm::fuzz

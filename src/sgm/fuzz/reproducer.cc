@@ -1,0 +1,266 @@
+#include "sgm/fuzz/reproducer.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sgm/graph/graph_io.h"
+
+namespace sgm::fuzz {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::string PresetToken(const ConfigSpec& config) {
+  if (config.recommended) return "REC";
+  std::string token = config.classic ? "classic-" : "";
+  token += AlgorithmName(config.algorithm);
+  return token;
+}
+
+bool ParsePresetToken(const std::string& token, ConfigSpec* config) {
+  if (token == "REC") {
+    config->recommended = true;
+    return true;
+  }
+  std::string name = token;
+  if (name.rfind("classic-", 0) == 0) {
+    config->classic = true;
+    name = name.substr(8);
+  }
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    if (name == AlgorithmName(algorithm)) {
+      config->algorithm = algorithm;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseIntersection(const std::string& name, IntersectionMethod* out) {
+  for (const IntersectionMethod method :
+       {IntersectionMethod::kMerge, IntersectionMethod::kGalloping,
+        IntersectionMethod::kHybrid, IntersectionMethod::kQFilter}) {
+    if (name == IntersectionMethodName(method)) {
+      *out = method;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseUint64Token(const std::string& token, uint64_t* out) {
+  if (token.empty() || token.size() > 20) return false;
+  uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t next = value * 10 + static_cast<uint64_t>(c - '0');
+    if (next < value) return false;  // overflow
+    value = next;
+  }
+  *out = value;
+  return true;
+}
+
+// `config <preset> fs=0 ix=hybrid threads=1 fault=0`
+bool ParseConfigLine(const std::vector<std::string>& fields,
+                     ConfigSpec* config) {
+  if (fields.size() < 2 || !ParsePresetToken(fields[1], config)) return false;
+  for (size_t i = 2; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "fs") {
+      if (value != "0" && value != "1") return false;
+      config->failing_sets = value == "1";
+    } else if (key == "ix") {
+      if (!ParseIntersection(value, &config->intersection)) return false;
+    } else if (key == "threads") {
+      uint64_t threads = 0;
+      if (!ParseUint64Token(value, &threads) || threads == 0 ||
+          threads > 256) {
+        return false;
+      }
+      config->threads = static_cast<uint32_t>(threads);
+    } else if (key == "fault") {
+      if (value != "0" && value != "1") return false;
+      config->inject_fault = value == "1";
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) fields.push_back(std::move(token));
+  return fields;
+}
+
+}  // namespace
+
+void WriteReproducer(const Reproducer& reproducer, std::ostream& out) {
+  const FuzzCase& fuzz_case = reproducer.fuzz_case;
+  out << "# sgm_fuzz reproducer v1\n";
+  out << "seed " << fuzz_case.seed << '\n';
+  out << "verdict " << VerdictKindName(reproducer.expected) << '\n';
+  out << "max_matches " << fuzz_case.max_matches << '\n';
+  out << "time_limit_ms " << fuzz_case.time_limit_ms << '\n';
+  for (const ConfigSpec& config : fuzz_case.configs) {
+    out << "config " << PresetToken(config)
+        << " fs=" << (config.failing_sets ? 1 : 0)
+        << " ix=" << IntersectionMethodName(config.intersection)
+        << " threads=" << config.threads
+        << " fault=" << (config.inject_fault ? 1 : 0) << '\n';
+  }
+  out << "graph data\n";
+  WriteGraph(fuzz_case.data, out);
+  out << "graph query\n";
+  WriteGraph(fuzz_case.query, out);
+}
+
+bool SaveReproducerFile(const Reproducer& reproducer, const std::string& path,
+                        std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    SetError(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  WriteReproducer(reproducer, out);
+  out.flush();
+  if (!out) {
+    SetError(error, "write failure on " + path);
+    return false;
+  }
+  return true;
+}
+
+std::optional<Reproducer> ReadReproducer(std::istream& in,
+                                         std::string* error) {
+  Reproducer reproducer;
+  FuzzCase& fuzz_case = reproducer.fuzz_case;
+  std::string line;
+  size_t line_number = 0;
+  // Graph sections are accumulated and parsed through ReadGraph; the map
+  // key is the section name from the `graph <name>` line.
+  std::string pending_graph;  // empty = not inside a graph section
+  std::string graph_text;
+  bool saw_data = false, saw_query = false;
+
+  const auto fail = [&](const std::string& what) -> std::optional<Reproducer> {
+    SetError(error, what + " at line " + std::to_string(line_number));
+    return std::nullopt;
+  };
+  const auto finish_graph = [&](std::string* graph_error) -> bool {
+    std::istringstream stream(graph_text);
+    auto graph = ReadGraph(stream, graph_error);
+    if (!graph.has_value()) return false;
+    if (pending_graph == "data") {
+      fuzz_case.data = std::move(*graph);
+      saw_data = true;
+    } else {
+      fuzz_case.query = std::move(*graph);
+      saw_query = true;
+    }
+    graph_text.clear();
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = SplitFields(line);
+    if (fields.empty()) continue;
+    if (fields[0] == "graph") {
+      if (fields.size() != 2 ||
+          (fields[1] != "data" && fields[1] != "query")) {
+        return fail("malformed graph section header");
+      }
+      if (!pending_graph.empty()) {
+        std::string graph_error;
+        if (!finish_graph(&graph_error)) {
+          return fail(pending_graph + " graph: " + graph_error);
+        }
+      }
+      pending_graph = fields[1];
+      continue;
+    }
+    if (!pending_graph.empty()) {
+      graph_text += line;
+      graph_text += '\n';
+      continue;
+    }
+    if (fields[0] == "seed") {
+      if (fields.size() != 2 ||
+          !ParseUint64Token(fields[1], &fuzz_case.seed)) {
+        return fail("malformed seed");
+      }
+    } else if (fields[0] == "verdict") {
+      if (fields.size() != 2 ||
+          !ParseVerdictKind(fields[1], &reproducer.expected)) {
+        return fail("malformed verdict");
+      }
+    } else if (fields[0] == "max_matches") {
+      if (fields.size() != 2 ||
+          !ParseUint64Token(fields[1], &fuzz_case.max_matches)) {
+        return fail("malformed max_matches");
+      }
+    } else if (fields[0] == "time_limit_ms") {
+      if (fields.size() != 2) return fail("malformed time_limit_ms");
+      char* end = nullptr;
+      fuzz_case.time_limit_ms = std::strtod(fields[1].c_str(), &end);
+      if (end == nullptr || *end != '\0' || fuzz_case.time_limit_ms < 0.0) {
+        return fail("malformed time_limit_ms");
+      }
+    } else if (fields[0] == "config") {
+      ConfigSpec config;
+      if (!ParseConfigLine(fields, &config)) return fail("malformed config");
+      if (fuzz_case.configs.size() >= 64) return fail("too many configs");
+      fuzz_case.configs.push_back(config);
+    } else {
+      return fail("unknown record '" + fields[0] + "'");
+    }
+  }
+  if (in.bad()) {
+    SetError(error, "read failure");
+    return std::nullopt;
+  }
+  if (!pending_graph.empty()) {
+    std::string graph_error;
+    if (!finish_graph(&graph_error)) {
+      SetError(error, pending_graph + " graph: " + graph_error);
+      return std::nullopt;
+    }
+  }
+  if (!saw_data || !saw_query) {
+    SetError(error, "missing graph section(s)");
+    return std::nullopt;
+  }
+  if (fuzz_case.configs.empty()) {
+    SetError(error, "no config lines");
+    return std::nullopt;
+  }
+  return reproducer;
+}
+
+std::optional<Reproducer> LoadReproducerFile(const std::string& path,
+                                             std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadReproducer(in, error);
+}
+
+}  // namespace sgm::fuzz

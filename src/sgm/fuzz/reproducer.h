@@ -1,0 +1,66 @@
+// Self-contained reproducer files for the differential fuzzer.
+//
+// A reproducer carries everything needed to re-run one failing case on any
+// machine — both graphs verbatim (not the generator seed, which would break
+// the moment generation changes), the configuration matrix, the budgets and
+// the verdict observed when the file was written. The format is plain text:
+//
+//   # sgm_fuzz reproducer v1
+//   seed 42
+//   verdict count-mismatch
+//   max_matches 0
+//   time_limit_ms 0
+//   config GQL opt fs=0 ix=hybrid threads=1 fault=0
+//   config classic-CFL classic fs=1 ix=merge threads=1 fault=0
+//   graph data
+//   t 5 4
+//   ...
+//   graph query
+//   t 3 2
+//   ...
+//
+// `config` lines use the algorithm abbreviation or "REC" for the
+// Recommended preset. Graph sections reuse the .graph text format
+// (graph/graph_io.h) and run to the next `graph` keyword or EOF.
+// Files replay through `sgm_fuzz --replay FILE` and, for everything under
+// tests/corpus/reproducers/, through the fuzz_regression ctest.
+#ifndef SGM_FUZZ_REPRODUCER_H_
+#define SGM_FUZZ_REPRODUCER_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sgm/fuzz/fuzz_case.h"
+#include "sgm/fuzz/oracle.h"
+
+namespace sgm::fuzz {
+
+/// A reproducer file: the case plus the verdict it was written with.
+struct Reproducer {
+  FuzzCase fuzz_case;
+  /// Verdict observed when the file was produced. Replays re-derive their
+  /// own verdict; this records what the writer saw (kAgree for fresh
+  /// hand-written corpus entries).
+  VerdictKind expected = VerdictKind::kAgree;
+};
+
+/// Serializes the reproducer.
+void WriteReproducer(const Reproducer& reproducer, std::ostream& out);
+
+/// Saves to a file path. Returns false (and sets *error) on IO failure.
+bool SaveReproducerFile(const Reproducer& reproducer, const std::string& path,
+                        std::string* error);
+
+/// Parses a reproducer. Returns std::nullopt and fills *error (when
+/// non-null) on malformed input. Hardened like the graph reader: a hostile
+/// file produces an error, never UB.
+std::optional<Reproducer> ReadReproducer(std::istream& in, std::string* error);
+
+/// Loads from a file path.
+std::optional<Reproducer> LoadReproducerFile(const std::string& path,
+                                             std::string* error);
+
+}  // namespace sgm::fuzz
+
+#endif  // SGM_FUZZ_REPRODUCER_H_

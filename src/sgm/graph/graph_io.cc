@@ -15,70 +15,117 @@ void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
 }
 
+// Strict non-negative decimal parse into *out, bounded by max. Rejects
+// signs, non-digit characters and overflow — `operator>>` into an unsigned
+// silently wraps "-1" to 4294967295, which is exactly how a hostile header
+// turns into a 16 GB allocation.
+bool ParseUint32(const std::string& token, uint32_t max, uint32_t* out) {
+  if (token.empty() || token.size() > 10) return false;
+  uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (value > max) return false;
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) fields.push_back(std::move(token));
+  return fields;
+}
+
 }  // namespace
 
-std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
+std::optional<Graph> ReadGraph(std::istream& in, std::string* error,
+                               const ReadGraphLimits& limits) {
   std::string line;
   uint32_t declared_vertices = 0;
   uint32_t declared_edges = 0;
+  uint32_t vertices_seen = 0;
   bool saw_header = false;
   GraphBuilder builder;
   std::vector<bool> vertex_seen;
+  // Degree column of each 'v' record (kInvalidVertex = not provided);
+  // validated against the actual adjacency after parsing.
+  std::vector<uint32_t> declared_degrees;
   size_t line_number = 0;
+
+  const auto fail = [&](const std::string& what) -> std::optional<Graph> {
+    SetError(error, what + " at line " + std::to_string(line_number));
+    return std::nullopt;
+  };
 
   while (std::getline(in, line)) {
     ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream fields(line);
-    char tag = 0;
-    fields >> tag;
-    if (tag == 't') {
-      if (saw_header) {
-        SetError(error, "duplicate header at line " + std::to_string(line_number));
-        return std::nullopt;
-      }
-      if (!(fields >> declared_vertices >> declared_edges)) {
-        SetError(error, "malformed header at line " + std::to_string(line_number));
-        return std::nullopt;
+    const std::vector<std::string> fields = SplitFields(line);
+    if (fields.empty()) continue;
+    const std::string& tag = fields[0];
+    if (tag == "t") {
+      if (saw_header) return fail("duplicate header");
+      if (fields.size() != 3 ||
+          !ParseUint32(fields[1], limits.max_vertices, &declared_vertices) ||
+          !ParseUint32(fields[2], limits.max_edges, &declared_edges)) {
+        return fail("malformed header");
       }
       saw_header = true;
       builder = GraphBuilder(declared_vertices);
       vertex_seen.assign(declared_vertices, false);
-    } else if (tag == 'v') {
+      declared_degrees.assign(declared_vertices, kInvalidVertex);
+    } else if (tag == "v") {
       uint32_t id = 0;
       Label label = 0;
-      uint32_t degree = 0;
-      if (!saw_header || !(fields >> id >> label)) {
-        SetError(error, "malformed vertex at line " + std::to_string(line_number));
-        return std::nullopt;
+      uint32_t degree = kInvalidVertex;
+      if (!saw_header || fields.size() < 3 || fields.size() > 4 ||
+          !ParseUint32(fields[1], limits.max_vertices, &id) ||
+          !ParseUint32(fields[2], limits.max_label, &label)) {
+        return fail("malformed vertex");
       }
-      fields >> degree;  // optional and validated post hoc
+      if (fields.size() == 4 &&
+          !ParseUint32(fields[3], limits.max_edges, &degree)) {
+        return fail("malformed vertex degree");
+      }
       if (id >= declared_vertices || vertex_seen[id]) {
-        SetError(error, "bad vertex id at line " + std::to_string(line_number));
-        return std::nullopt;
+        return fail("bad vertex id");
       }
       vertex_seen[id] = true;
+      ++vertices_seen;
       builder.SetLabel(id, label);
-    } else if (tag == 'e') {
+      declared_degrees[id] = degree;
+    } else if (tag == "e") {
       Vertex u = 0, v = 0;
-      if (!saw_header || !(fields >> u >> v)) {
-        SetError(error, "malformed edge at line " + std::to_string(line_number));
-        return std::nullopt;
+      if (!saw_header || fields.size() != 3 ||
+          !ParseUint32(fields[1], limits.max_vertices, &u) ||
+          !ParseUint32(fields[2], limits.max_vertices, &v)) {
+        return fail("malformed edge");
       }
       if (u >= declared_vertices || v >= declared_vertices || u == v) {
-        SetError(error, "bad edge at line " + std::to_string(line_number));
-        return std::nullopt;
+        return fail("bad edge");
       }
       builder.AddEdge(u, v);
     } else {
-      SetError(error, "unknown record '" + std::string(1, tag) + "' at line " +
-                          std::to_string(line_number));
-      return std::nullopt;
+      return fail("unknown record '" + tag + "'");
     }
   }
 
+  if (in.bad()) {
+    SetError(error, "read failure");
+    return std::nullopt;
+  }
   if (!saw_header) {
     SetError(error, "missing 't' header");
+    return std::nullopt;
+  }
+  if (vertices_seen != declared_vertices) {
+    SetError(error, "truncated input: header declares " +
+                        std::to_string(declared_vertices) + " vertices, found " +
+                        std::to_string(vertices_seen));
     return std::nullopt;
   }
   if (builder.edge_count() != declared_edges) {
@@ -87,17 +134,27 @@ std::optional<Graph> ReadGraph(std::istream& in, std::string* error) {
                         std::to_string(builder.edge_count()));
     return std::nullopt;
   }
-  return builder.Build();
+  Graph graph = builder.Build();
+  for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+    if (declared_degrees[v] != kInvalidVertex &&
+        declared_degrees[v] != graph.degree(v)) {
+      SetError(error, "degree mismatch for vertex " + std::to_string(v) +
+                          ": declared " + std::to_string(declared_degrees[v]) +
+                          ", actual " + std::to_string(graph.degree(v)));
+      return std::nullopt;
+    }
+  }
+  return graph;
 }
 
-std::optional<Graph> LoadGraphFile(const std::string& path,
-                                   std::string* error) {
+std::optional<Graph> LoadGraphFile(const std::string& path, std::string* error,
+                                   const ReadGraphLimits& limits) {
   std::ifstream in(path);
   if (!in) {
     SetError(error, "cannot open " + path);
     return std::nullopt;
   }
-  return ReadGraph(in, error);
+  return ReadGraph(in, error, limits);
 }
 
 void WriteGraph(const Graph& graph, std::ostream& out) {

@@ -197,6 +197,13 @@ MatchResult MatchQuery(const Graph& query, const Graph& data,
       options.collector->depth_profile_enabled()) {
     enumerate_options.depth_profile = &result.depth_profile;
   }
+  if (options.debug_skip_last_root_candidate) {
+    // Emulated off-by-one: enumerate roots [0, count-1) instead of
+    // [0, count). See MatchOptions::debug_skip_last_root_candidate.
+    const uint32_t root_count =
+        filtered.candidates.Count(result.matching_order[0]);
+    enumerate_options.root_slice_end = root_count > 0 ? root_count - 1 : 0;
+  }
 
   {
     obs::TraceSpan span(trace, obs::kPhaseEnumeration, "phase");

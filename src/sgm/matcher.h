@@ -71,6 +71,12 @@ struct MatchOptions {
   /// profile, only the cheap aggregate counters MatchResult always carries.
   /// The collector must outlive the call; it is not owned.
   obs::Collector* collector = nullptr;
+  /// Testing hook: silently drop the last root candidate before
+  /// enumeration — an emulated off-by-one loop bound in the enumerator.
+  /// Exists so the differential fuzzer's detection and minimization paths
+  /// can be exercised end to end (`sgm_fuzz --inject-fault` and the
+  /// FuzzInjectedFault test); never set it in production code.
+  bool debug_skip_last_root_candidate = false;
 
   /// The original algorithm, as published.
   static MatchOptions Classic(Algorithm algorithm);

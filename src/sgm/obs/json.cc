@@ -248,6 +248,11 @@ namespace {
 
 class Parser {
  public:
+  // Nesting cap: the parser is recursive descent, so without it a document
+  // of a few hundred KB of '[' characters overflows the stack (found by the
+  // json libFuzzer target). Our own reports nest < 10 levels deep.
+  static constexpr int kMaxDepth = 192;
+
   Parser(std::string_view text, std::string* error)
       : text_(text), error_(error) {}
 
@@ -413,6 +418,12 @@ class Parser {
           }
           const std::string hex(text_.substr(pos_, 4));
           pos_ += 4;
+          for (const char h : hex) {
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              Fail("malformed \\u escape");
+              return false;
+            }
+          }
           const long code = std::strtol(hex.c_str(), nullptr, 16);
           // Only BMP code points below 0x80 are produced by our writer;
           // others are transcoded to UTF-8 without surrogate handling.
@@ -437,7 +448,19 @@ class Parser {
     return false;
   }
 
+  // Tracks the container nesting level across the recursive calls.
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+
   bool ParseArray(Json* out) {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxDepth) {
+      Fail("nesting too deep");
+      return false;
+    }
     Consume('[');
     *out = Json::Array();
     SkipWhitespace();
@@ -457,6 +480,11 @@ class Parser {
   }
 
   bool ParseObject(Json* out) {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxDepth) {
+      Fail("nesting too deep");
+      return false;
+    }
     Consume('{');
     *out = Json::Object();
     SkipWhitespace();
@@ -486,6 +514,7 @@ class Parser {
   std::string_view text_;
   std::string* error_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -83,6 +83,89 @@ TEST(GraphIoTest, RejectsUnknownRecord) {
   EXPECT_FALSE(ReadGraph(stream, &error).has_value());
 }
 
+// ---- Hostile-input hardening (the reader is a fuzz target). ----
+
+TEST(GraphIoTest, RejectsNegativeCounts) {
+  // operator>> into an unsigned would wrap "-1" to 2^32-1 and try to
+  // allocate a 16 GB graph; the strict parser must refuse instead.
+  std::string error;
+  std::stringstream negative_vertices("t -1 0\n");
+  EXPECT_FALSE(ReadGraph(negative_vertices, &error).has_value());
+  std::stringstream negative_edges("t 2 -3\nv 0 0\nv 1 0\n");
+  EXPECT_FALSE(ReadGraph(negative_edges, &error).has_value());
+  std::stringstream negative_id("t 2 1\nv -0 0\nv 1 0\ne 0 1\n");
+  EXPECT_FALSE(ReadGraph(negative_id, &error).has_value());
+}
+
+TEST(GraphIoTest, RejectsOverflowingHeader) {
+  std::string error;
+  std::stringstream huge("t 99999999999999999999 0\n");
+  EXPECT_FALSE(ReadGraph(huge, &error).has_value());
+  std::stringstream wrap("t 4294967295 0\n");
+  EXPECT_FALSE(ReadGraph(wrap, &error).has_value());
+}
+
+TEST(GraphIoTest, RejectsVertexCountBeyondLimits) {
+  ReadGraphLimits limits;
+  limits.max_vertices = 100;
+  std::string error;
+  std::stringstream stream("t 101 0\n");
+  EXPECT_FALSE(ReadGraph(stream, &error, limits).has_value());
+  std::stringstream ok("t 100 0\n" + [] {
+    std::string v;
+    for (int i = 0; i < 100; ++i) v += "v " + std::to_string(i) + " 0\n";
+    return v;
+  }());
+  EXPECT_TRUE(ReadGraph(ok, &error, limits).has_value()) << error;
+}
+
+TEST(GraphIoTest, RejectsHugeLabel) {
+  // Graph's label index is sized by the largest label value, so a single
+  // huge label is as dangerous as a huge vertex count.
+  std::string error;
+  std::stringstream stream("t 1 0\nv 0 4294967294\n");
+  EXPECT_FALSE(ReadGraph(stream, &error).has_value());
+}
+
+TEST(GraphIoTest, RejectsTruncatedVertexList) {
+  std::string error;
+  std::stringstream stream("t 3 1\nv 0 0\nv 1 0\ne 0 1\n");
+  EXPECT_FALSE(ReadGraph(stream, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsNonNumericFields) {
+  std::string error;
+  std::stringstream stream("t two 0\n");
+  EXPECT_FALSE(ReadGraph(stream, &error).has_value());
+  std::stringstream hex_edge("t 2 1\nv 0 0\nv 1 0\ne 0x0 1\n");
+  EXPECT_FALSE(ReadGraph(hex_edge, &error).has_value());
+}
+
+TEST(GraphIoTest, RejectsWrongDegreeColumn) {
+  std::string error;
+  std::stringstream stream("t 2 1\nv 0 0 5\nv 1 0 1\ne 0 1\n");
+  EXPECT_FALSE(ReadGraph(stream, &error).has_value());
+  EXPECT_NE(error.find("degree"), std::string::npos);
+}
+
+TEST(GraphIoTest, AcceptsDegreelessVertexRecordsAndCrLf) {
+  std::string error;
+  std::stringstream stream("t 2 1\r\nv 0 3\r\nv 1 3\r\ne 0 1\r\n");
+  const auto graph = ReadGraph(stream, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->edge_count(), 1u);
+  EXPECT_EQ(graph->label(0), 3u);
+}
+
+TEST(GraphIoTest, AcceptsEmptyGraph) {
+  std::string error;
+  std::stringstream stream("t 0 0\n");
+  const auto graph = ReadGraph(stream, &error);
+  ASSERT_TRUE(graph.has_value()) << error;
+  EXPECT_EQ(graph->vertex_count(), 0u);
+}
+
 TEST(GraphIoTest, FileRoundTrip) {
   const Graph original = PaperData();
   const std::string path = ::testing::TempDir() + "/sgm_io_test.graph";

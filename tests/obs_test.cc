@@ -75,6 +75,33 @@ TEST(JsonTest, ParseRejectsMalformedInput) {
   }
 }
 
+TEST(JsonTest, ParseRejectsPathologicalNesting) {
+  // Recursive descent: unbounded '[' nesting would overflow the stack
+  // (found by the json libFuzzer target). Deep-but-reasonable documents
+  // must still parse, and flat width must not count as depth.
+  std::string deep(100000, '[');
+  std::string error;
+  EXPECT_FALSE(Json::Parse(deep, &error).has_value());
+  EXPECT_NE(error.find("nesting"), std::string::npos);
+
+  std::string balanced = std::string(64, '[') + std::string(64, ']');
+  EXPECT_TRUE(Json::Parse(balanced, &error).has_value()) << error;
+
+  std::string wide = "[";
+  for (int i = 0; i < 1000; ++i) wide += "{},";
+  wide += "{}]";
+  EXPECT_TRUE(Json::Parse(wide, &error).has_value()) << error;
+}
+
+TEST(JsonTest, ParseRejectsMalformedUnicodeEscape) {
+  std::string error;
+  EXPECT_FALSE(Json::Parse("\"\\uzzzz\"", &error).has_value());
+  EXPECT_FALSE(Json::Parse("\"\\u12\"", &error).has_value());
+  const auto ok = Json::Parse("\"\\u0041\"", &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  EXPECT_EQ(ok->AsString(), "A");
+}
+
 TEST(JsonTest, TypedLookupsFallBack) {
   Json doc = Json::Object();
   doc.Set("n", Json::Number(uint64_t{9}));

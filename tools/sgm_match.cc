@@ -181,6 +181,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to load data graph: %s\n", error.c_str());
     return 1;
   }
+  if (query->vertex_count() == 0) {
+    std::fprintf(stderr, "query graph has no vertices\n");
+    return 1;
+  }
   if (!sgm::IsConnected(*query)) {
     std::fprintf(stderr, "query graph must be connected\n");
     return 1;
@@ -237,6 +241,13 @@ int main(int argc, char** argv) {
     if (!algorithm.has_value()) {
       std::fprintf(stderr, "unknown algorithm: %s\n", args.algorithm.c_str());
       return 2;
+    }
+    if (query->vertex_count() > sgm::kMaxQueryVertices) {
+      std::fprintf(stderr,
+                   "query has %u vertices; the framework engine supports at"
+                   " most %u\n",
+                   query->vertex_count(), sgm::kMaxQueryVertices);
+      return 1;
     }
     sgm::MatchOptions options = classic
                                     ? sgm::MatchOptions::Classic(*algorithm)
