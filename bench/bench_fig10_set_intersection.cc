@@ -1,22 +1,39 @@
-// Figure 10: Hybrid vs QFilter set intersection inside the optimized GQL
-// engine — (a) enumeration time across datasets, (b) varying dense query
-// sizes on the Youtube analog. The paper finds QFilter ahead on the dense
-// graphs (eu, hu) and behind on sparse ones.
+// Figure 10: set intersection inside the optimized GQL engine — (a)
+// enumeration time across datasets, (b) varying dense query sizes on the
+// Youtube analog. The paper finds QFilter ahead on the dense graphs (eu,
+// hu) and behind on sparse ones. This build extends the figure with the
+// bitmap sidecar kernels (DESIGN.md §10): Bitmap forces word-wise AND
+// wherever the aux structure carries bitmap rows, Auto picks per
+// intersection between bitmap and sorted-array kernels. Section (c) runs
+// the density extreme the sidecar targets — a dense RMAT graph under the
+// optimized CECI and DP-iso presets — and every (c) run's RunReport (with
+// bitmap_intersections and LC-cache counters) lands in
+// BENCH_intersection.json.
 #include "report.h"
 #include "runner.h"
+#include "sgm/util/bitmap_intersection.h"
 #include "sgm/util/qfilter.h"
 
 namespace sgm::bench {
 namespace {
 
-double MeanEnumerationMs(const Graph& data, const std::vector<Graph>& queries,
-                         const BenchConfig& config,
-                         IntersectionMethod intersection) {
-  MatchOptions options = MatchOptions::Optimized(Algorithm::kGraphQL);
+MatchOptions IntersectionOptions(Algorithm algorithm,
+                                 const BenchConfig& config,
+                                 IntersectionMethod intersection) {
+  MatchOptions options = MatchOptions::Optimized(algorithm);
   options.intersection = intersection;
   options.max_matches = config.max_matches;
   options.time_limit_ms = config.time_limit_ms;
-  return RunQuerySet(data, queries, options).enumeration_ms.mean();
+  return options;
+}
+
+double MeanEnumerationMs(const Graph& data, const std::vector<Graph>& queries,
+                         const BenchConfig& config,
+                         IntersectionMethod intersection) {
+  return RunQuerySet(data, queries,
+                     IntersectionOptions(Algorithm::kGraphQL, config,
+                                         intersection))
+      .enumeration_ms.mean();
 }
 
 void Run() {
@@ -25,10 +42,12 @@ void Run() {
               "Set intersection methods in the optimized GQL engine (mean"
               " enumeration ms)",
               config);
-  std::printf("SIMD kernel active: %s\n", QFilterUsesSimd() ? "yes" : "no");
+  std::printf("SIMD kernels active: qfilter=%s bitmap=%s\n",
+              QFilterUsesSimd() ? "yes" : "no",
+              BitmapKernelsUseSimd() ? "yes" : "no");
 
   std::printf("\n(a) vary data graphs (dense queries)\n");
-  PrintHeaderRow({"dataset", "Hybrid", "QFilter"});
+  PrintHeaderRow({"dataset", "Hybrid", "QFilter", "Bitmap", "Auto"});
   Graph youtube;
   for (const DatasetSpec& spec : SelectedAnalogs(config)) {
     const Graph data = BuildDataset(spec, config.seed);
@@ -41,25 +60,88 @@ void Run() {
               FormatDouble(MeanEnumerationMs(data, queries, config,
                                              IntersectionMethod::kHybrid)),
               FormatDouble(MeanEnumerationMs(data, queries, config,
-                                             IntersectionMethod::kQFilter))});
+                                             IntersectionMethod::kQFilter)),
+              FormatDouble(MeanEnumerationMs(data, queries, config,
+                                             IntersectionMethod::kBitmap)),
+              FormatDouble(MeanEnumerationMs(data, queries, config,
+                                             IntersectionMethod::kAuto))});
     if (spec.code == "yt") youtube = data;
   }
-  if (youtube.vertex_count() == 0) return;
 
-  std::printf("\n(b) vary dense queries on yt\n");
-  PrintHeaderRow({"|V(q)|", "Hybrid", "QFilter"});
-  for (const uint32_t size : config.query_sizes) {
-    const auto queries =
-        MakeQuerySet(youtube, size,
-                     size <= 4 ? QueryDensity::kAny : QueryDensity::kDense,
-                     config.queries_per_set, config.seed);
-    if (queries.empty()) continue;
-    PrintRow({FormatCount(size),
-              FormatDouble(MeanEnumerationMs(youtube, queries, config,
-                                             IntersectionMethod::kHybrid)),
-              FormatDouble(MeanEnumerationMs(youtube, queries, config,
-                                             IntersectionMethod::kQFilter))});
+  if (youtube.vertex_count() != 0) {
+    std::printf("\n(b) vary dense queries on yt\n");
+    PrintHeaderRow({"|V(q)|", "Hybrid", "QFilter", "Bitmap", "Auto"});
+    for (const uint32_t size : config.query_sizes) {
+      const auto queries =
+          MakeQuerySet(youtube, size,
+                       size <= 4 ? QueryDensity::kAny : QueryDensity::kDense,
+                       config.queries_per_set, config.seed);
+      if (queries.empty()) continue;
+      PrintRow({FormatCount(size),
+                FormatDouble(MeanEnumerationMs(youtube, queries, config,
+                                               IntersectionMethod::kHybrid)),
+                FormatDouble(MeanEnumerationMs(youtube, queries, config,
+                                               IntersectionMethod::kQFilter)),
+                FormatDouble(MeanEnumerationMs(youtube, queries, config,
+                                               IntersectionMethod::kBitmap)),
+                FormatDouble(MeanEnumerationMs(youtube, queries, config,
+                                               IntersectionMethod::kAuto))});
+    }
   }
+
+  // (c) The bitmap sidecar's target regime: a dense power-law graph where
+  // candidate-adjacency lists overlap heavily, under the two presets whose
+  // orders interleave non-backward extensions (CECI, DP-iso) and therefore
+  // also exercise the LC reuse cache.
+  std::printf("\n(c) dense RMAT, optimized CECI / DP-iso\n");
+  PrintHeaderRow({"preset", "Hybrid", "Bitmap", "Auto", "bitmap ix", "LC hit%"});
+  DatasetSpec dense;
+  dense.name = "RMAT-dense";
+  dense.code = "rd";
+  dense.vertex_count = config.full_scale ? 65536 : 2048;
+  dense.edge_count = dense.vertex_count * 20;
+  dense.label_count = 4;
+  dense.power_law = true;
+  const Graph rmat = BuildDataset(dense, config.seed);
+  const auto rmat_queries =
+      MakeQuerySet(rmat, 8, QueryDensity::kDense, config.queries_per_set,
+                   config.seed);
+  std::vector<ReportSeries> series;
+  if (!rmat_queries.empty()) {
+    const std::pair<const char*, Algorithm> presets[] = {
+        {"CECI", Algorithm::kCECI}, {"DPiso", Algorithm::kDPiso}};
+    const std::pair<const char*, IntersectionMethod> kernels[] = {
+        {"hybrid", IntersectionMethod::kHybrid},
+        {"bitmap", IntersectionMethod::kBitmap},
+        {"auto", IntersectionMethod::kAuto}};
+    for (const auto& [preset_name, algorithm] : presets) {
+      std::vector<std::string> cells = {preset_name};
+      uint64_t bitmap_ix = 0, hits = 0, misses = 0;
+      for (const auto& [kernel_name, kernel] : kernels) {
+        const QuerySetRun run = RunQuerySet(
+            rmat, rmat_queries,
+            IntersectionOptions(algorithm, config, kernel));
+        cells.push_back(FormatDouble(run.enumeration_ms.mean()));
+        if (kernel == IntersectionMethod::kBitmap) {
+          for (const obs::RunReport& report : run.reports) {
+            bitmap_ix += report.bitmap_intersections;
+            hits += report.lc_cache_hits;
+            misses += report.lc_cache_misses;
+          }
+        }
+        series.push_back({std::string(preset_name) + "/" + kernel_name,
+                          run.reports});
+      }
+      cells.push_back(FormatCount(bitmap_ix));
+      const uint64_t lookups = hits + misses;
+      cells.push_back(FormatDouble(
+          lookups == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                   static_cast<double>(lookups)));
+      PrintRow(cells);
+    }
+  }
+  WriteRunReportsJson("BENCH_intersection.json", "fig10_intersection", config,
+                      series);
 }
 
 }  // namespace

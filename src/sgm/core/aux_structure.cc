@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sgm/util/bitmap_intersection.h"
 #include "sgm/util/set_intersection.h"
 
 namespace sgm {
@@ -20,7 +21,8 @@ const char* AuxEdgeScopeName(AuxEdgeScope scope) {
 
 AuxStructure::AuxStructure(const Graph& query, const Graph& data,
                            const CandidateSets& candidates,
-                           std::span<const std::pair<Vertex, Vertex>> edges)
+                           std::span<const std::pair<Vertex, Vertex>> edges,
+                           const AuxBuildOptions& build_options)
     : candidates_(&candidates),
       query_vertex_count_(query.vertex_count()) {
   SGM_CHECK(candidates.query_vertex_count() == query.vertex_count());
@@ -38,12 +40,36 @@ AuxStructure::AuxStructure(const Graph& query, const Graph& data,
       DirectedIndex index;
       const auto from_cands = candidates.candidates(from);
       const auto to_cands = candidates.candidates(to);
+      // The sidecar is selected per query vertex: only a C(to) below the
+      // density threshold pays the fixed-stride rows; sparse sets keep the
+      // CSR arrays alone.
+      const bool bitmaps =
+          build_options.build_bitmaps && !to_cands.empty() &&
+          to_cands.size() <= build_options.bitmap_max_candidates;
+      if (bitmaps) {
+        index.bitmap_stride =
+            BitmapWords(static_cast<uint32_t>(to_cands.size()));
+        index.bits.assign(from_cands.size() *
+                              static_cast<size_t>(index.bitmap_stride),
+                          0);
+      }
       index.offsets.reserve(from_cands.size() + 1);
       index.offsets.push_back(0);
-      for (const Vertex v : from_cands) {
-        IntersectHybrid(data.neighbors(v), to_cands, &scratch);
+      for (size_t r = 0; r < from_cands.size(); ++r) {
+        IntersectHybrid(data.neighbors(from_cands[r]), to_cands, &scratch);
         index.lists.insert(index.lists.end(), scratch.begin(), scratch.end());
         index.offsets.push_back(static_cast<uint32_t>(index.lists.size()));
+        if (bitmaps && !scratch.empty()) {
+          // scratch ⊆ C(to) and both are sorted: a resumed two-pointer walk
+          // recovers each neighbor's candidate index in one pass.
+          uint64_t* row = index.bits.data() + r * index.bitmap_stride;
+          size_t pos = 0;
+          for (const Vertex v : scratch) {
+            while (to_cands[pos] != v) ++pos;
+            row[pos >> 6] |= 1ULL << (pos & 63);
+            ++pos;
+          }
+        }
       }
       indexes_.push_back(std::move(index));
     }
@@ -51,25 +77,27 @@ AuxStructure::AuxStructure(const Graph& query, const Graph& data,
 }
 
 AuxStructure AuxStructure::BuildAllEdges(const Graph& query, const Graph& data,
-                                         const CandidateSets& candidates) {
+                                         const CandidateSets& candidates,
+                                         const AuxBuildOptions& build_options) {
   std::vector<std::pair<Vertex, Vertex>> edges;
   for (Vertex u = 0; u < query.vertex_count(); ++u) {
     for (const Vertex w : query.neighbors(u)) {
       if (u < w) edges.emplace_back(u, w);
     }
   }
-  return AuxStructure(query, data, candidates, edges);
+  return AuxStructure(query, data, candidates, edges, build_options);
 }
 
 AuxStructure AuxStructure::BuildTreeEdges(const Graph& query,
                                           const Graph& data,
                                           const CandidateSets& candidates,
-                                          std::span<const Vertex> parent) {
+                                          std::span<const Vertex> parent,
+                                          const AuxBuildOptions& build_options) {
   std::vector<std::pair<Vertex, Vertex>> edges;
   for (Vertex u = 0; u < query.vertex_count(); ++u) {
     if (parent[u] != kInvalidVertex) edges.emplace_back(parent[u], u);
   }
-  return AuxStructure(query, data, candidates, edges);
+  return AuxStructure(query, data, candidates, edges, build_options);
 }
 
 std::span<const Vertex> AuxStructure::NeighborsByIndex(Vertex from_u,
@@ -81,6 +109,19 @@ std::span<const Vertex> AuxStructure::NeighborsByIndex(Vertex from_u,
   SGM_CHECK(cand_index + 1 < index.offsets.size());
   return {index.lists.data() + index.offsets[cand_index],
           index.offsets[cand_index + 1] - index.offsets[cand_index]};
+}
+
+std::span<const uint64_t> AuxStructure::BitmapByIndex(Vertex from_u,
+                                                      uint32_t cand_index,
+                                                      Vertex to_u) const {
+  const int32_t slot = SlotOf(from_u, to_u);
+  SGM_CHECK_MSG(slot >= 0, "query edge not indexed in aux structure");
+  const DirectedIndex& index = indexes_[static_cast<size_t>(slot)];
+  SGM_CHECK_MSG(index.bitmap_stride > 0, "no bitmap sidecar for this edge");
+  SGM_CHECK(cand_index + 1 < index.offsets.size());
+  return {index.bits.data() +
+              static_cast<size_t>(cand_index) * index.bitmap_stride,
+          index.bitmap_stride};
 }
 
 std::span<const Vertex> AuxStructure::NeighborsOfVertex(Vertex from_u,
@@ -103,7 +144,8 @@ size_t AuxStructure::MemoryBytes() const {
                  indexes_.capacity() * sizeof(DirectedIndex);
   for (const auto& index : indexes_) {
     bytes += index.offsets.capacity() * sizeof(uint32_t) +
-             index.lists.capacity() * sizeof(Vertex);
+             index.lists.capacity() * sizeof(Vertex) +
+             index.bits.capacity() * sizeof(uint64_t);
   }
   return bytes;
 }

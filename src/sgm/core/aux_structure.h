@@ -31,6 +31,19 @@ enum class AuxEdgeScope : uint8_t {
 /// Returns a short name ("none", "tree-edges", "all-edges").
 const char* AuxEdgeScopeName(AuxEdgeScope scope);
 
+/// Build-time knobs of the auxiliary structure. The CSR arrays are always
+/// built; the bitmap sidecar is the optional second representation behind
+/// IntersectionMethod::kBitmap/kAuto (DESIGN.md §10).
+struct AuxBuildOptions {
+  /// Additionally store each list A_{u'}^{u}(v) as a fixed-stride bitset
+  /// over the candidate indexes of C(u').
+  bool build_bitmaps = false;
+  /// Per-query-vertex density threshold: the sidecar of a directed edge
+  /// (u -> u') is built only when |C(u')| <= this bound, so huge candidate
+  /// sets keep the compact CSR representation alone. 0 disables sidecars.
+  uint32_t bitmap_max_candidates = 4096;
+};
+
 /// Candidate-edge index. Immutable after construction.
 class AuxStructure {
  public:
@@ -40,17 +53,20 @@ class AuxStructure {
   /// the candidate sets. Every listed pair must be an edge of `query`.
   AuxStructure(const Graph& query, const Graph& data,
                const CandidateSets& candidates,
-               std::span<const std::pair<Vertex, Vertex>> edges);
+               std::span<const std::pair<Vertex, Vertex>> edges,
+               const AuxBuildOptions& build_options = {});
 
   /// Convenience: indexes all edges of the query.
   static AuxStructure BuildAllEdges(const Graph& query, const Graph& data,
-                                    const CandidateSets& candidates);
+                                    const CandidateSets& candidates,
+                                    const AuxBuildOptions& build_options = {});
 
   /// Convenience: indexes the given spanning-tree parent array (parent[v] ==
   /// kInvalidVertex marks the root).
   static AuxStructure BuildTreeEdges(const Graph& query, const Graph& data,
                                      const CandidateSets& candidates,
-                                     std::span<const Vertex> parent);
+                                     std::span<const Vertex> parent,
+                                     const AuxBuildOptions& build_options = {});
 
   /// True iff the directed pair (from_u -> to_u) is indexed.
   bool HasIndex(Vertex from_u, Vertex to_u) const {
@@ -67,6 +83,24 @@ class AuxStructure {
   std::span<const Vertex> NeighborsOfVertex(Vertex from_u, Vertex data_vertex,
                                             Vertex to_u) const;
 
+  /// True iff the directed pair carries a bitmap sidecar (the pair is
+  /// indexed, sidecars were requested, and |C(to_u)| met the threshold).
+  bool HasBitmap(Vertex from_u, Vertex to_u) const {
+    const int32_t slot = SlotOf(from_u, to_u);
+    return slot >= 0 && indexes_[static_cast<size_t>(slot)].bitmap_stride > 0;
+  }
+
+  /// Words per bitmap row of the directed pair (0 when no sidecar).
+  uint32_t BitmapStride(Vertex from_u, Vertex to_u) const {
+    const int32_t slot = SlotOf(from_u, to_u);
+    return slot < 0 ? 0 : indexes_[static_cast<size_t>(slot)].bitmap_stride;
+  }
+
+  /// The bitmap row of A_{to_u}^{from_u}(v): bit i set iff the i-th
+  /// candidate of C(to_u) is a data neighbor of v. Requires HasBitmap.
+  std::span<const uint64_t> BitmapByIndex(Vertex from_u, uint32_t cand_index,
+                                          Vertex to_u) const;
+
   uint32_t query_vertex_count() const { return query_vertex_count_; }
 
   /// Total number of candidate-edge entries stored (both directions).
@@ -79,6 +113,11 @@ class AuxStructure {
   struct DirectedIndex {
     std::vector<uint32_t> offsets;  // |C(from_u)| + 1
     std::vector<Vertex> lists;      // flattened sorted neighbor arrays
+    /// Bitmap sidecar: |C(from_u)| rows of bitmap_stride words each, row r
+    /// mirroring lists[offsets[r], offsets[r+1]) as candidate-index bits
+    /// over C(to_u). Empty (stride 0) when the sidecar was not built.
+    std::vector<uint64_t> bits;
+    uint32_t bitmap_stride = 0;
   };
 
   int32_t SlotOf(Vertex from_u, Vertex to_u) const {

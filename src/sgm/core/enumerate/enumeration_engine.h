@@ -91,6 +91,23 @@ class EnumerationEngine {
   void OnMapped(Vertex u);
   void OnUnmapped(Vertex u);
   Vertex SelectVertex(uint32_t depth);
+  /// True when the configured kernel is kBitmap/kAuto and every backward
+  /// edge of u carries a bitmap sidecar. kAuto's cost comparison against
+  /// the sorted lists happens in ComputeIntersectionLc, where the list
+  /// sizes are known.
+  bool WantBitmapIntersection(Vertex u) const;
+  /// Fills backward_index_ with the candidate index of each backward image
+  /// within its own candidate set. Returns false if some image is not a
+  /// candidate of its query vertex (possible for kNeighborScan-admitted
+  /// mappings), in which case callers fall back to the by-vertex lookup.
+  bool FillBackwardIndexes(Vertex u);
+  /// Weight sum of LC(u, M) under the DP-iso weights, computed without
+  /// materializing the candidate list (bitmap multi-AND, count-only SIMD
+  /// intersection for uniform weights, or a merge walk against C(u)).
+  double ComputeExtendableWeight(Vertex u);
+  /// Materializes adaptive_lc_[u] for the currently-extendable u (called
+  /// lazily, only once u is actually selected for extension).
+  void MaterializeAdaptiveLc(Vertex u);
   void ComputeIntersectionLc(Vertex u, std::vector<Vertex>* out);
   bool PassesVf2ppLookahead(Vertex u, Vertex v);
   std::span<const Vertex> ComputeLocalCandidates(Vertex u, uint32_t depth);
@@ -132,12 +149,41 @@ class EnumerationEngine {
   /// extended; filled once per ComputeIntersectionLc call so every list is
   /// fetched from the aux structure exactly once.
   std::vector<std::span<const Vertex>> backward_lists_;
+  /// Candidate index of each backward image within its own candidate set,
+  /// aligned with backward_neighbors_[u]; lets both representations address
+  /// the aux structure without repeating the binary search.
+  std::vector<uint32_t> backward_index_;
+  /// Bitmap rows of the backward edges plus the multi-AND result buffer.
+  std::vector<const uint64_t*> bitmap_rows_;
+  std::vector<uint64_t> bitmap_scratch_;
+  /// LC materialization buffer for ComputeExtendableWeight's general case
+  /// (shared across vertices — the point of the lazy adaptive_lc_ scheme).
+  std::vector<Vertex> weight_scratch_;
+
+  /// Per-depth local-candidate reuse cache. LC(u, M) under kIntersect
+  /// depends only on (u, images of u's backward neighbors), so when a
+  /// sibling subtree revisits the same key at the same depth the cached
+  /// list is reused verbatim. kInvalidVertex marks an empty slot. Entries
+  /// deliberately survive Reset() — per-worker engines keep their warm
+  /// cache across stolen subtrees (the key check stays sound regardless).
+  struct LcCacheEntry {
+    Vertex u = kInvalidVertex;
+    std::vector<Vertex> images;
+    std::vector<Vertex> lc;
+  };
+  std::vector<LcCacheEntry> lc_cache_;
 
   std::vector<std::vector<std::pair<Label, uint32_t>>> forward_label_counts_;
 
   std::vector<uint32_t> unmapped_backward_;
-  std::vector<uint8_t> extendable_;
+  /// Bitset of currently-extendable vertices, so SelectVertex walks only
+  /// the set bits instead of scanning all |V(q)| flags.
+  QueryVertexSet extendable_mask_ = 0;
   std::vector<std::vector<Vertex>> adaptive_lc_;
+  /// adaptive_lc_[u] holds the list for the *current* backward images only
+  /// when this flag is set; MakeExtendable computes the weight without
+  /// materializing and leaves it unset until u is actually selected.
+  std::vector<uint8_t> adaptive_lc_valid_;
   std::vector<double> adaptive_weight_;
 
   /// Slice window applied when Explore reaches slice_depth_: depth 0 for

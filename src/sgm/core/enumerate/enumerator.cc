@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <limits>
 
 #include "sgm/core/enumerate/enumeration_engine.h"
 #include "sgm/core/filter/filter.h"
+#include "sgm/util/bitmap_intersection.h"
+#include "sgm/util/qfilter.h"
 #include "sgm/util/timer.h"
 
 namespace sgm {
@@ -90,6 +93,9 @@ EnumerationEngine::EnumerationEngine(
   inverse_.assign(data_.vertex_count(), kInvalidVertex);
   lc_buffer_.assign(n_, {});
   backward_lists_.reserve(n_);
+  backward_index_.reserve(n_);
+  bitmap_rows_.reserve(n_);
+  lc_cache_.resize(n_);
 
   if (options_.vf2pp_lookahead) {
     // Forward-neighbor label requirements per query vertex.
@@ -118,8 +124,8 @@ EnumerationEngine::EnumerationEngine(
     SGM_CHECK_MSG(options_.lc_method == LocalCandidateMethod::kIntersect,
                   "adaptive ordering requires the intersect method");
     unmapped_backward_.assign(n_, 0);
-    extendable_.assign(n_, false);
     adaptive_lc_.assign(n_, {});
+    adaptive_lc_valid_.assign(n_, 0);
     adaptive_weight_.assign(n_, 0.0);
     for (Vertex u = 0; u < n_; ++u) {
       unmapped_backward_[u] =
@@ -148,15 +154,17 @@ void EnumerationEngine::Reset() {
   current_root_image_ = kInvalidVertex;
   mapped_mask_ = 0;
   if (options_.adaptive_order && dirty) {
+    extendable_mask_ = 0;
     for (Vertex u = 0; u < n_; ++u) {
       unmapped_backward_[u] =
           static_cast<uint32_t>(backward_neighbors_[u].size());
-      extendable_[u] = false;
     }
     for (Vertex u = 0; u < n_; ++u) {
       if (unmapped_backward_[u] == 0) MakeExtendable(u);
     }
   }
+  // lc_cache_ deliberately survives: its key (u, backward images) stays
+  // sound across runs, and per-worker engines profit from the warm entries.
 }
 
 void EnumerationEngine::RunSlice(uint32_t begin, uint32_t end) {
@@ -200,7 +208,84 @@ EnumerateStats EnumerationEngine::Run() {
 // ---- Adaptive-order bookkeeping (DP-iso). ----
 
 void EnumerationEngine::MakeExtendable(Vertex u) {
-  extendable_[u] = true;
+  // Only the *weight* of LC(u, M) is needed until u is actually selected;
+  // the list itself is materialized lazily (MaterializeAdaptiveLc), which
+  // spares the per-vertex copies for vertices that never win the selection.
+  extendable_mask_ |= QuerySetBit(u);
+  adaptive_lc_valid_[u] = 0;
+  adaptive_weight_[u] = ComputeExtendableWeight(u);
+}
+
+// Sum of the DP-iso weights over `subset`, a sorted subset of C(u): a
+// resumed merge walk recovers each member's candidate index in one pass,
+// without per-element binary searches.
+static double WeightSumOverSubset(const DpisoWeights& weights, Vertex u,
+                                  std::span<const Vertex> cands,
+                                  std::span<const Vertex> subset) {
+  double sum = 0.0;
+  size_t pos = 0;
+  for (const Vertex v : subset) {
+    while (cands[pos] != v) ++pos;
+    sum += weights.WeightByIndex(u, static_cast<uint32_t>(pos));
+    ++pos;
+  }
+  return sum;
+}
+
+double EnumerationEngine::ComputeExtendableWeight(Vertex u) {
+  double uniform = 0.0;
+  const bool is_uniform = weights_->UniformWeight(u, &uniform);
+  const auto& backward = backward_neighbors_[u];
+  if (backward.empty()) {
+    if (is_uniform) return uniform * candidates_.Count(u);
+    double sum = 0.0;
+    for (uint32_t i = 0; i < candidates_.Count(u); ++i) {
+      sum += weights_->WeightByIndex(u, i);
+    }
+    return sum;
+  }
+  if (backward.size() == 1) {
+    const auto list =
+        aux_->NeighborsOfVertex(backward[0], mapping_[backward[0]], u);
+    if (is_uniform) return uniform * static_cast<double>(list.size());
+    return WeightSumOverSubset(*weights_, u, candidates_.candidates(u), list);
+  }
+  if (is_uniform) {
+    // Uniform weights collapse the sum to value × |LC(u, M)|, served by
+    // count-only kernels with nothing materialized: a popcount-only bitmap
+    // multi-AND when sidecars exist, else the SIMD count intersection.
+    if (WantBitmapIntersection(u) && FillBackwardIndexes(u)) {
+      const uint32_t stride = aux_->BitmapStride(backward[0], u);
+      bitmap_rows_.clear();
+      for (size_t i = 0; i < backward.size(); ++i) {
+        bitmap_rows_.push_back(
+            aux_->BitmapByIndex(backward[i], backward_index_[i], u).data());
+      }
+      ++stats_.bitmap_intersections;
+      return uniform *
+             static_cast<double>(BitmapMultiAndCount(bitmap_rows_, stride));
+    }
+    if (backward.size() == 2) {
+      const auto a =
+          aux_->NeighborsOfVertex(backward[0], mapping_[backward[0]], u);
+      const auto b =
+          aux_->NeighborsOfVertex(backward[1], mapping_[backward[1]], u);
+      return uniform * static_cast<double>(IntersectQFilterCount(a, b));
+    }
+  }
+  // General case: materialize into the shared scratch — still no
+  // per-vertex adaptive_lc_ allocation.
+  ComputeIntersectionLc(u, &weight_scratch_);
+  if (is_uniform) return uniform * static_cast<double>(weight_scratch_.size());
+  return WeightSumOverSubset(*weights_, u, candidates_.candidates(u),
+                             weight_scratch_);
+}
+
+void EnumerationEngine::MaterializeAdaptiveLc(Vertex u) {
+  if (adaptive_lc_valid_[u]) return;
+  // Sound because the backward images cannot change while u stays
+  // extendable: they were all mapped when MakeExtendable ran, and unmapping
+  // any of them retracts u from the extendable set first.
   auto& lc = adaptive_lc_[u];
   lc.clear();
   if (backward_neighbors_[u].empty()) {
@@ -209,12 +294,7 @@ void EnumerationEngine::MakeExtendable(Vertex u) {
   } else {
     ComputeIntersectionLc(u, &lc);
   }
-  double weight = 0.0;
-  for (const Vertex v : lc) {
-    const uint32_t index = candidates_.IndexOf(u, v);
-    weight += weights_->WeightByIndex(u, index);
-  }
-  adaptive_weight_[u] = weight;
+  adaptive_lc_valid_[u] = 1;
 }
 
 void EnumerationEngine::OnMapped(Vertex u) {
@@ -230,7 +310,9 @@ void EnumerationEngine::OnUnmapped(Vertex u) {
   if (!options_.adaptive_order) return;
   for (const Vertex w : query_.neighbors(u)) {
     if (position_[w] > position_[u]) {
-      if (unmapped_backward_[w]++ == 0) extendable_[w] = false;
+      if (unmapped_backward_[w]++ == 0) {
+        extendable_mask_ &= ~QuerySetBit(w);
+      }
     }
   }
 }
@@ -240,9 +322,13 @@ Vertex EnumerationEngine::SelectVertex(uint32_t depth) {
   if (!options_.adaptive_order) return order_[depth];
   Vertex best = kInvalidVertex;
   double best_weight = std::numeric_limits<double>::infinity();
-  for (Vertex u = 0; u < n_; ++u) {
-    if (extendable_[u] && mapping_[u] == kInvalidVertex &&
-        adaptive_weight_[u] < best_weight) {
+  // Walk only the extendable-and-unmapped bits; ascending bit order keeps
+  // the historical lowest-index tie-break (strict <) intact.
+  QueryVertexSet pending = extendable_mask_ & ~mapped_mask_;
+  while (pending != 0) {
+    const Vertex u = static_cast<Vertex>(std::countr_zero(pending));
+    pending &= pending - 1;
+    if (adaptive_weight_[u] < best_weight) {
       best_weight = adaptive_weight_[u];
       best = u;
     }
@@ -252,6 +338,31 @@ Vertex EnumerationEngine::SelectVertex(uint32_t depth) {
 }
 
 // ---- Local candidate computation (Algorithms 2-5). ----
+
+bool EnumerationEngine::WantBitmapIntersection(Vertex u) const {
+  const IntersectionMethod method = options_.intersection;
+  if (method != IntersectionMethod::kBitmap &&
+      method != IntersectionMethod::kAuto) {
+    return false;
+  }
+  if (aux_ == nullptr) return false;
+  const auto& backward = backward_neighbors_[u];
+  for (const Vertex w : backward) {
+    if (!aux_->HasBitmap(w, u)) return false;
+  }
+  return !backward.empty();
+}
+
+bool EnumerationEngine::FillBackwardIndexes(Vertex u) {
+  const auto& backward = backward_neighbors_[u];
+  backward_index_.clear();
+  for (const Vertex w : backward) {
+    const uint32_t index = candidates_.IndexOf(w, mapping_[w]);
+    if (index >= candidates_.Count(w)) return false;
+    backward_index_.push_back(index);
+  }
+  return true;
+}
 
 // Intersects the candidate-adjacency lists of all backward neighbors of u
 // into *out (Algorithm 5 with more than one backward neighbor).
@@ -265,15 +376,63 @@ void EnumerationEngine::ComputeIntersectionLc(Vertex u,
     out->assign(list.begin(), list.end());
     return;
   }
-  // Fetch every backward adjacency list exactly once (each lookup is a
-  // binary search in C(w)), then start from the smallest to bound the
-  // intersection cost.
   backward_lists_.clear();
+  if (WantBitmapIntersection(u) && FillBackwardIndexes(u)) {
+    const uint32_t stride = aux_->BitmapStride(backward[0], u);
+    bool use_bitmaps = true;
+    if (options_.intersection == IntersectionMethod::kAuto) {
+      // The word-wise AND touches `stride` words per operand regardless of
+      // selectivity; take it only when that fixed cost undercuts walking
+      // the smallest sorted list, else fall through to the merge kernels.
+      // The spans are resolved through the already-computed indexes (cheap
+      // CSR offset lookups) and kept for the fallback below, so a rejected
+      // bitmap costs no second binary search per list.
+      size_t smallest_list = std::numeric_limits<size_t>::max();
+      for (size_t i = 0; i < backward.size(); ++i) {
+        backward_lists_.push_back(
+            aux_->NeighborsByIndex(backward[i], backward_index_[i], u));
+        smallest_list = std::min(smallest_list, backward_lists_.back().size());
+      }
+      // One AND+popcount step consumes a 64-bit word per cycle while the
+      // merge kernels advance roughly one element per comparison, so a
+      // stride word is worth several walked elements; 8 keeps auto on
+      // the bitmap side of the crossover measured on the bench analogs
+      // without losing to the sorted kernels on the sparse ones.
+      use_bitmaps = stride <= 8 * smallest_list;
+    }
+    if (use_bitmaps) {
+      bitmap_rows_.clear();
+      for (size_t i = 0; i < backward.size(); ++i) {
+        bitmap_rows_.push_back(
+            aux_->BitmapByIndex(backward[i], backward_index_[i], u).data());
+      }
+      bitmap_scratch_.resize(stride);
+      const uint64_t count =
+          BitmapMultiAnd(bitmap_rows_, stride, bitmap_scratch_.data());
+      ++stats_.bitmap_intersections;
+      out->clear();
+      if (count > 0) {
+        out->reserve(count);
+        // Bit i of the result is the i-th candidate of C(u), so decoding
+        // against the candidate array yields the sorted LC directly.
+        BitmapDecode({bitmap_scratch_.data(), stride},
+                     candidates_.candidates(u), out);
+      }
+      return;
+    }
+  }
+  // Fetch every backward adjacency list exactly once (each lookup is a
+  // binary search in C(w), unless the auto path above resolved the spans
+  // already), then start from the smallest to bound the intersection cost.
+  if (backward_lists_.empty()) {
+    for (const Vertex w : backward) {
+      backward_lists_.push_back(aux_->NeighborsOfVertex(w, mapping_[w], u));
+    }
+  }
   size_t smallest = 0;
-  for (const Vertex w : backward) {
-    backward_lists_.push_back(aux_->NeighborsOfVertex(w, mapping_[w], u));
-    if (backward_lists_.back().size() < backward_lists_[smallest].size()) {
-      smallest = backward_lists_.size() - 1;
+  for (size_t i = 1; i < backward_lists_.size(); ++i) {
+    if (backward_lists_[i].size() < backward_lists_[smallest].size()) {
+      smallest = i;
     }
   }
   out->assign(backward_lists_[smallest].begin(),
@@ -311,7 +470,10 @@ std::span<const Vertex> EnumerationEngine::ComputeLocalCandidates(
     Vertex u, uint32_t depth) {
   lc_lookahead_dropped_ = false;
   if (options_.adaptive_order) {
-    // Computed once when u became extendable; still valid (see DESIGN.md).
+    // The weight was computed when u became extendable; the list itself is
+    // materialized here, the first time u is actually selected (and stays
+    // valid while u remains extendable; see DESIGN.md).
+    MaterializeAdaptiveLc(u);
     return adaptive_lc_[u];
   }
   const auto& backward = backward_neighbors_[u];
@@ -379,6 +541,34 @@ std::span<const Vertex> EnumerationEngine::ComputeLocalCandidates(
       // Algorithm 5: set intersections over A.
       if (backward.size() == 1) {
         return aux_->NeighborsOfVertex(backward[0], mapping_[backward[0]], u);
+      }
+      if (options_.use_lc_cache) {
+        // LC(u, M) here depends only on (u, images of u's backward
+        // neighbors): when a sibling subtree left the same key at this
+        // depth — common when the vertex extended in between is not a
+        // backward neighbor of u — the intersection is skipped entirely.
+        LcCacheEntry& entry = lc_cache_[depth];
+        bool hit = entry.u == u;
+        if (hit) {
+          for (size_t i = 0; i < backward.size(); ++i) {
+            if (entry.images[i] != mapping_[backward[i]]) {
+              hit = false;
+              break;
+            }
+          }
+        }
+        if (hit) {
+          ++stats_.lc_cache_hits;
+          return entry.lc;
+        }
+        ++stats_.lc_cache_misses;
+        entry.u = u;
+        entry.images.resize(backward.size());
+        for (size_t i = 0; i < backward.size(); ++i) {
+          entry.images[i] = mapping_[backward[i]];
+        }
+        ComputeIntersectionLc(u, &entry.lc);
+        return entry.lc;
       }
       ComputeIntersectionLc(u, &buffer);
       break;

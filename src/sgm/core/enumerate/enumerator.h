@@ -61,8 +61,18 @@ struct EnumerateOptions {
   /// Wall-clock budget in milliseconds (the paper uses five minutes).
   /// 0 = unlimited.
   double time_limit_ms = 300000.0;
-  /// Set intersection kernel for kIntersect.
+  /// Set intersection kernel for kIntersect. kBitmap intersects the aux
+  /// structure's bitmap sidecars (word-wise AND over candidate indexes)
+  /// whenever every backward edge of the extended vertex carries one,
+  /// falling back to hybrid otherwise; kAuto additionally weighs the fixed
+  /// word cost against the smallest CSR list before choosing.
   IntersectionMethod intersection = IntersectionMethod::kHybrid;
+  /// Per-depth local-candidate reuse cache: sibling subtrees whose backward
+  /// images coincide skip the LC(u, M) recomputation entirely (kIntersect
+  /// with >= 2 backward neighbors, static order only). The cache survives
+  /// EnumerationEngine::Reset(), so a per-worker engine reuses entries
+  /// across work-stealing chunks.
+  bool use_lc_cache = true;
   /// Restricts the first extension to candidates [root_slice_begin,
   /// root_slice_end) of the start vertex — the work-partitioning hook used
   /// by the parallel matcher. Defaults cover the whole candidate set.
@@ -95,6 +105,13 @@ struct EnumerateStats {
   uint64_t local_candidates_scanned = 0;
   /// Candidate extensions skipped by failing-set pruning.
   uint64_t failing_set_prunes = 0;
+  /// Local-candidate computations served by the bitmap sidecar (word-wise
+  /// multi-AND over candidate-index bitsets instead of sorted-array merges).
+  uint64_t bitmap_intersections = 0;
+  /// Local-candidate reuse cache (EnumerateOptions::use_lc_cache) outcomes:
+  /// hits reuse a sibling's LC(u, M) verbatim; misses recompute and refill.
+  uint64_t lc_cache_hits = 0;
+  uint64_t lc_cache_misses = 0;
   bool timed_out = false;
   bool reached_match_limit = false;
   double enumeration_ms = 0.0;

@@ -65,6 +65,13 @@ DpisoWeights DpisoWeights::Build(const Graph& query,
       weights_u[ci] = best;
     }
   }
+  result.uniform_.assign(n, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    const auto& weights_u = result.weights_[u];
+    result.uniform_[u] =
+        std::all_of(weights_u.begin(), weights_u.end(),
+                    [&](double w) { return w == weights_u.front(); });
+  }
   return result;
 }
 

@@ -36,10 +36,25 @@ class DpisoWeights {
     return weights_[u][cand_index];
   }
 
+  /// True when every candidate of u carries the same weight, with that
+  /// weight in *value. Vertices without tree-like children keep the uniform
+  /// initialization 1.0, so this is the common case — and a weight sum over
+  /// a candidate subset then collapses to value × |subset|, which the
+  /// enumeration engine serves with a count-only (popcount / SIMD)
+  /// intersection instead of a per-element weight walk.
+  bool UniformWeight(Vertex u, double* value) const {
+    SGM_CHECK(u < uniform_.size());
+    if (!uniform_[u]) return false;
+    *value = weights_[u].empty() ? 0.0 : weights_[u][0];
+    return true;
+  }
+
   bool empty() const { return weights_.empty(); }
 
  private:
   std::vector<std::vector<double>> weights_;
+  /// Per query vertex: 1 when weights_[u] is constant.
+  std::vector<uint8_t> uniform_;
 };
 
 }  // namespace sgm

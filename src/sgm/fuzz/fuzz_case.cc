@@ -1,6 +1,7 @@
 #include "sgm/fuzz/fuzz_case.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "sgm/graph/generators.h"
 #include "sgm/graph/graph_builder.h"
@@ -20,6 +21,7 @@ std::string ConfigSpec::Name() const {
   name += failing_sets ? "/fs" : "/nofs";
   name += "/";
   name += IntersectionMethodName(intersection);
+  if (!lc_cache) name += "/nocache";
   name += "/t" + std::to_string(threads);
   if (inject_fault) name += "/FAULT";
   return name;
@@ -37,6 +39,7 @@ MatchOptions ConfigSpec::ToMatchOptions(uint32_t query_vertex_count,
   // (classic DP-iso ships with them).
   options.use_failing_sets = options.use_failing_sets || failing_sets;
   options.intersection = intersection;
+  options.use_lc_cache = lc_cache;
   options.max_matches = max_matches;
   options.time_limit_ms = time_limit_ms;
   options.debug_skip_last_root_candidate = inject_fault;
@@ -132,25 +135,27 @@ FuzzCase GenerateCase(uint64_t seed, const CaseGenOptions& options) {
   // ---- Configuration matrix: all 8 presets, kernels cycled, one
   // parallel promotion. ----
   static constexpr IntersectionMethod kKernels[] = {
-      IntersectionMethod::kMerge,
-      IntersectionMethod::kGalloping,
-      IntersectionMethod::kHybrid,
-      IntersectionMethod::kQFilter,
+      IntersectionMethod::kMerge,   IntersectionMethod::kGalloping,
+      IntersectionMethod::kHybrid,  IntersectionMethod::kQFilter,
+      IntersectionMethod::kBitmap,  IntersectionMethod::kAuto,
   };
-  const size_t kernel_offset = prng.NextBounded(4);
+  constexpr size_t kKernelCount = std::size(kKernels);
+  const size_t kernel_offset = prng.NextBounded(kKernelCount);
   size_t slot = 0;
   for (const Algorithm algorithm : kAllAlgorithms) {
     ConfigSpec config;
     config.algorithm = algorithm;
     config.classic = prng.NextBernoulli(0.4);
     config.failing_sets = prng.NextBernoulli(0.5);
-    config.intersection = kKernels[(kernel_offset + slot++) % 4];
+    config.intersection = kKernels[(kernel_offset + slot++) % kKernelCount];
+    config.lc_cache = prng.NextBernoulli(0.75);
     fuzz_case.configs.push_back(config);
   }
   ConfigSpec recommended;
   recommended.recommended = true;
   recommended.failing_sets = prng.NextBernoulli(0.5);
-  recommended.intersection = kKernels[(kernel_offset + slot++) % 4];
+  recommended.intersection = kKernels[(kernel_offset + slot++) % kKernelCount];
+  recommended.lc_cache = prng.NextBernoulli(0.75);
   fuzz_case.configs.push_back(recommended);
 
   // Promote one optimized config to the parallel work-stealing scheduler so

@@ -32,6 +32,8 @@ struct ConfigSpec {
   bool recommended = false;
   bool failing_sets = false;
   IntersectionMethod intersection = IntersectionMethod::kHybrid;
+  /// Per-depth local-candidate reuse cache (MatchOptions::use_lc_cache).
+  bool lc_cache = true;
   /// 1 = serial engine; >1 = work-stealing parallel enumeration.
   uint32_t threads = 1;
   /// Enables MatchOptions::debug_skip_last_root_candidate — the emulated
@@ -81,9 +83,10 @@ struct CaseGenOptions {
 /// Generates the case for `seed`, deterministically: equal seeds produce
 /// byte-identical cases on every platform. The sampled configuration list
 /// always contains all 8 presets (7 framework algorithms, classic or
-/// optimized at random, plus Recommended), cycles the 4 intersection
-/// kernels across them, randomizes failing sets, and promotes one
-/// intersect-capable config to parallel execution.
+/// optimized at random, plus Recommended), cycles the 6 intersection
+/// kernels across them (including bitmap and auto), randomizes failing
+/// sets and the LC reuse cache, and promotes one intersect-capable config
+/// to parallel execution.
 FuzzCase GenerateCase(uint64_t seed, const CaseGenOptions& options = {});
 
 }  // namespace sgm::fuzz

@@ -42,15 +42,7 @@ bool ParsePresetToken(const std::string& token, ConfigSpec* config) {
 }
 
 bool ParseIntersection(const std::string& name, IntersectionMethod* out) {
-  for (const IntersectionMethod method :
-       {IntersectionMethod::kMerge, IntersectionMethod::kGalloping,
-        IntersectionMethod::kHybrid, IntersectionMethod::kQFilter}) {
-    if (name == IntersectionMethodName(method)) {
-      *out = method;
-      return true;
-    }
-  }
-  return false;
+  return IntersectionMethodFromName(name, out);
 }
 
 bool ParseUint64Token(const std::string& token, uint64_t* out) {
@@ -66,7 +58,9 @@ bool ParseUint64Token(const std::string& token, uint64_t* out) {
   return true;
 }
 
-// `config <preset> fs=0 ix=hybrid threads=1 fault=0`
+// `config <preset> fs=0 ix=hybrid cache=1 threads=1 fault=0`
+// (`cache=` is optional for corpus back-compat: files written before the LC
+// reuse cache existed default to the cache being on, its default value).
 bool ParseConfigLine(const std::vector<std::string>& fields,
                      ConfigSpec* config) {
   if (fields.size() < 2 || !ParsePresetToken(fields[1], config)) return false;
@@ -81,6 +75,9 @@ bool ParseConfigLine(const std::vector<std::string>& fields,
       config->failing_sets = value == "1";
     } else if (key == "ix") {
       if (!ParseIntersection(value, &config->intersection)) return false;
+    } else if (key == "cache") {
+      if (value != "0" && value != "1") return false;
+      config->lc_cache = value == "1";
     } else if (key == "threads") {
       uint64_t threads = 0;
       if (!ParseUint64Token(value, &threads) || threads == 0 ||
@@ -119,6 +116,7 @@ void WriteReproducer(const Reproducer& reproducer, std::ostream& out) {
     out << "config " << PresetToken(config)
         << " fs=" << (config.failing_sets ? 1 : 0)
         << " ix=" << IntersectionMethodName(config.intersection)
+        << " cache=" << (config.lc_cache ? 1 : 0)
         << " threads=" << config.threads
         << " fault=" << (config.inject_fault ? 1 : 0) << '\n';
   }

@@ -150,9 +150,19 @@ MatchResult MatchQuery(const Graph& query, const Graph& data,
                                          filtered.bfs_tree->parent);
       break;
     }
-    case AuxEdgeScope::kAllEdges:
-      aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+    case AuxEdgeScope::kAllEdges: {
+      AuxBuildOptions aux_build;
+      // The sidecar only pays off where the enumerator can consume it: the
+      // set-intersection local candidates with a bitmap-aware kernel.
+      aux_build.build_bitmaps =
+          options.lc_method == LocalCandidateMethod::kIntersect &&
+          (options.intersection == IntersectionMethod::kBitmap ||
+           options.intersection == IntersectionMethod::kAuto);
+      aux_build.bitmap_max_candidates = options.bitmap_max_candidates;
+      aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates,
+                                        aux_build);
       break;
+    }
   }
   result.aux_memory_bytes = aux.MemoryBytes();
 
@@ -193,6 +203,7 @@ MatchResult MatchQuery(const Graph& query, const Graph& data,
   enumerate_options.max_matches = options.max_matches;
   enumerate_options.time_limit_ms = options.time_limit_ms;
   enumerate_options.intersection = options.intersection;
+  enumerate_options.use_lc_cache = options.use_lc_cache;
   if (options.collector != nullptr &&
       options.collector->depth_profile_enabled()) {
     enumerate_options.depth_profile = &result.depth_profile;

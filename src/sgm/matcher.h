@@ -64,7 +64,15 @@ struct MatchOptions {
   bool postpone_degree_one = false;
   uint64_t max_matches = 100000;
   double time_limit_ms = 300000.0;
+  /// kBitmap/kAuto additionally build the bitmap sidecar of the auxiliary
+  /// structure (all-edges scope with intersect local candidates only) and
+  /// intersect it word-wise in the enumerator; see DESIGN.md §10.
   IntersectionMethod intersection = IntersectionMethod::kHybrid;
+  /// Density threshold forwarded to AuxBuildOptions::bitmap_max_candidates
+  /// when the intersection method requests sidecars.
+  uint32_t bitmap_max_candidates = 4096;
+  /// Per-depth local-candidate reuse cache (EnumerateOptions::use_lc_cache).
+  bool use_lc_cache = true;
   FilterOptions filter_options;
   /// Optional observability collector (sgm/obs/collector.h). Null — the
   /// default — keeps the run on the uninstrumented path: no spans, no depth

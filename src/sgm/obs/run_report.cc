@@ -23,6 +23,7 @@ RunReport BuildCommon(const Graph& query, const Graph& data,
   report.lc_method = LocalCandidateMethodName(options.lc_method);
   report.aux_scope = AuxEdgeScopeName(options.aux_scope);
   report.intersection = IntersectionMethodName(options.intersection);
+  report.use_lc_cache = options.use_lc_cache;
   report.use_failing_sets = options.use_failing_sets;
   report.adaptive_order = options.adaptive_order;
   report.vf2pp_lookahead = options.vf2pp_lookahead;
@@ -48,6 +49,9 @@ RunReport BuildCommon(const Graph& query, const Graph& data,
   report.recursion_calls = result.enumerate.recursion_calls;
   report.local_candidates_scanned = result.enumerate.local_candidates_scanned;
   report.failing_set_prunes = result.enumerate.failing_set_prunes;
+  report.bitmap_intersections = result.enumerate.bitmap_intersections;
+  report.lc_cache_hits = result.enumerate.lc_cache_hits;
+  report.lc_cache_misses = result.enumerate.lc_cache_misses;
   report.timed_out = result.enumerate.timed_out;
   report.reached_match_limit = result.enumerate.reached_match_limit;
 
@@ -108,6 +112,7 @@ Json RunReport::ToJson() const {
   config.Set("lc_method", Json::String(lc_method));
   config.Set("aux_scope", Json::String(aux_scope));
   config.Set("intersection", Json::String(intersection));
+  config.Set("use_lc_cache", Json::Bool(use_lc_cache));
   config.Set("use_failing_sets", Json::Bool(use_failing_sets));
   config.Set("adaptive_order", Json::Bool(adaptive_order));
   config.Set("vf2pp_lookahead", Json::Bool(vf2pp_lookahead));
@@ -153,6 +158,9 @@ Json RunReport::ToJson() const {
   enumerate.Set("local_candidates_scanned",
                 Json::Number(local_candidates_scanned));
   enumerate.Set("failing_set_prunes", Json::Number(failing_set_prunes));
+  enumerate.Set("bitmap_intersections", Json::Number(bitmap_intersections));
+  enumerate.Set("lc_cache_hits", Json::Number(lc_cache_hits));
+  enumerate.Set("lc_cache_misses", Json::Number(lc_cache_misses));
   enumerate.Set("timed_out", Json::Bool(timed_out));
   enumerate.Set("reached_match_limit", Json::Bool(reached_match_limit));
   root.Set("enumerate", std::move(enumerate));
@@ -217,6 +225,7 @@ RunReport RunReport::FromJson(const Json& json) {
     report.lc_method = config->GetString("lc_method");
     report.aux_scope = config->GetString("aux_scope");
     report.intersection = config->GetString("intersection");
+    report.use_lc_cache = config->GetBool("use_lc_cache");
     report.use_failing_sets = config->GetBool("use_failing_sets");
     report.adaptive_order = config->GetBool("adaptive_order");
     report.vf2pp_lookahead = config->GetBool("vf2pp_lookahead");
@@ -261,6 +270,9 @@ RunReport RunReport::FromJson(const Json& json) {
     report.local_candidates_scanned =
         enumerate->GetUint64("local_candidates_scanned");
     report.failing_set_prunes = enumerate->GetUint64("failing_set_prunes");
+    report.bitmap_intersections = enumerate->GetUint64("bitmap_intersections");
+    report.lc_cache_hits = enumerate->GetUint64("lc_cache_hits");
+    report.lc_cache_misses = enumerate->GetUint64("lc_cache_misses");
     report.timed_out = enumerate->GetBool("timed_out");
     report.reached_match_limit = enumerate->GetBool("reached_match_limit");
   }

@@ -54,6 +54,7 @@ struct RunReport {
   std::string lc_method;
   std::string aux_scope;
   std::string intersection;
+  bool use_lc_cache = false;
   bool use_failing_sets = false;
   bool adaptive_order = false;
   bool vf2pp_lookahead = false;
@@ -83,6 +84,9 @@ struct RunReport {
   uint64_t recursion_calls = 0;
   uint64_t local_candidates_scanned = 0;
   uint64_t failing_set_prunes = 0;
+  uint64_t bitmap_intersections = 0;
+  uint64_t lc_cache_hits = 0;
+  uint64_t lc_cache_misses = 0;
   bool timed_out = false;
   bool reached_match_limit = false;
 

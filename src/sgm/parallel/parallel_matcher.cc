@@ -83,9 +83,19 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
       aux = AuxStructure::BuildTreeEdges(query, data, filtered.candidates,
                                          filtered.bfs_tree->parent);
       break;
-    case AuxEdgeScope::kAllEdges:
-      aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+    case AuxEdgeScope::kAllEdges: {
+      AuxBuildOptions aux_build;
+      // Same gating as MatchQuery: sidecars only where the enumerator's
+      // bitmap-aware kernels can consume them.
+      aux_build.build_bitmaps =
+          options.lc_method == LocalCandidateMethod::kIntersect &&
+          (options.intersection == IntersectionMethod::kBitmap ||
+           options.intersection == IntersectionMethod::kAuto);
+      aux_build.bitmap_max_candidates = options.bitmap_max_candidates;
+      aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates,
+                                        aux_build);
       break;
+    }
   }
   result.aux_memory_bytes = aux.MemoryBytes();
 
@@ -139,6 +149,7 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
   base_options.max_matches = 0;
   base_options.time_limit_ms = options.time_limit_ms;
   base_options.intersection = options.intersection;
+  base_options.use_lc_cache = options.use_lc_cache;
   base_options.cancel_flag = &stop;
 
   // Shared per-match accounting. With a user callback, counting and
@@ -312,6 +323,9 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
     stats.recursion_calls += worker.recursion_calls;
     stats.local_candidates_scanned += worker.local_candidates_scanned;
     stats.failing_set_prunes += worker.failing_set_prunes;
+    stats.bitmap_intersections += worker.bitmap_intersections;
+    stats.lc_cache_hits += worker.lc_cache_hits;
+    stats.lc_cache_misses += worker.lc_cache_misses;
     stats.timed_out = stats.timed_out || worker.timed_out;
   }
   stats.match_count = std::min<uint64_t>(

@@ -1,0 +1,132 @@
+#include "sgm/util/bitmap_intersection.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace sgm {
+
+#if defined(__AVX2__)
+
+bool BitmapKernelsUseSimd() { return true; }
+
+uint64_t BitmapAnd(const uint64_t* a, const uint64_t* b, size_t words,
+                   uint64_t* out) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vand = _mm256_and_si256(va, vb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), vand);
+    // AVX2 has no vector popcount; the four scalar popcounts on the stored
+    // words keep the loop simple and still dominate a merge on dense rows.
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i + 1]));
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i + 2]));
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i + 3]));
+  }
+  for (; i < words; ++i) {
+    out[i] = a[i] & b[i];
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+  }
+  return count;
+}
+
+uint64_t BitmapAndCount(const uint64_t* a, const uint64_t* b, size_t words) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                       _mm256_and_si256(va, vb));
+    count += static_cast<uint64_t>(__builtin_popcountll(lanes[0]));
+    count += static_cast<uint64_t>(__builtin_popcountll(lanes[1]));
+    count += static_cast<uint64_t>(__builtin_popcountll(lanes[2]));
+    count += static_cast<uint64_t>(__builtin_popcountll(lanes[3]));
+  }
+  for (; i < words; ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return count;
+}
+
+#else  // !defined(__AVX2__)
+
+bool BitmapKernelsUseSimd() { return false; }
+
+uint64_t BitmapAnd(const uint64_t* a, const uint64_t* b, size_t words,
+                   uint64_t* out) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < words; ++i) {
+    out[i] = a[i] & b[i];
+    count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+  }
+  return count;
+}
+
+uint64_t BitmapAndCount(const uint64_t* a, const uint64_t* b, size_t words) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < words; ++i) {
+    count += static_cast<uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return count;
+}
+
+#endif  // defined(__AVX2__)
+
+uint64_t BitmapMultiAnd(std::span<const uint64_t* const> rows, size_t words,
+                        uint64_t* out) {
+  SGM_CHECK(!rows.empty());
+  if (rows.size() == 1) {
+    uint64_t count = 0;
+    for (size_t i = 0; i < words; ++i) {
+      out[i] = rows[0][i];
+      count += static_cast<uint64_t>(__builtin_popcountll(out[i]));
+    }
+    return count;
+  }
+  uint64_t count = BitmapAnd(rows[0], rows[1], words, out);
+  for (size_t r = 2; r < rows.size(); ++r) {
+    if (count == 0) return 0;
+    count = BitmapAnd(out, rows[r], words, out);
+  }
+  return count;
+}
+
+uint64_t BitmapMultiAndCount(std::span<const uint64_t* const> rows,
+                             size_t words) {
+  SGM_CHECK(!rows.empty());
+  if (rows.size() == 2) return BitmapAndCount(rows[0], rows[1], words);
+  // Three rows and beyond fuse the AND chain word by word; the per-word
+  // reduction never touches memory beyond the input rows.
+  uint64_t count = 0;
+  for (size_t i = 0; i < words; ++i) {
+    uint64_t w = rows[0][i];
+    for (size_t r = 1; r < rows.size() && w != 0; ++r) w &= rows[r][i];
+    count += static_cast<uint64_t>(__builtin_popcountll(w));
+  }
+  return count;
+}
+
+void BitmapDecode(std::span<const uint64_t> words,
+                  std::span<const Vertex> values, std::vector<Vertex>* out) {
+  for (size_t word = 0; word < words.size(); ++word) {
+    uint64_t w = words[word];
+    while (w != 0) {
+      const uint32_t bit = static_cast<uint32_t>(word << 6) +
+                           static_cast<uint32_t>(__builtin_ctzll(w));
+      SGM_CHECK(bit < values.size());
+      out->push_back(values[bit]);
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace sgm

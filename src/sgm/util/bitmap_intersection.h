@@ -1,0 +1,62 @@
+// Word-wise bitmap intersection kernels for the dual-representation
+// candidate index (see aux_structure.h and DESIGN.md §10).
+//
+// The auxiliary structure can store each candidate-adjacency list
+// N(v) ∩ C(u) additionally as a fixed-stride bitset over the candidate
+// *indexes* of C(u) (word layout identical to util/bitset.h: 64-bit words,
+// bit i = candidate index i). The enumeration engine then computes a
+// multi-way local-candidate intersection as a word-wise AND over the rows
+// of all backward neighbors — O(words) per row instead of a data-dependent
+// merge — and decodes the surviving bits back into sorted data vertices.
+//
+// All kernels here operate on raw uint64_t word spans so the aux structure
+// can keep its rows in one flat allocation. An AVX2 variant is compiled
+// when this translation unit gets -mavx2 (see src/CMakeLists.txt); the
+// scalar fallback is exact on every platform.
+#ifndef SGM_UTIL_BITMAP_INTERSECTION_H_
+#define SGM_UTIL_BITMAP_INTERSECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sgm/core/types.h"
+
+namespace sgm {
+
+/// Words needed for a bitset over [0, bit_count) — the fixed stride of a
+/// bitmap sidecar over C(u).
+constexpr uint32_t BitmapWords(uint32_t bit_count) {
+  return (bit_count + 63) / 64;
+}
+
+/// out[i] = a[i] & b[i] for i in [0, words). Returns the popcount of the
+/// result. `out` may alias `a` or `b`.
+uint64_t BitmapAnd(const uint64_t* a, const uint64_t* b, size_t words,
+                   uint64_t* out);
+
+/// Popcount of the word-wise AND without materializing it.
+uint64_t BitmapAndCount(const uint64_t* a, const uint64_t* b, size_t words);
+
+/// Multi-way AND: out = rows[0] & rows[1] & ... over `words` words each.
+/// Requires at least one row. Returns the popcount of the result.
+uint64_t BitmapMultiAnd(std::span<const uint64_t* const> rows, size_t words,
+                        uint64_t* out);
+
+/// Popcount of the multi-way AND without materializing it.
+uint64_t BitmapMultiAndCount(std::span<const uint64_t* const> rows,
+                             size_t words);
+
+/// Decodes the set bits of `words` as indexes into `values` (the sorted
+/// candidate set C(u)), appending values[index] to *out in ascending order.
+/// Bits at positions >= values.size() must be zero.
+void BitmapDecode(std::span<const uint64_t> words,
+                  std::span<const Vertex> values, std::vector<Vertex>* out);
+
+/// True when this build runs the AVX2 word kernels (false = scalar
+/// fallback, e.g. on non-x86 targets).
+bool BitmapKernelsUseSimd();
+
+}  // namespace sgm
+
+#endif  // SGM_UTIL_BITMAP_INTERSECTION_H_

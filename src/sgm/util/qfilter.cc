@@ -86,6 +86,50 @@ size_t IntersectQFilter(std::span<const Vertex> a, std::span<const Vertex> b,
   return out->size();
 }
 
+size_t IntersectQFilterCount(std::span<const Vertex> a,
+                             std::span<const Vertex> b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  const size_t a_blocks = a.size() / 4 * 4;
+  const size_t b_blocks = b.size() / 4 * 4;
+  while (i < a_blocks && j < b_blocks) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+    const __m128i a_bytes = _mm_shuffle_epi8(va, kReplicateEach);
+    const __m128i b_bytes = _mm_shuffle_epi8(vb, kReplicateAll);
+    const int byte_mask =
+        _mm_movemask_epi8(_mm_cmpeq_epi8(a_bytes, b_bytes));
+    if (byte_mask != 0) {
+      __m128i eq = _mm_cmpeq_epi32(va, vb);
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, Rotate1(vb)));
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, Rotate2(vb)));
+      eq = _mm_or_si128(eq, _mm_cmpeq_epi32(va, Rotate3(vb)));
+      const int mask = _mm_movemask_ps(_mm_castsi128_ps(eq));
+      count += static_cast<size_t>(__builtin_popcount(
+          static_cast<unsigned>(mask)));
+    }
+    const Vertex a_max = a[i + 3];
+    const Vertex b_max = b[j + 3];
+    if (a_max <= b_max) i += 4;
+    if (b_max <= a_max) j += 4;
+  }
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
 #else  // !defined(__AVX2__)
 
 bool QFilterUsesSimd() { return false; }
@@ -93,6 +137,11 @@ bool QFilterUsesSimd() { return false; }
 size_t IntersectQFilter(std::span<const Vertex> a, std::span<const Vertex> b,
                         std::vector<Vertex>* out) {
   return IntersectMerge(a, b, out);
+}
+
+size_t IntersectQFilterCount(std::span<const Vertex> a,
+                             std::span<const Vertex> b) {
+  return IntersectionCount(a, b);
 }
 
 #endif  // defined(__AVX2__)

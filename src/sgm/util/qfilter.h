@@ -27,6 +27,12 @@ namespace sgm {
 size_t IntersectQFilter(std::span<const Vertex> a, std::span<const Vertex> b,
                         std::vector<Vertex>* out);
 
+/// |a ∩ b| by the same SIMD kernel, without materializing the result — the
+/// path behind the DP-iso adaptive-weight computation, which only needs the
+/// intersection cardinality when a vertex's weights are uniform.
+size_t IntersectQFilterCount(std::span<const Vertex> a,
+                             std::span<const Vertex> b);
+
 /// True when this build actually uses SIMD instructions (false means the
 /// scalar fallback is active, e.g., on non-x86 targets).
 bool QFilterUsesSimd();

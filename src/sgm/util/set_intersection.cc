@@ -16,8 +16,23 @@ const char* IntersectionMethodName(IntersectionMethod method) {
       return "hybrid";
     case IntersectionMethod::kQFilter:
       return "qfilter";
+    case IntersectionMethod::kBitmap:
+      return "bitmap";
+    case IntersectionMethod::kAuto:
+      return "auto";
   }
   return "unknown";
+}
+
+bool IntersectionMethodFromName(std::string_view name,
+                                IntersectionMethod* out) {
+  for (const IntersectionMethod method : kAllIntersectionMethods) {
+    if (name == IntersectionMethodName(method)) {
+      *out = method;
+      return true;
+    }
+  }
+  return false;
 }
 
 size_t IntersectMerge(std::span<const Vertex> a, std::span<const Vertex> b,
@@ -102,6 +117,11 @@ size_t Intersect(IntersectionMethod method, std::span<const Vertex> a,
       return IntersectHybrid(a, b, out);
     case IntersectionMethod::kQFilter:
       return IntersectQFilter(a, b, out);
+    case IntersectionMethod::kBitmap:
+    case IntersectionMethod::kAuto:
+      // Bitmap representations live in the aux structure; on raw sorted
+      // arrays these methods behave like the hybrid default.
+      return IntersectHybrid(a, b, out);
   }
   SGM_CHECK_MSG(false, "unreachable intersection method");
   return 0;

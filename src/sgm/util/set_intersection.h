@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "sgm/core/types.h"
@@ -21,16 +22,33 @@ namespace sgm {
 
 /// Which intersection kernel to use. kHybrid is the library default
 /// (recommendation 3 of the paper); kQFilter is recommended for very dense
-/// data graphs.
+/// data graphs. kBitmap intersects the fixed-stride bitset sidecars of the
+/// auxiliary structure (word-wise AND over candidate indexes) and kAuto
+/// picks between bitmap and hybrid per local-candidate computation; both
+/// take effect inside the enumeration engine where bitmap rows exist — on
+/// raw sorted arrays (this dispatcher) they fall back to kHybrid.
 enum class IntersectionMethod : uint8_t {
   kMerge = 0,
   kGalloping = 1,
   kHybrid = 2,
   kQFilter = 3,
+  kBitmap = 4,
+  kAuto = 5,
+};
+
+/// All selectable kernels, for iteration in tools, benches and the fuzzer.
+inline constexpr IntersectionMethod kAllIntersectionMethods[] = {
+    IntersectionMethod::kMerge,   IntersectionMethod::kGalloping,
+    IntersectionMethod::kHybrid,  IntersectionMethod::kQFilter,
+    IntersectionMethod::kBitmap,  IntersectionMethod::kAuto,
 };
 
 /// Returns a short lowercase name ("merge", "galloping", ...).
 const char* IntersectionMethodName(IntersectionMethod method);
+
+/// Inverse of IntersectionMethodName. Returns false on an unknown name.
+bool IntersectionMethodFromName(std::string_view name,
+                                IntersectionMethod* out);
 
 /// Merge-based intersection: linear scan of both inputs. Output is appended
 /// to *out (which is cleared first). Returns the output size.
@@ -48,7 +66,8 @@ size_t IntersectGalloping(std::span<const Vertex> a, std::span<const Vertex> b,
 size_t IntersectHybrid(std::span<const Vertex> a, std::span<const Vertex> b,
                        std::vector<Vertex>* out);
 
-/// Dispatches on method. kQFilter forwards to IntersectQFilter.
+/// Dispatches on method. kQFilter forwards to IntersectQFilter; kBitmap and
+/// kAuto have no bitmap operand at this level and fall back to kHybrid.
 size_t Intersect(IntersectionMethod method, std::span<const Vertex> a,
                  std::span<const Vertex> b, std::vector<Vertex>* out);
 

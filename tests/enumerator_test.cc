@@ -51,14 +51,89 @@ TEST_F(EnumeratorTest, AllLocalCandidateMethodsAgree) {
 }
 
 TEST_F(EnumeratorTest, AllIntersectionKernelsAgree) {
-  for (const IntersectionMethod kernel :
-       {IntersectionMethod::kMerge, IntersectionMethod::kGalloping,
-        IntersectionMethod::kHybrid, IntersectionMethod::kQFilter}) {
+  for (const IntersectionMethod kernel : kAllIntersectionMethods) {
     EnumerateOptions options;
     options.intersection = kernel;
     const EnumerateStats stats = Run(options);
     EXPECT_EQ(stats.match_count, 2u) << IntersectionMethodName(kernel);
   }
+}
+
+TEST_F(EnumeratorTest, BitmapKernelsAgreeOnBitmapAux) {
+  // Rebuild the aux structure with the bitmap sidecar so kBitmap/kAuto take
+  // the word-wise path (on the plain fixture aux they fall back to sorted
+  // arrays, which AllIntersectionKernelsAgree already covers).
+  AuxBuildOptions build;
+  build.build_bitmaps = true;
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query_, data_, filtered_.candidates, build);
+  for (const IntersectionMethod kernel :
+       {IntersectionMethod::kBitmap, IntersectionMethod::kAuto}) {
+    EnumerateOptions options;
+    options.intersection = kernel;
+    const EnumerateStats stats = Enumerate(query_, data_, filtered_.candidates,
+                                           &aux, order_, options);
+    EXPECT_EQ(stats.match_count, 2u) << IntersectionMethodName(kernel);
+    if (kernel == IntersectionMethod::kBitmap) {
+      EXPECT_GT(stats.bitmap_intersections, 0u);
+    }
+  }
+}
+
+TEST_F(EnumeratorTest, LcCacheTogglePreservesCounts) {
+  EnumerateOptions with_cache;
+  with_cache.use_lc_cache = true;
+  EnumerateOptions without_cache;
+  without_cache.use_lc_cache = false;
+  const EnumerateStats cached = Run(with_cache);
+  const EnumerateStats uncached = Run(without_cache);
+  EXPECT_EQ(cached.match_count, uncached.match_count);
+  EXPECT_EQ(cached.recursion_calls, uncached.recursion_calls);
+  EXPECT_EQ(uncached.lc_cache_hits, 0u);
+  EXPECT_EQ(uncached.lc_cache_misses, 0u);
+}
+
+TEST_F(EnumeratorTest, LcCacheReusesAcrossSiblingsAndInvalidates) {
+  // Query: u0(A)-u1(B), u0-u2(C), u0-u3(D), u1-u3. Under the static order
+  // (u0,u1,u2,u3) the vertex extended at depth 2 (u2) is NOT a backward
+  // neighbor of u3, so every sibling candidate of u2 revisits depth 3 with
+  // identical backward images (u0,u1) -> cache hits. When u1 moves to its
+  // next image the key changes and the entry must be invalidated.
+  const Graph query = ::sgm::testing::MakeGraph(
+      {::sgm::testing::kLabelA, ::sgm::testing::kLabelB,
+       ::sgm::testing::kLabelC, ::sgm::testing::kLabelD},
+      {{0, 1}, {0, 2}, {0, 3}, {1, 3}});
+  // Data: one A hub, two B vertices each wired to a distinct D partner, and
+  // three interchangeable C vertices (the sibling fan at depth 2).
+  const Graph data = ::sgm::testing::MakeGraph(
+      {::sgm::testing::kLabelA, ::sgm::testing::kLabelB,
+       ::sgm::testing::kLabelB, ::sgm::testing::kLabelC,
+       ::sgm::testing::kLabelC, ::sgm::testing::kLabelC,
+       ::sgm::testing::kLabelD, ::sgm::testing::kLabelD},
+      {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7},
+       {1, 6}, {2, 7}});
+  const FilterResult filtered = RunFilter(FilterMethod::kGraphQL, query, data);
+  const AuxStructure aux =
+      AuxStructure::BuildAllEdges(query, data, filtered.candidates);
+  const std::vector<Vertex> order = {0, 1, 2, 3};
+
+  EnumerateOptions cached_options;
+  cached_options.use_lc_cache = true;
+  const EnumerateStats cached =
+      Enumerate(query, data, filtered.candidates, &aux, order, cached_options);
+  // 2 B-images x 3 C-siblings x 1 forced D partner each.
+  EXPECT_EQ(cached.match_count, 6u);
+  // Per B-image: 1 miss then 2 sibling hits; the B change invalidates.
+  EXPECT_EQ(cached.lc_cache_misses, 2u);
+  EXPECT_EQ(cached.lc_cache_hits, 4u);
+
+  EnumerateOptions uncached_options;
+  uncached_options.use_lc_cache = false;
+  const EnumerateStats uncached = Enumerate(query, data, filtered.candidates,
+                                            &aux, order, uncached_options);
+  EXPECT_EQ(uncached.match_count, 6u);
+  EXPECT_EQ(uncached.lc_cache_hits, 0u);
+  EXPECT_EQ(uncached.lc_cache_misses, 0u);
 }
 
 TEST_F(EnumeratorTest, FailingSetsPreserveCounts) {

@@ -7,6 +7,11 @@
 //                      (framework names run the optimized variant; prefix
 //                      with "classic-" for the original, e.g. classic-CFL)
 //   --failing-sets     enable failing-set pruning (framework algorithms)
+//   --intersection M   merge|galloping|hybrid|qfilter|bitmap|auto — set
+//                      intersection kernel of the intersect-based engines;
+//                      bitmap/auto additionally build the bitmap sidecar of
+//                      the auxiliary structure (framework only)
+//   --no-lc-cache      disable the per-depth local-candidate reuse cache
 //   --max-matches N    stop after N matches (default 100000, 0 = all)
 //   --time-limit-ms N  per-query kill limit (default 300000)
 //   --threads N        parallel enumeration with N workers (framework only)
@@ -43,6 +48,8 @@ struct CliArgs {
   std::string data_path;
   std::string algorithm = "GQL";
   bool failing_sets = false;
+  std::optional<sgm::IntersectionMethod> intersection;
+  bool lc_cache = true;
   uint64_t max_matches = 100000;
   double time_limit_ms = 300000.0;
   uint32_t threads = 1;
@@ -56,7 +63,8 @@ struct CliArgs {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: sgm_match --query q.graph --data g.graph"
-               " [--algorithm NAME] [--failing-sets] [--max-matches N]"
+               " [--algorithm NAME] [--failing-sets] [--intersection M]"
+               " [--no-lc-cache] [--max-matches N]"
                " [--time-limit-ms N] [--threads N] [--report FILE.json]"
                " [--trace FILE.json] [--depth-profile] [--print-matches]"
                " [--count-only]\n");
@@ -90,6 +98,18 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->algorithm = *value;
     } else if (flag == "--failing-sets") {
       args->failing_sets = true;
+    } else if (flag == "--intersection") {
+      const auto value = next();
+      if (!value.has_value()) return false;
+      sgm::IntersectionMethod method;
+      if (!sgm::IntersectionMethodFromName(*value, &method)) {
+        std::fprintf(stderr, "unknown intersection method: %s\n",
+                     value->c_str());
+        return false;
+      }
+      args->intersection = method;
+    } else if (flag == "--no-lc-cache") {
+      args->lc_cache = false;
     } else if (flag == "--max-matches") {
       const auto value = next();
       if (!value.has_value()) return false;
@@ -253,6 +273,10 @@ int main(int argc, char** argv) {
                                     ? sgm::MatchOptions::Classic(*algorithm)
                                     : sgm::MatchOptions::Optimized(*algorithm);
     options.use_failing_sets = args.failing_sets || options.use_failing_sets;
+    if (args.intersection.has_value()) {
+      options.intersection = *args.intersection;
+    }
+    options.use_lc_cache = args.lc_cache;
     options.max_matches = args.max_matches;
     options.time_limit_ms = args.time_limit_ms;
 
@@ -313,12 +337,16 @@ int main(int argc, char** argv) {
     std::printf(
         "algorithm=%s matches=%llu time_ms=%.3f status=%s"
         " recursion_calls=%llu local_candidates_scanned=%llu"
-        " failing_set_prunes=%llu\n",
+        " failing_set_prunes=%llu bitmap_intersections=%llu"
+        " lc_cache_hits=%llu lc_cache_misses=%llu\n",
         args.algorithm.c_str(), static_cast<unsigned long long>(matches),
         total_ms, status.c_str(),
         static_cast<unsigned long long>(counters->recursion_calls),
         static_cast<unsigned long long>(counters->local_candidates_scanned),
-        static_cast<unsigned long long>(counters->failing_set_prunes));
+        static_cast<unsigned long long>(counters->failing_set_prunes),
+        static_cast<unsigned long long>(counters->bitmap_intersections),
+        static_cast<unsigned long long>(counters->lc_cache_hits),
+        static_cast<unsigned long long>(counters->lc_cache_misses));
   } else {
     std::printf("algorithm=%s matches=%llu time_ms=%.3f status=%s\n",
                 args.algorithm.c_str(),
