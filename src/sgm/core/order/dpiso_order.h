@@ -51,6 +51,16 @@ class DpisoWeights {
 
   bool empty() const { return weights_.empty(); }
 
+  /// Approximate heap footprint in bytes (plan-cache memory accounting).
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(DpisoWeights) + uniform_.capacity();
+    bytes += weights_.capacity() * sizeof(std::vector<double>);
+    for (const std::vector<double>& w : weights_) {
+      bytes += w.capacity() * sizeof(double);
+    }
+    return bytes;
+  }
+
  private:
   std::vector<std::vector<double>> weights_;
   /// Per query vertex: 1 when weights_[u] is constant.

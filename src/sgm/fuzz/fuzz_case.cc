@@ -23,6 +23,7 @@ std::string ConfigSpec::Name() const {
   name += IntersectionMethodName(intersection);
   if (!lc_cache) name += "/nocache";
   name += "/t" + std::to_string(threads);
+  if (service) name += "/svc";
   if (inject_fault) name += "/FAULT";
   return name;
 }
@@ -166,6 +167,20 @@ FuzzCase GenerateCase(uint64_t seed, const CaseGenOptions& options) {
         fuzz_case.configs[(start + i) % fuzz_case.configs.size()];
     if (!config.classic) {
       config.threads = 4;
+      break;
+    }
+  }
+
+  // Promote one remaining serial config to the serving layer, so every
+  // case also cross-checks the plan-cache execution path (the oracle runs
+  // a served config twice through one MatchService; the second run is a
+  // cache hit).
+  const size_t service_start = prng.NextBounded(fuzz_case.configs.size());
+  for (size_t i = 0; i < fuzz_case.configs.size(); ++i) {
+    ConfigSpec& config =
+        fuzz_case.configs[(service_start + i) % fuzz_case.configs.size()];
+    if (config.threads == 1) {
+      config.service = true;
       break;
     }
   }

@@ -36,11 +36,17 @@ struct ConfigSpec {
   bool lc_cache = true;
   /// 1 = serial engine; >1 = work-stealing parallel enumeration.
   uint32_t threads = 1;
+  /// Route the query through a MatchService (service/service.h): submitted
+  /// twice against one service, so the second run executes a plan-cache
+  /// hit — the differential check covers the cached-plan path. Serial
+  /// engine only (threads is ignored when set).
+  bool service = false;
   /// Enables MatchOptions::debug_skip_last_root_candidate — the emulated
   /// off-by-one used to exercise the oracle and minimizer end to end.
   bool inject_fault = false;
 
-  /// Short identifier, e.g. "GQL/opt/fs/hybrid/t1".
+  /// Short identifier, e.g. "GQL/fs/hybrid/t1" (suffix "/svc" when routed
+  /// through a MatchService).
   std::string Name() const;
 
   /// Materializes the MatchOptions for this configuration. The caller's

@@ -6,6 +6,7 @@
 #include "sgm/core/brute_force.h"
 #include "sgm/graph/graph_utils.h"
 #include "sgm/parallel/parallel_matcher.h"
+#include "sgm/service/service.h"
 
 namespace sgm::fuzz {
 
@@ -56,7 +57,25 @@ ConfigOutcome RunConfig(const FuzzCase& fuzz_case, const ConfigSpec& config,
     };
   }
   MatchResult result;
-  if (config.threads > 1) {
+  if (config.service) {
+    // Served path: submit the same query twice against one MatchService so
+    // the checked run executes a plan-cache hit — the differential oracle
+    // covers the cached-plan code path, not just a fresh build.
+    service::ServiceOptions service_options;
+    service_options.worker_count = 1;
+    service::MatchService service(fuzz_case.data, service_options);
+    service::MatchRequest warm;
+    warm.query = fuzz_case.query;
+    warm.options = options;
+    service.Match(std::move(warm));
+    service::MatchRequest request;
+    request.query = fuzz_case.query;
+    request.options = options;
+    request.collect_embeddings = collect;
+    service::MatchResponse response = service.Match(std::move(request));
+    result = std::move(response.engine);
+    if (collect) *embeddings = std::move(response.embeddings);
+  } else if (config.threads > 1) {
     result = ParallelMatchQuery(fuzz_case.query, fuzz_case.data, options,
                                 config.threads, callback)
                  .result;

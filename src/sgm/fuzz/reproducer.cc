@@ -58,9 +58,10 @@ bool ParseUint64Token(const std::string& token, uint64_t* out) {
   return true;
 }
 
-// `config <preset> fs=0 ix=hybrid cache=1 threads=1 fault=0`
-// (`cache=` is optional for corpus back-compat: files written before the LC
-// reuse cache existed default to the cache being on, its default value).
+// `config <preset> fs=0 ix=hybrid cache=1 threads=1 fault=0 svc=0`
+// (`cache=` and `svc=` are optional for corpus back-compat: files written
+// before the LC reuse cache / the serving layer existed default to the
+// cache being on and the direct engine — their default values).
 bool ParseConfigLine(const std::vector<std::string>& fields,
                      ConfigSpec* config) {
   if (fields.size() < 2 || !ParsePresetToken(fields[1], config)) return false;
@@ -88,6 +89,9 @@ bool ParseConfigLine(const std::vector<std::string>& fields,
     } else if (key == "fault") {
       if (value != "0" && value != "1") return false;
       config->inject_fault = value == "1";
+    } else if (key == "svc") {
+      if (value != "0" && value != "1") return false;
+      config->service = value == "1";
     } else {
       return false;
     }
@@ -118,7 +122,8 @@ void WriteReproducer(const Reproducer& reproducer, std::ostream& out) {
         << " ix=" << IntersectionMethodName(config.intersection)
         << " cache=" << (config.lc_cache ? 1 : 0)
         << " threads=" << config.threads
-        << " fault=" << (config.inject_fault ? 1 : 0) << '\n';
+        << " fault=" << (config.inject_fault ? 1 : 0)
+        << " svc=" << (config.service ? 1 : 0) << '\n';
   }
   out << "graph data\n";
   WriteGraph(fuzz_case.data, out);

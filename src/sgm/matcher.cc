@@ -2,10 +2,7 @@
 
 #include <utility>
 
-#include "sgm/core/order/dpiso_order.h"
-#include "sgm/obs/collector.h"
-#include "sgm/obs/phase_timer.h"
-#include "sgm/util/timer.h"
+#include "sgm/plan.h"
 
 namespace sgm {
 
@@ -110,127 +107,11 @@ MatchOptions MatchOptions::Recommended(uint32_t query_vertex_count) {
 MatchResult MatchQuery(const Graph& query, const Graph& data,
                        const MatchOptions& options,
                        const MatchCallback& callback) {
-  SGM_CHECK_MSG(query.vertex_count() >= 1 &&
-                    query.vertex_count() <= kMaxQueryVertices,
-                "query size out of supported range");
-
-  MatchResult result;
-  Timer total_timer;
-  obs::TraceBuffer* trace =
-      options.collector != nullptr ? options.collector->trace() : nullptr;
-  if (trace != nullptr) trace->SetThreadName(0, "pipeline");
-  obs::PhaseTimer phase_timer(trace);
-
-  // ---- Filtering (line 1 of Algorithm 1). ----
-  phase_timer.Begin(obs::kPhaseFilter);
-  FilterResult filtered = RunFilter(options.filter, query, data,
-                                    options.filter_options);
-  result.filter_ms = phase_timer.End();
-  result.average_candidates = filtered.candidates.AverageCount();
-  result.candidate_memory_bytes = filtered.candidates.MemoryBytes();
-  result.filter_rounds = std::move(filtered.rounds);
-
-  if (filtered.candidates.AnyEmpty()) {
-    // Some query vertex has no candidate: no match exists.
-    result.preprocessing_ms = result.filter_ms;
-    result.total_ms = total_timer.ElapsedMillis();
-    return result;
-  }
-
-  // ---- Auxiliary structure. ----
-  phase_timer.Begin(obs::kPhaseAuxBuild);
-  AuxStructure aux;
-  switch (options.aux_scope) {
-    case AuxEdgeScope::kNone:
-      break;
-    case AuxEdgeScope::kTreeEdges: {
-      SGM_CHECK_MSG(filtered.bfs_tree.has_value(),
-                    "tree-edge aux scope needs a filter that builds q_t");
-      aux = AuxStructure::BuildTreeEdges(query, data, filtered.candidates,
-                                         filtered.bfs_tree->parent);
-      break;
-    }
-    case AuxEdgeScope::kAllEdges: {
-      AuxBuildOptions aux_build;
-      // The sidecar only pays off where the enumerator can consume it: the
-      // set-intersection local candidates with a bitmap-aware kernel.
-      aux_build.build_bitmaps =
-          options.lc_method == LocalCandidateMethod::kIntersect &&
-          (options.intersection == IntersectionMethod::kBitmap ||
-           options.intersection == IntersectionMethod::kAuto);
-      aux_build.bitmap_max_candidates = options.bitmap_max_candidates;
-      aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates,
-                                        aux_build);
-      break;
-    }
-  }
-  result.aux_memory_bytes = aux.MemoryBytes();
-
-  // ---- Ordering (line 2 of Algorithm 1). ----
-  result.aux_build_ms = phase_timer.Begin(obs::kPhaseOrder);
-  OrderInputs order_inputs;
-  order_inputs.candidates = &filtered.candidates;
-  order_inputs.tree =
-      filtered.bfs_tree.has_value() ? &*filtered.bfs_tree : nullptr;
-  order_inputs.aux = options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux;
-  result.matching_order = ComputeOrder(options.order, query, data,
-                                       order_inputs);
-  if (options.postpone_degree_one) {
-    result.matching_order =
-        PostponeDegreeOneVertices(query, result.matching_order);
-  }
-  SGM_CHECK(IsValidMatchingOrder(query, result.matching_order));
-
-  DpisoWeights weights;
-  if (options.adaptive_order) {
-    SGM_CHECK_MSG(options.aux_scope == AuxEdgeScope::kAllEdges,
-                  "adaptive ordering needs an all-edges aux structure");
-    weights = DpisoWeights::Build(query, filtered.candidates, aux,
-                                  result.matching_order);
-  }
-  result.order_ms = phase_timer.End();
-  result.preprocessing_ms =
-      result.filter_ms + result.aux_build_ms + result.order_ms;
-
-  // ---- Enumeration (line 3 of Algorithm 1). ----
-  EnumerateOptions enumerate_options;
-  enumerate_options.lc_method = options.lc_method;
-  enumerate_options.use_failing_sets = options.use_failing_sets;
-  enumerate_options.adaptive_order = options.adaptive_order;
-  enumerate_options.vf2pp_lookahead = options.vf2pp_lookahead;
-  enumerate_options.restrict_neighbor_scan_to_candidates =
-      options.filter != FilterMethod::kLDF;
-  enumerate_options.max_matches = options.max_matches;
-  enumerate_options.time_limit_ms = options.time_limit_ms;
-  enumerate_options.intersection = options.intersection;
-  enumerate_options.use_lc_cache = options.use_lc_cache;
-  if (options.collector != nullptr &&
-      options.collector->depth_profile_enabled()) {
-    enumerate_options.depth_profile = &result.depth_profile;
-  }
-  if (options.debug_skip_last_root_candidate) {
-    // Emulated off-by-one: enumerate roots [0, count-1) instead of
-    // [0, count). See MatchOptions::debug_skip_last_root_candidate.
-    const uint32_t root_count =
-        filtered.candidates.Count(result.matching_order[0]);
-    enumerate_options.root_slice_end = root_count > 0 ? root_count - 1 : 0;
-  }
-
-  {
-    obs::TraceSpan span(trace, obs::kPhaseEnumeration, "phase");
-    result.enumerate = Enumerate(
-        query, data, filtered.candidates,
-        options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux,
-        result.matching_order, enumerate_options,
-        options.adaptive_order ? &weights : nullptr, callback);
-    span.AddArg("recursion_calls",
-                static_cast<double>(result.enumerate.recursion_calls));
-    span.AddArg("matches", static_cast<double>(result.enumerate.match_count));
-  }
-  result.match_count = result.enumerate.match_count;
-  result.enumeration_ms = result.enumerate.enumeration_ms;
-  result.total_ms = total_timer.ElapsedMillis();
-  return result;
+  // Build-then-execute: the preprocessing phases live in BuildMatchPlan so
+  // the plan cache of service/service.h can retain and replay them; a
+  // one-shot call composes the two halves back into the original pipeline.
+  const auto plan = BuildMatchPlan(query, data, options);
+  return ExecutePlan(query, data, *plan, options, callback);
 }
 
 bool ContainsSubgraph(const Graph& query, const Graph& data,

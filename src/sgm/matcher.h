@@ -16,6 +16,7 @@
 #ifndef SGM_MATCHER_H_
 #define SGM_MATCHER_H_
 
+#include <atomic>
 #include <vector>
 
 #include "sgm/core/enumerate/enumerator.h"
@@ -49,14 +50,27 @@ inline constexpr Algorithm kAllAlgorithms[] = {
     Algorithm::kVF2pp,
 };
 
-/// Full configuration of a matching run.
+/// Full configuration of a matching run: which component fills each slot
+/// of Algorithm 1 (filter × order × local candidates × aux scope), the
+/// optional optimizations, and the per-run limits. Prefer the Classic /
+/// Optimized / Recommended factories below; field-level tweaking is for
+/// ablations.
 struct MatchOptions {
+  /// Candidate filtering method (stage 1).
   FilterMethod filter = FilterMethod::kGraphQL;
+  /// Matching-order selection method (stage 3).
   OrderMethod order = OrderMethod::kGraphQL;
+  /// How local candidates are computed during enumeration (Algorithms 2-5).
   LocalCandidateMethod lc_method = LocalCandidateMethod::kIntersect;
+  /// Which query edges the auxiliary structure materializes (tree edges
+  /// only, as the classic algorithms build it, or all edges — the §5.2
+  /// optimization).
   AuxEdgeScope aux_scope = AuxEdgeScope::kAllEdges;
+  /// Failing-set pruning (DP-iso's optimization, applicable everywhere).
   bool use_failing_sets = false;
+  /// DP-iso's run-time adaptive ordering (weight-array selection).
   bool adaptive_order = false;
+  /// VF2++'s extra look-ahead feasibility rules.
   bool vf2pp_lookahead = false;
   /// Move degree-one query vertices to the end of the matching order —
   /// DP-iso's leaf decomposition (its ordering "prioritizes the remaining
@@ -79,6 +93,13 @@ struct MatchOptions {
   /// profile, only the cheap aggregate counters MatchResult always carries.
   /// The collector must outlive the call; it is not owned.
   obs::Collector* collector = nullptr;
+  /// Optional cooperative cancellation: a set flag aborts the search like a
+  /// timeout without marking the run timed out. The serial engine checks it
+  /// every 1024 recursion calls; the parallel engine checks it between work
+  /// items and on every delivered match. Must outlive the call; may be null.
+  /// This is how MatchService (service/service.h) cancels in-flight
+  /// requests.
+  const std::atomic<bool>* cancel_flag = nullptr;
   /// Testing hook: silently drop the last root candidate before
   /// enumeration — an emulated off-by-one loop bound in the enumerator.
   /// Exists so the differential fuzzer's detection and minimization paths

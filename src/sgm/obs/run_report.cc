@@ -201,6 +201,14 @@ Json RunReport::ToJson() const {
   }
   parallel.Set("workers", std::move(workers_json));
   root.Set("parallel", std::move(parallel));
+
+  Json service = Json::Object();
+  service.Set("served", Json::Bool(served));
+  service.Set("plan_cache_hit", Json::Bool(plan_cache_hit));
+  service.Set("queue_ms", Json::Number(queue_ms));
+  service.Set("queue_depth", Json::Number(uint64_t{queue_depth}));
+  service.Set("request_status", Json::String(request_status));
+  root.Set("service", std::move(service));
   return root;
 }
 
@@ -320,6 +328,14 @@ RunReport RunReport::FromJson(const Json& json) {
         report.workers.push_back(worker);
       }
     }
+  }
+  if (const Json* service = json.Get("service"); service != nullptr) {
+    report.served = service->GetBool("served");
+    report.plan_cache_hit = service->GetBool("plan_cache_hit");
+    report.queue_ms = service->GetDouble("queue_ms");
+    report.queue_depth =
+        static_cast<uint32_t>(service->GetUint64("queue_depth"));
+    report.request_status = service->GetString("request_status", "none");
   }
   return report;
 }

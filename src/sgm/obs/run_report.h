@@ -36,7 +36,8 @@ struct RunReportWorker {
 /// The structured record of one matching run. See file comment.
 struct RunReport {
   /// Bumped on any change to the JSON shape.
-  static constexpr uint64_t kSchemaVersion = 1;
+  /// v2: added the always-emitted "service" section.
+  static constexpr uint64_t kSchemaVersion = 2;
 
   /// "serial" or "parallel".
   std::string engine = "serial";
@@ -101,6 +102,18 @@ struct RunReport {
   uint64_t subtasks_published = 0;
   double load_imbalance = 1.0;
   std::vector<RunReportWorker> workers;
+
+  // ---- Service execution (degenerate for direct runs). ----
+  /// True when the run was answered by a MatchService; the fields below are
+  /// meaningful only then (service::BuildServedRunReport fills them).
+  bool served = false;
+  bool plan_cache_hit = false;
+  /// Time the request waited in the admission queue.
+  double queue_ms = 0.0;
+  /// Queue depth observed when the request was admitted.
+  uint32_t queue_depth = 0;
+  /// "none" (direct run), else "ok", "timeout", "cancelled" or "rejected".
+  std::string request_status = "none";
 
   /// Serializes to the stable JSON schema (every key always present).
   Json ToJson() const;

@@ -13,6 +13,7 @@
 #include "sgm/obs/phase_timer.h"
 #include "sgm/parallel/task_pool.h"
 #include "sgm/parallel/work_queue.h"
+#include "sgm/plan.h"
 #include "sgm/util/timer.h"
 
 namespace sgm {
@@ -56,76 +57,32 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
   if (trace != nullptr) trace->SetThreadName(0, "pipeline");
   const bool profile_enabled = options.collector != nullptr &&
                                options.collector->depth_profile_enabled();
-  obs::PhaseTimer phase_timer(trace);
 
-  // ---- Shared preprocessing (identical to MatchQuery). ----
-  phase_timer.Begin(obs::kPhaseFilter);
-  FilterResult filtered =
-      RunFilter(options.filter, query, data, options.filter_options);
-  result.filter_ms = phase_timer.End();
-  result.average_candidates = filtered.candidates.AverageCount();
-  result.candidate_memory_bytes = filtered.candidates.MemoryBytes();
-  result.filter_rounds = std::move(filtered.rounds);
-  if (filtered.candidates.AnyEmpty()) {
-    result.preprocessing_ms = result.filter_ms;
+  // ---- Shared preprocessing (the same build path as MatchQuery). ----
+  const auto plan_ptr = BuildMatchPlan(query, data, options);
+  const MatchPlan& plan = *plan_ptr;
+  result.filter_ms = plan.filter_ms;
+  result.aux_build_ms = plan.aux_build_ms;
+  result.order_ms = plan.order_ms;
+  result.preprocessing_ms = plan.build_ms();
+  result.average_candidates = plan.average_candidates;
+  result.candidate_memory_bytes = plan.candidate_memory_bytes;
+  result.aux_memory_bytes = plan.aux_memory_bytes;
+  result.filter_rounds = plan.filter_rounds;
+  result.matching_order = plan.matching_order;
+  if (plan.empty_candidates) {
     result.total_ms = total_timer.ElapsedMillis();
     return parallel;
   }
 
-  phase_timer.Begin(obs::kPhaseAuxBuild);
-  AuxStructure aux;
-  switch (options.aux_scope) {
-    case AuxEdgeScope::kNone:
-      break;
-    case AuxEdgeScope::kTreeEdges:
-      SGM_CHECK_MSG(filtered.bfs_tree.has_value(),
-                    "tree-edge aux scope needs a filter that builds q_t");
-      aux = AuxStructure::BuildTreeEdges(query, data, filtered.candidates,
-                                         filtered.bfs_tree->parent);
-      break;
-    case AuxEdgeScope::kAllEdges: {
-      AuxBuildOptions aux_build;
-      // Same gating as MatchQuery: sidecars only where the enumerator's
-      // bitmap-aware kernels can consume them.
-      aux_build.build_bitmaps =
-          options.lc_method == LocalCandidateMethod::kIntersect &&
-          (options.intersection == IntersectionMethod::kBitmap ||
-           options.intersection == IntersectionMethod::kAuto);
-      aux_build.bitmap_max_candidates = options.bitmap_max_candidates;
-      aux = AuxStructure::BuildAllEdges(query, data, filtered.candidates,
-                                        aux_build);
-      break;
-    }
-  }
-  result.aux_memory_bytes = aux.MemoryBytes();
-
-  result.aux_build_ms = phase_timer.Begin(obs::kPhaseOrder);
-  OrderInputs order_inputs;
-  order_inputs.candidates = &filtered.candidates;
-  order_inputs.tree =
-      filtered.bfs_tree.has_value() ? &*filtered.bfs_tree : nullptr;
-  order_inputs.aux = options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux;
-  result.matching_order = ComputeOrder(options.order, query, data,
-                                       order_inputs);
-  DpisoWeights weights;
-  if (options.adaptive_order) {
-    SGM_CHECK_MSG(options.aux_scope == AuxEdgeScope::kAllEdges,
-                  "adaptive ordering needs an all-edges aux structure");
-    weights = DpisoWeights::Build(query, filtered.candidates, aux,
-                                  result.matching_order);
-  }
-  result.order_ms = phase_timer.End();
-  result.preprocessing_ms =
-      result.filter_ms + result.aux_build_ms + result.order_ms;
-
-  const AuxStructure* aux_ptr =
-      options.aux_scope == AuxEdgeScope::kNone ? nullptr : &aux;
+  const CandidateSets& candidates = plan.candidates;
+  const AuxStructure* aux_ptr = plan.has_aux ? &plan.aux : nullptr;
   const DpisoWeights* weights_ptr =
-      options.adaptive_order ? &weights : nullptr;
+      options.adaptive_order ? &plan.weights : nullptr;
 
   // ---- Parallel enumeration. ----
   const uint32_t root_candidates =
-      filtered.candidates.Count(result.matching_order[0]);
+      candidates.Count(result.matching_order[0]);
   const uint32_t workers =
       std::max(1u, std::min(thread_count, root_candidates));
   parallel.workers_used = workers;
@@ -161,6 +118,13 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
   const MatchCallback worker_callback =
       [&](std::span<const Vertex> mapping) -> bool {
     if (stop.load(std::memory_order_relaxed)) return false;
+    if (options.cancel_flag != nullptr &&
+        options.cancel_flag->load(std::memory_order_relaxed)) {
+      // External cancellation (MatchOptions::cancel_flag) folds into the
+      // run's own stop flag so every worker drains promptly.
+      stop.store(true, std::memory_order_relaxed);
+      return false;
+    }
     if (callback) {
       std::lock_guard<std::mutex> lock(callback_mutex);
       // Re-check under the lock: a run stopped while we waited must never
@@ -216,7 +180,7 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
                         "work-item", worker + 1);
     ThreadCpuTimer cpu_timer;
     worker_enumerate[worker] = Enumerate(
-        query, data, filtered.candidates, aux_ptr, result.matching_order,
+        query, data, candidates, aux_ptr, result.matching_order,
         enumerate_options, weights_ptr, worker_callback);
     ParallelWorkerStats& ws = parallel.worker_stats[worker];
     ws.busy_ms = cpu_timer.ElapsedMillis();
@@ -236,7 +200,7 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
     if (profile_enabled) {
       worker_options.depth_profile = &worker_profiles[worker];
     }
-    EnumerationEngine engine(query, data, filtered.candidates, aux_ptr,
+    EnumerationEngine engine(query, data, candidates, aux_ptr,
                              result.matching_order, worker_options, weights_ptr,
                              worker_callback);
     if (parallel_options.subtree_stealing) {
@@ -252,6 +216,11 @@ ParallelMatchResult ParallelMatchQuery(const Graph& query, const Graph& data,
     parallel::WorkItem item;
     ThreadCpuTimer cpu_timer;
     while (!stop.load(std::memory_order_relaxed) && pool.NextWork(&item)) {
+      if (options.cancel_flag != nullptr &&
+          options.cancel_flag->load(std::memory_order_relaxed)) {
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
       const bool is_chunk = item.kind == parallel::WorkItem::Kind::kRootChunk;
       std::string span_name;
       if (trace != nullptr) {

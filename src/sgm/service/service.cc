@@ -1,0 +1,282 @@
+#include "sgm/service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sgm/graph/graph_utils.h"
+#include "sgm/plan.h"
+
+namespace sgm::service {
+
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kTimedOut:
+      return "timeout";
+    case RequestStatus::kCancelled:
+      return "cancelled";
+    case RequestStatus::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+MatchService::MatchService(Graph data, const ServiceOptions& options)
+    : options_(options),
+      data_(std::move(data)),
+      plan_cache_(PlanCacheOptions{options.plan_cache_budget_bytes}),
+      epoch_(std::chrono::steady_clock::now()) {
+  uint32_t workers = options_.worker_count;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MatchService::~MatchService() { Shutdown(); }
+
+double MatchService::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::future<MatchResponse> MatchService::Submit(MatchRequest request) {
+  std::promise<MatchResponse> promise;
+  std::future<MatchResponse> future = promise.get_future();
+
+  // Admission-time validation: reject malformed queries before they cost a
+  // queue slot, with a reason a caller can act on.
+  std::string reject_reason;
+  if (request.query.vertex_count() < 1 ||
+      request.query.vertex_count() > kMaxQueryVertices) {
+    reject_reason = "query size out of supported range [1, 64]";
+  } else if (!IsConnected(request.query)) {
+    reject_reason = "query graph must be connected";
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++submitted_;
+    if (reject_reason.empty() && shutdown_) {
+      reject_reason = "service is shut down";
+    }
+    if (reject_reason.empty() && options_.max_queue_depth > 0 &&
+        queue_.size() >= options_.max_queue_depth) {
+      reject_reason = "admission queue full";
+    }
+    if (!reject_reason.empty()) {
+      ++rejected_;
+    } else {
+      Pending pending;
+      pending.depth_at_admission = static_cast<uint32_t>(queue_.size());
+      pending.submit_time_ms = NowMs();
+      pending.request = std::move(request);
+      pending.promise = std::move(promise);
+      queue_.push_back(std::move(pending));
+      max_queue_depth_seen_ = std::max(
+          max_queue_depth_seen_, static_cast<uint32_t>(queue_.size()));
+      lock.unlock();
+      work_available_.notify_one();
+      return future;
+    }
+  }
+
+  MatchResponse response;
+  response.status = RequestStatus::kRejected;
+  response.error = reject_reason;
+  promise.set_value(std::move(response));
+  return future;
+}
+
+MatchResponse MatchService::Match(MatchRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void MatchService::WorkerLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Execute(std::move(pending));
+  }
+}
+
+void MatchService::Execute(Pending pending) {
+  const double queue_ms = NowMs() - pending.submit_time_ms;
+
+  // Every executing request holds a service-side token (the caller's when
+  // provided), so Shutdown can cancel work it no longer wants.
+  std::shared_ptr<std::atomic<bool>> token = pending.request.cancel;
+  if (token == nullptr) token = std::make_shared<std::atomic<bool>>(false);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) token->store(true, std::memory_order_relaxed);
+    inflight_tokens_.push_back(token);
+  }
+
+  MatchResponse response = Run(pending.request, queue_ms, token.get());
+  response.queue_ms = queue_ms;
+  response.queue_depth_at_admission = pending.depth_at_admission;
+  response.service_ms = NowMs() - pending.submit_time_ms;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_tokens_.erase(
+        std::find(inflight_tokens_.begin(), inflight_tokens_.end(), token));
+    switch (response.status) {
+      case RequestStatus::kOk:
+        ++completed_;
+        break;
+      case RequestStatus::kTimedOut:
+        ++timed_out_;
+        break;
+      case RequestStatus::kCancelled:
+        ++cancelled_;
+        break;
+      case RequestStatus::kRejected:
+        ++rejected_;
+        break;
+    }
+    total_matches_ += response.engine.match_count;
+    total_queue_ms_ += queue_ms;
+    total_execute_ms_ += response.service_ms - queue_ms;
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+MatchResponse MatchService::Run(const MatchRequest& request, double queue_ms,
+                                const std::atomic<bool>* cancel_token) {
+  MatchResponse response;
+  if (cancel_token->load(std::memory_order_relaxed)) {
+    response.status = RequestStatus::kCancelled;
+    return response;
+  }
+
+  double deadline_ms = request.deadline_ms > 0.0
+                           ? request.deadline_ms
+                           : options_.default_deadline_ms;
+  if (deadline_ms > 0.0 && queue_ms >= deadline_ms) {
+    // Expired while queued: the exit-3-style overload path — the request
+    // never executes, so overload costs only a dequeue per casualty.
+    response.status = RequestStatus::kTimedOut;
+    return response;
+  }
+
+  MatchOptions options = request.options;
+  options.collector = nullptr;  // per-request collectors are not supported
+  options.cancel_flag = cancel_token;
+  if (deadline_ms > 0.0) {
+    options.time_limit_ms =
+        std::min(options.time_limit_ms, deadline_ms - queue_ms);
+  }
+
+  // Plan: cache when enabled, build-and-discard otherwise. The cache key is
+  // computed from the effective options, whose run-only knobs the encoding
+  // ignores.
+  std::shared_ptr<const MatchPlan> plan;
+  const bool cache_enabled = plan_cache_.memory_budget_bytes() > 0;
+  std::string key;
+  if (cache_enabled) {
+    key = PlanCache::MakeKey(request.query, options);
+    plan = plan_cache_.Lookup(key);
+    response.plan_cache_hit = plan != nullptr;
+  }
+  if (plan == nullptr) {
+    auto built = BuildMatchPlan(request.query, data_, options);
+    plan = cache_enabled ? plan_cache_.Insert(key, std::move(built))
+                         : std::shared_ptr<const MatchPlan>(std::move(built));
+  }
+
+  MatchCallback callback;
+  if (request.collect_embeddings) {
+    callback = [&response](std::span<const Vertex> mapping) {
+      response.embeddings.emplace_back(mapping.begin(), mapping.end());
+      return true;
+    };
+  }
+
+  // A cache hit did no preprocessing, so its result reports none.
+  response.engine =
+      ExecutePlan(request.query, data_, *plan, options, callback,
+                  /*include_build_metrics=*/!response.plan_cache_hit);
+
+  if (cancel_token->load(std::memory_order_relaxed)) {
+    response.status = RequestStatus::kCancelled;
+  } else if (response.engine.enumerate.timed_out) {
+    response.status = RequestStatus::kTimedOut;
+  }
+  return response;
+}
+
+ServiceStats MatchService::Stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.submitted = submitted_;
+    stats.completed = completed_;
+    stats.timed_out = timed_out_;
+    stats.cancelled = cancelled_;
+    stats.rejected = rejected_;
+    stats.total_matches = total_matches_;
+    stats.total_queue_ms = total_queue_ms_;
+    stats.total_execute_ms = total_execute_ms_;
+    stats.queue_depth = static_cast<uint32_t>(queue_.size());
+    stats.max_queue_depth = max_queue_depth_seen_;
+  }
+  stats.plan_cache = plan_cache_.Stats();
+  return stats;
+}
+
+void MatchService::Shutdown() {
+  std::deque<Pending> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ && queue_.empty() && workers_.empty()) return;
+    shutdown_ = true;
+    for (const auto& token : inflight_tokens_) {
+      token->store(true, std::memory_order_relaxed);
+    }
+    drained.swap(queue_);
+    cancelled_ += drained.size();
+  }
+  work_available_.notify_all();
+  for (Pending& pending : drained) {
+    MatchResponse response;
+    response.status = RequestStatus::kCancelled;
+    response.error = "service shut down before execution";
+    response.queue_depth_at_admission = pending.depth_at_admission;
+    response.queue_ms = NowMs() - pending.submit_time_ms;
+    response.service_ms = response.queue_ms;
+    pending.promise.set_value(std::move(response));
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+obs::RunReport BuildServedRunReport(const Graph& query, const Graph& data,
+                                    const MatchRequest& request,
+                                    const MatchResponse& response) {
+  obs::RunReport report =
+      obs::BuildRunReport(query, data, request.options, response.engine);
+  report.served = true;
+  report.plan_cache_hit = response.plan_cache_hit;
+  report.queue_ms = response.queue_ms;
+  report.queue_depth = response.queue_depth_at_admission;
+  report.request_status = RequestStatusName(response.status);
+  return report;
+}
+
+}  // namespace sgm::service

@@ -1,0 +1,227 @@
+// MatchService: an embeddable serving layer that owns one data graph and
+// shared infrastructure (plan cache, worker pool, admission queue) and
+// answers concurrent subgraph-match requests against it.
+//
+// Request lifecycle (docs/ARCHITECTURE.md draws the full picture):
+//
+//   Submit(request)
+//     └─ admission: queue-depth check → FIFO queue (kRejected on overload)
+//         └─ worker: deadline check (kTimedOut if it expired while queued)
+//             └─ plan cache: exact-key lookup → hit: reuse plan
+//                                             → miss: BuildMatchPlan + insert
+//                 └─ ExecutePlan (serial engine, per-request cancel flag,
+//                    remaining-deadline time limit)
+//                     └─ MatchResponse through the Submit() future
+//
+// Concurrency model: the service owns `worker_count` threads; each request
+// executes serially on exactly one of them, so K in-flight requests share
+// the workers without oversubscribing cores — the same threads-as-budget
+// discipline as parallel::TaskPool, applied across requests instead of
+// across root candidates of one query. For single-query latency on an idle
+// service, ParallelMatchQuery (which fans one query out over a TaskPool)
+// remains the right tool; the service optimizes aggregate throughput.
+//
+// Cancellation is cooperative and uses MatchOptions::cancel_flag: the
+// serial engine checks the request's token every 1024 recursion calls.
+// Deadlines cover the whole lifecycle — time spent queued counts against
+// the deadline, and a request whose deadline expires before a worker picks
+// it up completes as kTimedOut without running (graceful overload: the
+// queue drains at the speed of the workers, and everything past its
+// deadline costs only a dequeue).
+#ifndef SGM_SERVICE_SERVICE_H_
+#define SGM_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sgm/graph/graph.h"
+#include "sgm/matcher.h"
+#include "sgm/obs/run_report.h"
+#include "sgm/service/plan_cache.h"
+
+namespace sgm::service {
+
+/// Terminal state of a served request. Mirrors the sgm_match exit-code
+/// convention: kOk ↔ 0, kTimedOut ↔ 3; kRejected covers both admission
+/// overload and invalid queries (the response's `error` says which).
+enum class RequestStatus : uint8_t {
+  kOk = 0,
+  kTimedOut = 1,
+  kCancelled = 2,
+  kRejected = 3,
+};
+
+/// Short name: "ok", "timeout", "cancelled", "rejected".
+const char* RequestStatusName(RequestStatus status);
+
+/// One match request against the service's data graph.
+struct MatchRequest {
+  /// The query graph (copied into the request; connected, 1..64 vertices).
+  Graph query;
+  /// Structural options select the plan (and thus the cache key); per-run
+  /// knobs (max_matches, time_limit_ms) bound this request's execution.
+  /// options.collector and options.cancel_flag are ignored — use `cancel`
+  /// below; per-request collectors are not supported.
+  MatchOptions options;
+  /// Whole-lifecycle deadline in milliseconds, measured from Submit();
+  /// queueing time counts. 0 = no deadline (options.time_limit_ms still
+  /// bounds the enumeration). Expired-in-queue requests finish kTimedOut
+  /// without executing.
+  double deadline_ms = 0.0;
+  /// Optional cancellation token. Set it (from any thread) to abort the
+  /// request: queued requests complete kCancelled without running, an
+  /// executing request stops within ~1024 recursion calls. Null = not
+  /// cancellable by the caller (the service still cancels on Shutdown).
+  std::shared_ptr<std::atomic<bool>> cancel;
+  /// When true, the response carries the embeddings (element i of a match
+  /// is the data vertex mapped to query vertex i). Mind max_matches.
+  bool collect_embeddings = false;
+};
+
+/// The service's answer to one MatchRequest.
+struct MatchResponse {
+  RequestStatus status = RequestStatus::kOk;
+  /// Human-readable detail for kRejected (overload vs invalid query).
+  std::string error;
+  /// The engine-level result. On a plan-cache hit the preprocessing times
+  /// are zero — this run did no preprocessing. Partial on kTimedOut or
+  /// kCancelled (matches found before the stop are counted), default-
+  /// constructed on kRejected.
+  MatchResult engine;
+  /// True when the plan came out of the cache.
+  bool plan_cache_hit = false;
+  /// Time spent in the admission queue before a worker picked the request
+  /// up, and total time from Submit() to completion.
+  double queue_ms = 0.0;
+  double service_ms = 0.0;
+  /// Number of requests already waiting when this one was enqueued.
+  uint32_t queue_depth_at_admission = 0;
+  /// Embeddings, iff MatchRequest::collect_embeddings.
+  std::vector<std::vector<Vertex>> embeddings;
+};
+
+/// Configuration of a MatchService.
+struct ServiceOptions {
+  /// Worker threads executing requests. 0 = hardware concurrency.
+  uint32_t worker_count = 0;
+  /// Plan cache memory budget; 0 disables the cache (every request builds
+  /// its plan from scratch — the baseline sgm_serve --no-cache measures).
+  size_t plan_cache_budget_bytes = 256ull << 20;
+  /// Admission bound: a Submit() finding this many requests already queued
+  /// completes kRejected immediately. 0 = unbounded queue.
+  uint32_t max_queue_depth = 0;
+  /// Applied to requests that carry no deadline of their own. 0 = none.
+  double default_deadline_ms = 0.0;
+};
+
+/// Aggregate service counters, point-in-time.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;  ///< finished kOk
+  uint64_t timed_out = 0;
+  uint64_t cancelled = 0;
+  uint64_t rejected = 0;
+  uint64_t total_matches = 0;
+  double total_queue_ms = 0.0;
+  double total_execute_ms = 0.0;
+  /// Requests waiting right now / high-water mark since construction.
+  uint32_t queue_depth = 0;
+  uint32_t max_queue_depth = 0;
+  PlanCacheStats plan_cache;
+};
+
+/// See file comment. All public methods are thread-safe.
+class MatchService {
+ public:
+  /// Takes ownership of the data graph; workers start immediately.
+  explicit MatchService(Graph data, const ServiceOptions& options = {});
+  /// Cancels in-flight requests, fails queued ones and joins the workers.
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  const Graph& data() const { return data_; }
+  uint32_t worker_count() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Enqueues a request. The future resolves when the request reaches a
+  /// terminal status — including kRejected (admission) and kTimedOut
+  /// (expired while queued); Submit itself never blocks on matching work.
+  std::future<MatchResponse> Submit(MatchRequest request);
+
+  /// Synchronous convenience: Submit + wait.
+  MatchResponse Match(MatchRequest request);
+
+  ServiceStats Stats() const;
+
+  /// Stops accepting work, cancels executing requests (their futures
+  /// resolve kCancelled), fails queued requests and joins the workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  struct Pending {
+    MatchRequest request;
+    std::promise<MatchResponse> promise;
+    /// Set at Submit; queue_ms and service_ms derive from it.
+    double submit_time_ms = 0.0;
+    uint32_t depth_at_admission = 0;
+  };
+
+  void WorkerLoop();
+  /// Executes one dequeued request end to end and fulfills its promise.
+  void Execute(Pending pending);
+  MatchResponse Run(const MatchRequest& request, double queue_ms,
+                    const std::atomic<bool>* cancel_token);
+
+  /// Monotonic milliseconds since service construction.
+  double NowMs() const;
+
+  const ServiceOptions options_;
+  const Graph data_;
+  PlanCache plan_cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  /// Tokens of requests currently executing, for Shutdown cancellation.
+  /// Each executing request holds a service-side token even when the
+  /// caller provided none.
+  std::vector<std::shared_ptr<std::atomic<bool>>> inflight_tokens_;
+
+  // Counters (guarded by mutex_).
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t timed_out_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t total_matches_ = 0;
+  double total_queue_ms_ = 0.0;
+  double total_execute_ms_ = 0.0;
+  uint32_t max_queue_depth_seen_ = 0;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::thread> workers_;
+};
+
+/// Builds the standard run report of a served request: the engine section
+/// comes from obs::BuildRunReport over the request's options and the
+/// response's engine result; the service section (served, plan_cache_hit,
+/// queue_ms, queue_depth, request_status) is filled from the response.
+obs::RunReport BuildServedRunReport(const Graph& query, const Graph& data,
+                                    const MatchRequest& request,
+                                    const MatchResponse& response);
+
+}  // namespace sgm::service
+
+#endif  // SGM_SERVICE_SERVICE_H_

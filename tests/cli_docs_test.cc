@@ -1,0 +1,195 @@
+// Drift test between the command-line tools and docs/CLI.md.
+//
+// Each tool is executed with --help; the flags it advertises (lines of the
+// form "  --flag ...") are compared against the flag table of the tool's
+// section in docs/CLI.md (rows of the form "| `--flag ...` | ... |").
+// Both directions are asserted: a flag added to a tool without documenting
+// it fails, and a documented flag the tool no longer accepts fails too.
+//
+// SGM_TOOLS_DIR (the build's tool binary directory) and SGM_DOCS_DIR (the
+// source tree's docs/ directory) are injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr const char* kTools[] = {"sgm_match", "sgm_generate", "sgm_fuzz",
+                                  "sgm_serve"};
+
+bool IsFlagChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+// Extracts "--flag" from `text` starting at `pos` (which must point at the
+// leading dashes); empty if the token is not a well-formed long flag.
+std::string FlagAt(const std::string& text, size_t pos) {
+  if (text.compare(pos, 2, "--") != 0) return "";
+  size_t end = pos + 2;
+  while (end < text.size() && IsFlagChar(text[end])) ++end;
+  if (end == pos + 2) return "";  // bare "--"
+  return text.substr(pos, end - pos);
+}
+
+// Runs `<tools dir>/<tool> --help` and returns its combined output.
+// Fails the current test if the tool cannot be executed or exits nonzero.
+std::string RunHelp(const std::string& tool) {
+  const std::string command =
+      std::string(SGM_TOOLS_DIR) + "/" + tool + " --help 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << command;
+    return "";
+  }
+  std::string output;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  EXPECT_EQ(status, 0) << tool << " --help exited with status " << status
+                       << "\noutput:\n"
+                       << output;
+  return output;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+// Flags a tool advertises: the first token of every help line that starts
+// (after indentation) with "--". Prose mentions of other flags inside
+// descriptions are deliberately not counted.
+std::set<std::string> HelpFlags(const std::string& help_text) {
+  std::set<std::string> flags;
+  for (const std::string& line : SplitLines(help_text)) {
+    const size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    const std::string flag = FlagAt(line, start);
+    if (!flag.empty()) flags.insert(flag);
+  }
+  return flags;
+}
+
+// Splits docs/CLI.md into per-tool sections keyed by the "## <tool>"
+// heading text.
+std::map<std::string, std::string> DocsSections(const std::string& text) {
+  std::map<std::string, std::string> sections;
+  std::string current;
+  for (const std::string& line : SplitLines(text)) {
+    if (line.rfind("## ", 0) == 0) {
+      current = line.substr(3);
+      while (!current.empty() && current.back() == ' ') current.pop_back();
+      continue;
+    }
+    if (!current.empty()) {
+      sections[current] += line;
+      sections[current] += '\n';
+    }
+  }
+  return sections;
+}
+
+// Flags a docs section documents: table rows whose first backticked cell
+// starts with "--". Exit-code tables and prose cross-references don't
+// match this shape, so they never leak into the set.
+std::set<std::string> DocsFlags(const std::string& section) {
+  std::set<std::string> flags;
+  for (const std::string& line : SplitLines(section)) {
+    const size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos || line[start] != '|') continue;
+    const size_t tick = line.find('`', start);
+    if (tick == std::string::npos) continue;
+    const std::string flag = FlagAt(line, tick + 1);
+    if (!flag.empty()) flags.insert(flag);
+  }
+  return flags;
+}
+
+std::string ReadCliDocs() {
+  const std::string path = std::string(SGM_DOCS_DIR) + "/CLI.md";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string Join(const std::set<std::string>& flags) {
+  std::string joined;
+  for (const std::string& flag : flags) {
+    if (!joined.empty()) joined += ", ";
+    joined += flag;
+  }
+  return joined.empty() ? "(none)" : joined;
+}
+
+TEST(CliDocsTest, EveryToolHasADocsSection) {
+  const auto sections = DocsSections(ReadCliDocs());
+  for (const char* tool : kTools) {
+    EXPECT_TRUE(sections.count(tool))
+        << "docs/CLI.md has no '## " << tool << "' section";
+  }
+}
+
+TEST(CliDocsTest, HelpAndDocsAgreeOnEveryFlag) {
+  const auto sections = DocsSections(ReadCliDocs());
+  for (const char* tool : kTools) {
+    SCOPED_TRACE(tool);
+    const auto it = sections.find(tool);
+    if (it == sections.end()) {
+      ADD_FAILURE() << "missing docs section";
+      continue;
+    }
+    const std::string help = RunHelp(tool);
+    const std::set<std::string> from_help = HelpFlags(help);
+    const std::set<std::string> from_docs = DocsFlags(it->second);
+    ASSERT_FALSE(from_help.empty()) << "no flags parsed from --help:\n"
+                                    << help;
+    ASSERT_FALSE(from_docs.empty()) << "no flag table parsed from docs";
+
+    std::set<std::string> undocumented, stale;
+    for (const std::string& flag : from_help) {
+      if (!from_docs.count(flag)) undocumented.insert(flag);
+    }
+    for (const std::string& flag : from_docs) {
+      if (!from_help.count(flag)) stale.insert(flag);
+    }
+    EXPECT_TRUE(undocumented.empty())
+        << "flags in --help but missing from docs/CLI.md: "
+        << Join(undocumented);
+    EXPECT_TRUE(stale.empty())
+        << "flags documented in docs/CLI.md but absent from --help: "
+        << Join(stale);
+  }
+}
+
+// The exit-code contract is part of the documented interface: each tool
+// section must carry an exit-code table mentioning code 0 and code 2
+// (usage error), the two codes every tool shares.
+TEST(CliDocsTest, EveryToolDocumentsExitCodes) {
+  const auto sections = DocsSections(ReadCliDocs());
+  for (const char* tool : kTools) {
+    SCOPED_TRACE(tool);
+    const auto it = sections.find(tool);
+    if (it == sections.end()) {
+      ADD_FAILURE() << "missing docs section";
+      continue;
+    }
+    EXPECT_NE(it->second.find("Exit codes"), std::string::npos)
+        << "no 'Exit codes' table in the " << tool << " section";
+  }
+}
+
+}  // namespace

@@ -1,0 +1,483 @@
+// Tests of the serving layer: plan-cache correctness (LRU, memory budget,
+// differential cache-on/off results), request lifecycle (deadlines,
+// cancellation, admission control) and concurrent submission.
+#include "sgm/service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sgm/graph/generators.h"
+#include "sgm/graph/query_generator.h"
+#include "sgm/matcher.h"
+#include "sgm/plan.h"
+#include "sgm/service/plan_cache.h"
+#include "sgm/util/prng.h"
+#include "test_support.h"
+
+namespace sgm {
+namespace {
+
+using ::sgm::testing::kLabelA;
+using ::sgm::testing::kLabelB;
+using ::sgm::testing::MakeGraph;
+using ::sgm::testing::PaperData;
+using ::sgm::testing::PaperQuery;
+
+service::MatchRequest PaperRequest() {
+  service::MatchRequest request;
+  request.query = PaperQuery();
+  return request;
+}
+
+// Unlabeled complete graph: enumerating all embeddings of a path query in
+// it is combinatorially huge, so such a request reliably occupies a worker
+// until cancelled (the engine checks the cancel flag every 1024 calls).
+Graph CompleteGraph(uint32_t n) {
+  GraphBuilder builder;
+  for (uint32_t v = 0; v < n; ++v) builder.AddVertex(kLabelA);
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph PathQuery(uint32_t k) {
+  GraphBuilder builder;
+  for (uint32_t v = 0; v < k; ++v) builder.AddVertex(kLabelA);
+  for (uint32_t v = 0; v + 1 < k; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+// A request that cannot finish in test time: every path-6 embedding in K32
+// (~6.5e8 of them), unbounded budget. Stopped only by its cancel token.
+service::MatchRequest BlockerRequest(
+    std::shared_ptr<std::atomic<bool>> token) {
+  service::MatchRequest request;
+  request.query = PathQuery(6);
+  request.options.max_matches = 0;
+  request.cancel = std::move(token);
+  return request;
+}
+
+// Polls until the admission queue is empty (every queued request has been
+// claimed by a worker) or the deadline passes.
+void WaitForEmptyQueue(const service::MatchService& service) {
+  for (int i = 0; i < 2000; ++i) {
+    if (service.Stats().queue_depth == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ---------------------------------------------------------------- PlanCache
+
+TEST(PlanCacheTest, QueryEncodingDistinguishesLabelsAndEdges) {
+  const Graph path = MakeGraph({kLabelA, kLabelB, kLabelA},
+                               {{0, 1}, {1, 2}});
+  const Graph triangle = MakeGraph({kLabelA, kLabelB, kLabelA},
+                                   {{0, 1}, {1, 2}, {0, 2}});
+  const Graph relabeled = MakeGraph({kLabelB, kLabelA, kLabelA},
+                                    {{0, 1}, {1, 2}});
+  EXPECT_NE(service::PlanCache::EncodeQuery(path),
+            service::PlanCache::EncodeQuery(triangle));
+  EXPECT_NE(service::PlanCache::EncodeQuery(path),
+            service::PlanCache::EncodeQuery(relabeled));
+  EXPECT_EQ(service::PlanCache::EncodeQuery(path),
+            service::PlanCache::EncodeQuery(
+                MakeGraph({kLabelA, kLabelB, kLabelA}, {{0, 1}, {1, 2}})));
+}
+
+TEST(PlanCacheTest, OptionsEncodingCoversPlanShapingKnobs) {
+  const MatchOptions base = MatchOptions::Optimized(Algorithm::kGraphQL);
+  MatchOptions other = base;
+  other.filter = FilterMethod::kCFL;
+  EXPECT_NE(service::PlanCache::EncodeOptions(base),
+            service::PlanCache::EncodeOptions(other));
+  other = base;
+  other.use_failing_sets = !base.use_failing_sets;
+  EXPECT_NE(service::PlanCache::EncodeOptions(base),
+            service::PlanCache::EncodeOptions(other));
+  // Per-run knobs must NOT change the key: one plan serves them all.
+  other = base;
+  other.max_matches = 7;
+  other.time_limit_ms = 1.0;
+  other.use_lc_cache = !base.use_lc_cache;
+  EXPECT_EQ(service::PlanCache::EncodeOptions(base),
+            service::PlanCache::EncodeOptions(other));
+}
+
+TEST(PlanCacheTest, HitMissAndLruEviction) {
+  const Graph data = PaperData();
+  const Graph query = PaperQuery();
+  const MatchOptions options;
+
+  service::PlanCacheOptions cache_options;
+  cache_options.memory_budget_bytes = 1ull << 30;
+  service::PlanCache cache(cache_options);
+
+  const std::string key = service::PlanCache::MakeKey(query, options);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  auto plan = BuildMatchPlan(query, data, options);
+  const auto shared = cache.Insert(key, std::move(plan));
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(cache.Lookup(key), shared);
+
+  const service::PlanCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedUnderMemoryPressure) {
+  const Graph data = PaperData();
+  const MatchOptions options;
+
+  // Three distinct queries -> three distinct keys (and plans of different
+  // sizes, so the budget is derived from the measured sizes: one byte too
+  // small for all three together, forcing exactly one eviction).
+  const Graph q1 = PaperQuery();
+  const Graph q2 = MakeGraph({kLabelA, kLabelB}, {{0, 1}});
+  const Graph q3 = MakeGraph({kLabelB, kLabelA, kLabelB},
+                             {{0, 1}, {1, 2}});
+  const size_t total_bytes = BuildMatchPlan(q1, data, options)->MemoryBytes() +
+                             BuildMatchPlan(q2, data, options)->MemoryBytes() +
+                             BuildMatchPlan(q3, data, options)->MemoryBytes();
+  service::PlanCacheOptions cache_options;
+  cache_options.memory_budget_bytes = total_bytes - 1;
+  service::PlanCache cache(cache_options);
+  const std::string k1 = service::PlanCache::MakeKey(q1, options);
+  const std::string k2 = service::PlanCache::MakeKey(q2, options);
+  const std::string k3 = service::PlanCache::MakeKey(q3, options);
+
+  cache.Insert(k1, BuildMatchPlan(q1, data, options));
+  cache.Insert(k2, BuildMatchPlan(q2, data, options));
+  // Touch k1 so k2 becomes the LRU victim.
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  cache.Insert(k3, BuildMatchPlan(q3, data, options));
+
+  EXPECT_GE(cache.Stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  EXPECT_EQ(cache.Lookup(k2), nullptr);  // evicted
+  EXPECT_LE(cache.Stats().memory_bytes, cache_options.memory_budget_bytes);
+}
+
+TEST(PlanCacheTest, OversizedPlanIsReturnedButNotRetained) {
+  const Graph data = PaperData();
+  const Graph query = PaperQuery();
+  const MatchOptions options;
+  service::PlanCacheOptions cache_options;
+  cache_options.memory_budget_bytes = 1;  // nothing fits
+  service::PlanCache cache(cache_options);
+  const std::string key = service::PlanCache::MakeKey(query, options);
+  const auto shared = cache.Insert(key, BuildMatchPlan(query, data, options));
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().rejected, 1u);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+}
+
+// ------------------------------------------------------------ MatchService
+
+TEST(MatchServiceTest, ServesThePaperExample) {
+  service::ServiceOptions options;
+  options.worker_count = 2;
+  service::MatchService service(PaperData(), options);
+
+  service::MatchRequest request = PaperRequest();
+  request.collect_embeddings = true;
+  const service::MatchResponse response = service.Match(std::move(request));
+  EXPECT_EQ(response.status, service::RequestStatus::kOk);
+  EXPECT_EQ(response.engine.match_count, 2u);
+  EXPECT_EQ(response.embeddings.size(), 2u);
+  EXPECT_FALSE(response.plan_cache_hit);
+  EXPECT_GE(response.service_ms, response.queue_ms);
+}
+
+TEST(MatchServiceTest, SecondIdenticalRequestHitsThePlanCache) {
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  service::MatchService service(PaperData(), options);
+
+  const service::MatchResponse first = service.Match(PaperRequest());
+  const service::MatchResponse second = service.Match(PaperRequest());
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(first.engine.match_count, second.engine.match_count);
+  // A cache hit did no preprocessing and reports none.
+  EXPECT_EQ(second.engine.preprocessing_ms, 0.0);
+
+  const service::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.plan_cache.hits, 1u);
+  EXPECT_EQ(stats.plan_cache.misses, 1u);
+}
+
+TEST(MatchServiceTest, CacheDisabledNeverHits) {
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  options.plan_cache_budget_bytes = 0;
+  service::MatchService service(PaperData(), options);
+  service.Match(PaperRequest());
+  const service::MatchResponse second = service.Match(PaperRequest());
+  EXPECT_FALSE(second.plan_cache_hit);
+  EXPECT_EQ(second.engine.match_count, 2u);
+  EXPECT_EQ(service.Stats().plan_cache.hits, 0u);
+}
+
+// The acceptance-criterion differential: cache-enabled and cache-disabled
+// services must return identical match counts for every algorithm preset
+// on a nontrivial generated workload.
+TEST(MatchServiceTest, CacheOnOffMatchCountsIdenticalAcrossAlgorithms) {
+  Prng prng(42);
+  const Graph data = GenerateRmat(200, 600, 4, &prng);
+  std::vector<Graph> queries;
+  for (uint32_t size : {4u, 6u, 8u}) {
+    auto query = ExtractQuery(data, size, QueryDensity::kAny, &prng);
+    ASSERT_TRUE(query.has_value());
+    queries.push_back(std::move(*query));
+  }
+
+  service::ServiceOptions cached_options;
+  cached_options.worker_count = 2;
+  service::ServiceOptions uncached_options = cached_options;
+  uncached_options.plan_cache_budget_bytes = 0;
+  service::MatchService cached(data, cached_options);
+  service::MatchService uncached(data, uncached_options);
+
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const Graph& query : queries) {
+      // Twice against the cached service: the second run is a cache hit.
+      for (int round = 0; round < 2; ++round) {
+        service::MatchRequest request;
+        request.query = query;
+        request.options = MatchOptions::Optimized(algorithm);
+        const service::MatchResponse with_cache =
+            cached.Match(std::move(request));
+
+        service::MatchRequest baseline;
+        baseline.query = query;
+        baseline.options = MatchOptions::Optimized(algorithm);
+        const service::MatchResponse without_cache =
+            uncached.Match(std::move(baseline));
+
+        ASSERT_EQ(with_cache.status, service::RequestStatus::kOk);
+        ASSERT_EQ(without_cache.status, service::RequestStatus::kOk);
+        EXPECT_EQ(with_cache.engine.match_count,
+                  without_cache.engine.match_count)
+            << AlgorithmName(algorithm) << " round " << round;
+      }
+    }
+  }
+  EXPECT_GT(cached.Stats().plan_cache.hits, 0u);
+}
+
+TEST(MatchServiceTest, RejectsInvalidQueries) {
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  service::MatchService service(PaperData(), options);
+
+  service::MatchRequest disconnected;
+  disconnected.query = MakeGraph({kLabelA, kLabelA}, {});
+  const service::MatchResponse response =
+      service.Match(std::move(disconnected));
+  EXPECT_EQ(response.status, service::RequestStatus::kRejected);
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(service.Stats().rejected, 1u);
+}
+
+TEST(MatchServiceTest, ExpiredDeadlineInQueueTimesOutWithoutRunning) {
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  service::MatchService service(CompleteGraph(32), options);
+
+  // Block the single worker so the queued request ages past its deadline.
+  auto blocker_token = std::make_shared<std::atomic<bool>>(false);
+  auto blocker_future = service.Submit(BlockerRequest(blocker_token));
+
+  service::MatchRequest doomed;
+  doomed.query = PathQuery(2);
+  doomed.deadline_ms = 5.0;
+  auto doomed_future = service.Submit(std::move(doomed));
+
+  // Let the deadline expire while the blocker holds the worker, then free
+  // the worker so the doomed request gets dequeued.
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  blocker_token->store(true);
+
+  const service::MatchResponse doomed_response = doomed_future.get();
+  EXPECT_EQ(doomed_response.status, service::RequestStatus::kTimedOut);
+  // Never executed: no matches, no enumeration.
+  EXPECT_EQ(doomed_response.engine.match_count, 0u);
+  EXPECT_EQ(doomed_response.engine.enumerate.recursion_calls, 0u);
+  blocker_future.get();
+  EXPECT_GE(service.Stats().timed_out, 1u);
+}
+
+TEST(MatchServiceTest, CancellationAbortsARequest) {
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  service::MatchService service(PaperData(), options);
+
+  auto token = std::make_shared<std::atomic<bool>>(true);  // pre-cancelled
+  service::MatchRequest request = PaperRequest();
+  request.cancel = token;
+  const service::MatchResponse response = service.Match(std::move(request));
+  EXPECT_EQ(response.status, service::RequestStatus::kCancelled);
+  EXPECT_EQ(service.Stats().cancelled, 1u);
+}
+
+TEST(MatchServiceTest, CancellationStopsAnExecutingRequest) {
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  service::MatchService service(CompleteGraph(32), options);
+
+  auto token = std::make_shared<std::atomic<bool>>(false);
+  auto future = service.Submit(BlockerRequest(token));
+  WaitForEmptyQueue(service);  // the worker is now inside the enumeration
+  token->store(true);
+  const service::MatchResponse response = future.get();
+  EXPECT_EQ(response.status, service::RequestStatus::kCancelled);
+  // A cancelled run is not a timeout (MatchOptions::cancel_flag contract).
+  EXPECT_FALSE(response.engine.enumerate.timed_out);
+}
+
+TEST(MatchServiceTest, AdmissionQueueBoundRejectsOverflow) {
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  options.max_queue_depth = 1;
+  service::MatchService service(PaperData(), options);
+
+  // Hold the worker on a cancellable request, then overfill the queue.
+  auto hold = std::make_shared<std::atomic<bool>>(false);
+  service::MatchRequest holder = PaperRequest();
+  holder.cancel = hold;
+  auto holder_future = service.Submit(std::move(holder));
+
+  // Give the worker a moment to claim the holder; then one queued request
+  // is admitted and the next is rejected. Retry the admitted slot until
+  // the worker has dequeued the holder (timing-robust on 1-core machines).
+  std::vector<std::future<service::MatchResponse>> admitted;
+  bool saw_rejection = false;
+  for (int i = 0; i < 64 && !saw_rejection; ++i) {
+    auto future = service.Submit(PaperRequest());
+    if (future.wait_for(std::chrono::milliseconds(0)) ==
+        std::future_status::ready) {
+      const service::MatchResponse response = future.get();
+      if (response.status == service::RequestStatus::kRejected) {
+        saw_rejection = true;
+      }
+    } else {
+      admitted.push_back(std::move(future));
+    }
+    if (admitted.size() >= 2) break;  // queue deeper than the bound
+  }
+  EXPECT_TRUE(saw_rejection);
+  EXPECT_LE(admitted.size(), 1u);
+
+  hold->store(true);
+  holder_future.get();
+  for (auto& future : admitted) future.get();
+  EXPECT_GE(service.Stats().rejected, 1u);
+}
+
+TEST(MatchServiceTest, ShutdownFailsQueuedRequestsAndStops) {
+  auto service = std::make_unique<service::MatchService>(
+      PaperData(), service::ServiceOptions{.worker_count = 1});
+  auto hold = std::make_shared<std::atomic<bool>>(false);
+  service::MatchRequest holder = PaperRequest();
+  holder.cancel = hold;
+  auto holder_future = service->Submit(std::move(holder));
+  auto queued_future = service->Submit(PaperRequest());
+
+  service->Shutdown();
+  const service::MatchResponse holder_response = holder_future.get();
+  const service::MatchResponse queued_response = queued_future.get();
+  // The holder either finished before the shutdown flag reached it or was
+  // cancelled; the queued request must not have run.
+  EXPECT_TRUE(holder_response.status == service::RequestStatus::kOk ||
+              holder_response.status == service::RequestStatus::kCancelled);
+  EXPECT_EQ(queued_response.status, service::RequestStatus::kCancelled);
+
+  // Post-shutdown submissions are rejected.
+  const service::MatchResponse late = service->Match(PaperRequest());
+  EXPECT_EQ(late.status, service::RequestStatus::kRejected);
+}
+
+TEST(MatchServiceTest, ConcurrentMixedWorkloadAgreesWithDirectMatching) {
+  Prng prng(7);
+  const Graph data = GenerateRmat(150, 450, 3, &prng);
+  std::vector<Graph> queries;
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto query =
+        ExtractQuery(data, 4 + 2 * (i % 2), QueryDensity::kAny, &prng);
+    ASSERT_TRUE(query.has_value());
+    queries.push_back(std::move(*query));
+  }
+  std::vector<uint64_t> expected;
+  for (const Graph& query : queries) {
+    expected.push_back(MatchQuery(query, data, MatchOptions{}).match_count);
+  }
+
+  service::ServiceOptions options;
+  options.worker_count = 4;
+  service::MatchService service(data, options);
+  std::vector<std::future<service::MatchResponse>> futures;
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const Graph& query : queries) {
+      service::MatchRequest request;
+      request.query = query;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const service::MatchResponse response = futures[i].get();
+    ASSERT_EQ(response.status, service::RequestStatus::kOk);
+    EXPECT_EQ(response.engine.match_count, expected[i % queries.size()]);
+  }
+  const service::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, queries.size() * kRounds);
+  // Each distinct query builds at least once; concurrent workers may race
+  // to build the same plan in round one (incumbent wins), so the miss
+  // count is bounded by one build per worker per query, not exactly one.
+  EXPECT_GE(stats.plan_cache.misses, queries.size());
+  EXPECT_LE(stats.plan_cache.misses,
+            queries.size() * options.worker_count);
+  EXPECT_EQ(stats.plan_cache.hits + stats.plan_cache.misses,
+            queries.size() * kRounds);
+  EXPECT_GE(stats.plan_cache.hits, queries.size() * (kRounds - 4));
+}
+
+TEST(MatchServiceTest, ServedRunReportCarriesServiceSection) {
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  service::MatchService service(PaperData(), options);
+  service.Match(PaperRequest());  // warm the cache
+  service::MatchRequest request = PaperRequest();
+  const Graph query = request.query;
+  const service::MatchResponse response = service.Match(std::move(request));
+
+  const obs::RunReport report = service::BuildServedRunReport(
+      query, service.data(), PaperRequest(), response);
+  EXPECT_TRUE(report.served);
+  EXPECT_TRUE(report.plan_cache_hit);
+  EXPECT_EQ(report.request_status, "ok");
+  EXPECT_EQ(report.match_count, 2u);
+
+  // The service section round-trips through JSON.
+  const obs::RunReport parsed = obs::RunReport::FromJson(report.ToJson());
+  EXPECT_TRUE(parsed.served);
+  EXPECT_TRUE(parsed.plan_cache_hit);
+  EXPECT_EQ(parsed.request_status, "ok");
+}
+
+}  // namespace
+}  // namespace sgm

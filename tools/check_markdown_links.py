@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Checks relative markdown links (and their #anchors) in this repository.
+
+Usage: check_markdown_links.py FILE_OR_DIR...
+
+For every markdown file given (directories are searched recursively), every
+inline link `[text](target)` is validated:
+
+  * http(s)/mailto targets are skipped — this is a repo-consistency check,
+    not a network crawler;
+  * targets resolving outside the repository work tree (located via the
+    nearest `.git` above the linking file) are skipped: GitHub badge URLs
+    like `../../actions/...` address the forge, not the file tree;
+  * relative targets must exist on disk, resolved from the linking file;
+  * a `#fragment` (with or without a file part) must name a heading in the
+    target markdown file, using GitHub's slug rules (lowercase, punctuation
+    stripped, spaces to hyphens, `-1`/`-2`… suffixes for duplicates).
+
+Exit code 0 when every link resolves, 1 otherwise (each failure is printed
+as `file:line: message`), 2 on usage errors. Stdlib only.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^()\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+# GitHub keeps alphanumerics, hyphens, underscores and spaces; everything
+# else (dots, parentheses, backticks, slashes, …) is removed.
+SLUG_STRIP_RE = re.compile(r"[^0-9a-zÀ-￿ _-]")
+
+
+def slugify(heading: str) -> str:
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = SLUG_STRIP_RE.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: str) -> set:
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if not match:
+                continue
+            slug = slugify(match.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: str):
+    """Yields (line_number, target) for every inline link outside fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield number, match.group(1)
+
+
+def collect_files(arguments):
+    files = []
+    for argument in arguments:
+        if os.path.isdir(argument):
+            for root, _, names in os.walk(argument):
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.lower().endswith((".md", ".markdown"))
+                )
+        elif os.path.isfile(argument):
+            files.append(argument)
+        else:
+            print(f"error: no such file or directory: {argument}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def work_tree_root(start: str) -> str:
+    """Nearest ancestor containing .git, or the filesystem root."""
+    current = start
+    while True:
+        if os.path.exists(os.path.join(current, ".git")):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            return start
+        current = parent
+
+
+def check_file(path: str, anchor_cache: dict) -> list:
+    failures = []
+    base = os.path.dirname(os.path.abspath(path))
+    root = work_tree_root(base)
+    for line, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (os.path.normpath(os.path.join(base, file_part))
+                    if file_part else os.path.abspath(path))
+        if os.path.commonpath([resolved, root]) != root:
+            continue  # forge-web URL (e.g. a CI badge), not a tree path
+        if not os.path.exists(resolved):
+            failures.append(f"{path}:{line}: broken link: {target}"
+                            f" (no such file: {resolved})")
+            continue
+        if not fragment:
+            continue
+        if not resolved.lower().endswith((".md", ".markdown")):
+            continue  # anchors into non-markdown files are not checkable
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = heading_anchors(resolved)
+        if fragment.lower() not in anchor_cache[resolved]:
+            failures.append(f"{path}:{line}: broken anchor: {target}"
+                            f" (no heading '#{fragment}' in {resolved})")
+    return failures
+
+
+def main(arguments) -> int:
+    if not arguments:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    anchor_cache = {}
+    files = collect_files(arguments)
+    for path in files:
+        failures.extend(check_file(path, anchor_cache))
+    for failure in failures:
+        print(failure)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not failures else f'{len(failures)} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -29,6 +29,7 @@
 // Exit codes: 0 all cases agreed, 1 disagreements found (or replay failed),
 // 2 usage/IO error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -57,7 +58,36 @@ void PrintUsage() {
                "usage: sgm_fuzz [--seed S] [--budget-s T] [--cases N]"
                " [--out-dir DIR] [--inject-fault] [--no-minimize]"
                " [--verbose]\n"
-               "       sgm_fuzz --replay FILE [--verbose]\n");
+               "       sgm_fuzz --replay FILE [--verbose]\n"
+               "run 'sgm_fuzz --help' for details\n");
+}
+
+void PrintHelp() {
+  std::printf(
+      "usage: sgm_fuzz [options]\n"
+      "       sgm_fuzz --replay FILE [--verbose]\n"
+      "\n"
+      "Differential fuzzer: draws structured (data graph, query, config\n"
+      "matrix) cases from a seeded generator and cross-checks every\n"
+      "configuration — all presets, classic/optimized, failing sets, the\n"
+      "intersection kernels, serial vs parallel, direct vs served —\n"
+      "against the brute-force reference.\n"
+      "\n"
+      "options:\n"
+      "  --seed S         base seed; case i uses seed S+i (default 1)\n"
+      "  --budget-s T     wall-clock budget in seconds; 0 = use --cases\n"
+      "  --cases N        stop after N cases (default 500 when no budget)\n"
+      "  --out-dir DIR    where reproducers land (default fuzz-out)\n"
+      "  --inject-fault   plant an emulated off-by-one into the first\n"
+      "                   configuration of every case — a self-test of the\n"
+      "                   oracle + minimizer pipeline\n"
+      "  --no-minimize    write reproducers without shrinking them first\n"
+      "  --replay FILE    re-run one reproducer through the oracle and exit\n"
+      "  --verbose        per-case progress lines\n"
+      "  --help           show this message and exit\n"
+      "\n"
+      "exit codes: 0 all cases agreed, 1 disagreements found (or replay\n"
+      "            failed), 2 usage/IO error\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -73,7 +103,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       if (i + 1 < argc) return std::string(argv[++i]);
       return std::nullopt;
     };
-    if (flag == "--seed") {
+    if (flag == "--help") {
+      PrintHelp();
+      std::exit(0);
+    } else if (flag == "--seed") {
       const auto value = next();
       if (!value.has_value()) return false;
       args->seed = std::strtoull(value->c_str(), nullptr, 10);

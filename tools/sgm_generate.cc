@@ -11,6 +11,7 @@
 //   --density D       any | dense | sparse  (default any)
 //   --query-prefix P  write queries to P_<i>.graph
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -38,7 +39,36 @@ void PrintUsage() {
                "usage: sgm_generate --out g.graph --vertices N --edges M"
                " [--labels L] [--model rmat|er] [--seed S] [--queries K]"
                " [--query-size Q] [--density any|dense|sparse]"
-               " [--query-prefix P]\n");
+               " [--query-prefix P]\n"
+               "run 'sgm_generate --help' for details\n");
+}
+
+void PrintHelp() {
+  std::printf(
+      "usage: sgm_generate --out g.graph --vertices N --edges M [options]\n"
+      "\n"
+      "Generates a synthetic labeled data graph (and optionally a query\n"
+      "set extracted from it by random walk, the paper's protocol).\n"
+      "\n"
+      "required:\n"
+      "  --out FILE          output data graph path\n"
+      "  --vertices N        number of vertices\n"
+      "  --edges M           number of undirected edges\n"
+      "options:\n"
+      "  --labels L          number of distinct labels (default 16)\n"
+      "  --model NAME        rmat|er generator model (default rmat, the\n"
+      "                      paper's generator)\n"
+      "  --seed S            PRNG seed (default 1)\n"
+      "  --queries K         additionally extract K query graphs by random\n"
+      "                      walk\n"
+      "  --query-size Q      vertices per extracted query (default 8)\n"
+      "  --density D         any|dense|sparse query density class\n"
+      "                      (default any)\n"
+      "  --query-prefix P    query output path prefix; query i lands in\n"
+      "                      P_<i>.graph (default 'query')\n"
+      "  --help              show this message and exit\n"
+      "\n"
+      "exit codes: 0 ok, 1 write error, 2 usage error\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -48,7 +78,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     const char* value = nullptr;
-    if (flag == "--out" && (value = next())) {
+    if (flag == "--help") {
+      PrintHelp();
+      std::exit(0);
+    } else if (flag == "--out" && (value = next())) {
       args->out_path = value;
     } else if (flag == "--vertices" && (value = next())) {
       args->vertices = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));

@@ -26,6 +26,7 @@
 // Exit codes: 0 ok, 1 load error, 2 usage error, 3 query unsolved (killed
 // by the time limit).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -67,7 +68,48 @@ void PrintUsage() {
                " [--no-lc-cache] [--max-matches N]"
                " [--time-limit-ms N] [--threads N] [--report FILE.json]"
                " [--trace FILE.json] [--depth-profile] [--print-matches]"
-               " [--count-only]\n");
+               " [--count-only]\n"
+               "run 'sgm_match --help' for details\n");
+}
+
+void PrintHelp() {
+  std::printf(
+      "usage: sgm_match --query q.graph --data g.graph [options]\n"
+      "\n"
+      "Runs one subgraph matching query. Value flags accept both\n"
+      "'--flag VALUE' and '--flag=VALUE'.\n"
+      "\n"
+      "required:\n"
+      "  --query FILE        query graph (connected, 1..64 vertices)\n"
+      "  --data FILE         data graph\n"
+      "options:\n"
+      "  --algorithm NAME    QSI|GQL|CFL|CECI|DP|RI|2PP|GLW|ULL|VF2|WCOJ\n"
+      "                      (framework names run the optimized variant;\n"
+      "                      prefix with 'classic-' for the original,\n"
+      "                      e.g. classic-CFL; default GQL)\n"
+      "  --failing-sets      enable failing-set pruning (framework only)\n"
+      "  --intersection M    merge|galloping|hybrid|qfilter|bitmap|auto —\n"
+      "                      set-intersection kernel of the intersect-based\n"
+      "                      engines; bitmap/auto additionally build the\n"
+      "                      bitmap sidecar (framework only)\n"
+      "  --no-lc-cache       disable the per-depth local-candidate reuse\n"
+      "                      cache\n"
+      "  --max-matches N     stop after N matches (default 100000, 0 = all)\n"
+      "  --time-limit-ms N   per-query kill limit (default 300000)\n"
+      "  --threads N         parallel enumeration with N workers\n"
+      "                      (framework only)\n"
+      "  --report FILE       write the structured RunReport JSON\n"
+      "                      (framework only)\n"
+      "  --trace FILE        write a Chrome trace-event file (framework\n"
+      "                      only)\n"
+      "  --depth-profile     collect the per-depth search profile\n"
+      "                      (framework only)\n"
+      "  --print-matches     write each embedding to stdout\n"
+      "  --count-only        suppress everything except the match count\n"
+      "  --help              show this message and exit\n"
+      "\n"
+      "exit codes: 0 ok, 1 load error, 2 usage error, 3 query unsolved\n"
+      "            (killed by the time limit)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -84,7 +126,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       if (i + 1 < argc) return std::string(argv[++i]);
       return std::nullopt;
     };
-    if (flag == "--query") {
+    if (flag == "--help") {
+      PrintHelp();
+      std::exit(0);
+    } else if (flag == "--query") {
       const auto value = next();
       if (!value.has_value()) return false;
       args->query_path = *value;

@@ -1,0 +1,507 @@
+// Batch driver for the serving layer (sgm/service/service.h): loads one
+// data graph, reads a workload file of queries, and replays the workload
+// against a MatchService with configurable concurrency and repeat factor,
+// reporting throughput, latency percentiles and plan-cache effectiveness.
+//
+//   sgm_serve --data g.graph --workload queries.txt [options]
+//
+// Workload file: one entry per line. Blank lines and lines starting with
+// '#' are ignored. Each entry is either
+//   * a path to a query graph file, or
+//   * an inline generator spec "gen size=N [density=any|dense|sparse]
+//     [seed=S]" extracting a random-walk query from the data graph
+//     (deterministic per seed, so replays are reproducible).
+//
+// The full workload (entries x repeat) is submitted with at most
+// --concurrency requests in flight; the service executes them on --workers
+// threads. --compare-cache runs the workload twice — plan cache enabled
+// then disabled — verifies both passes return identical match counts, and
+// reports the throughput speedup.
+//
+// Exit codes: 0 ok, 1 load/workload error, 2 usage error, 3 cache/no-cache
+// match counts diverged under --compare-cache.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sgm/graph/graph_io.h"
+#include "sgm/graph/query_generator.h"
+#include "sgm/obs/json.h"
+#include "sgm/obs/run_report.h"
+#include "sgm/service/service.h"
+#include "sgm/util/prng.h"
+#include "sgm/util/timer.h"
+
+namespace {
+
+struct CliArgs {
+  std::string data_path;
+  std::string workload_path;
+  uint32_t workers = 4;
+  uint32_t concurrency = 8;
+  uint32_t repeat = 1;
+  size_t cache_mb = 256;
+  bool compare_cache = false;
+  uint64_t max_matches = 100000;
+  double deadline_ms = 0.0;
+  double time_limit_ms = 300000.0;
+  uint32_t max_queue = 0;
+  std::string out_path = "BENCH_service.json";
+  std::string report_path;
+  uint64_t seed = 1;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: sgm_serve --data g.graph --workload FILE"
+               " [--workers N] [--concurrency K] [--repeat R]"
+               " [--cache-mb MB] [--no-cache] [--compare-cache]"
+               " [--max-matches N] [--deadline-ms N] [--time-limit-ms N]"
+               " [--max-queue N] [--out FILE.json] [--report FILE.json]"
+               " [--seed S]\n"
+               "run 'sgm_serve --help' for details\n");
+}
+
+void PrintHelp() {
+  std::printf(
+      "usage: sgm_serve --data g.graph --workload FILE [options]\n"
+      "\n"
+      "Replays a workload of subgraph-match queries against an in-process\n"
+      "MatchService and writes a throughput/latency report.\n"
+      "\n"
+      "required:\n"
+      "  --data FILE         data graph to serve\n"
+      "  --workload FILE     workload file: one query path or inline\n"
+      "                      'gen size=N [density=D] [seed=S]' spec per\n"
+      "                      line; '#' starts a comment\n"
+      "options:\n"
+      "  --workers N         service worker threads (default 4)\n"
+      "  --concurrency K     max requests in flight (default 8)\n"
+      "  --repeat R          replay each workload entry R times (default 1)\n"
+      "  --cache-mb MB       plan cache memory budget in MiB (default 256)\n"
+      "  --no-cache          disable the plan cache (same as --cache-mb 0)\n"
+      "  --compare-cache     run cache-on and cache-off passes, verify\n"
+      "                      identical match counts, report the speedup\n"
+      "  --max-matches N     per-request match budget (default 100000)\n"
+      "  --deadline-ms N     per-request deadline incl. queueing\n"
+      "                      (default 0 = none)\n"
+      "  --time-limit-ms N   per-request enumeration limit (default 300000)\n"
+      "  --max-queue N       admission queue bound; overflow is rejected\n"
+      "                      (default 0 = unbounded)\n"
+      "  --out FILE          benchmark JSON output\n"
+      "                      (default BENCH_service.json)\n"
+      "  --report FILE       RunReport JSON of the last served request\n"
+      "  --seed S            base seed for 'gen' workload entries without\n"
+      "                      their own (default 1)\n"
+      "  --help              show this message and exit\n"
+      "\n"
+      "exit codes: 0 ok, 1 load/workload error, 2 usage error,\n"
+      "            3 match counts diverged under --compare-cache\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    std::optional<std::string> inline_value;
+    if (const size_t eq = flag.find('='); eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag.resize(eq);
+    }
+    const auto next = [&]() -> std::optional<std::string> {
+      if (inline_value.has_value()) return inline_value;
+      if (i + 1 < argc) return std::string(argv[++i]);
+      return std::nullopt;
+    };
+    std::optional<std::string> value;
+    if (flag == "--help") {
+      PrintHelp();
+      std::exit(0);
+    } else if (flag == "--data" && (value = next())) {
+      args->data_path = *value;
+    } else if (flag == "--workload" && (value = next())) {
+      args->workload_path = *value;
+    } else if (flag == "--workers" && (value = next())) {
+      args->workers =
+          static_cast<uint32_t>(std::strtoul(value->c_str(), nullptr, 10));
+    } else if (flag == "--concurrency" && (value = next())) {
+      args->concurrency =
+          static_cast<uint32_t>(std::strtoul(value->c_str(), nullptr, 10));
+    } else if (flag == "--repeat" && (value = next())) {
+      args->repeat =
+          static_cast<uint32_t>(std::strtoul(value->c_str(), nullptr, 10));
+    } else if (flag == "--cache-mb" && (value = next())) {
+      args->cache_mb = std::strtoull(value->c_str(), nullptr, 10);
+    } else if (flag == "--no-cache") {
+      args->cache_mb = 0;
+    } else if (flag == "--compare-cache") {
+      args->compare_cache = true;
+    } else if (flag == "--max-matches" && (value = next())) {
+      args->max_matches = std::strtoull(value->c_str(), nullptr, 10);
+    } else if (flag == "--deadline-ms" && (value = next())) {
+      args->deadline_ms = std::strtod(value->c_str(), nullptr);
+    } else if (flag == "--time-limit-ms" && (value = next())) {
+      args->time_limit_ms = std::strtod(value->c_str(), nullptr);
+    } else if (flag == "--max-queue" && (value = next())) {
+      args->max_queue =
+          static_cast<uint32_t>(std::strtoul(value->c_str(), nullptr, 10));
+    } else if (flag == "--out" && (value = next())) {
+      args->out_path = *value;
+    } else if (flag == "--report" && (value = next())) {
+      args->report_path = *value;
+    } else if (flag == "--seed" && (value = next())) {
+      args->seed = std::strtoull(value->c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag or missing value: %s\n",
+                   flag.c_str());
+      return false;
+    }
+  }
+  if (args->workers == 0 || args->concurrency == 0 || args->repeat == 0) {
+    std::fprintf(stderr,
+                 "--workers, --concurrency and --repeat must be positive\n");
+    return false;
+  }
+  return !args->data_path.empty() && !args->workload_path.empty();
+}
+
+/// Parses one "gen size=N [density=D] [seed=S]" workload entry and extracts
+/// the query from the data graph. Returns nullopt with a message on error.
+std::optional<sgm::Graph> QueryFromGenSpec(const std::string& line,
+                                           const sgm::Graph& data,
+                                           uint64_t default_seed,
+                                           std::string* error) {
+  uint32_t size = 0;
+  sgm::QueryDensity density = sgm::QueryDensity::kAny;
+  uint64_t seed = default_seed;
+  std::istringstream stream(line);
+  std::string token;
+  stream >> token;  // consume "gen"
+  while (stream >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      *error = "bad gen spec token '" + token + "'";
+      return std::nullopt;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "size") {
+      size = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "density") {
+      if (value == "any") {
+        density = sgm::QueryDensity::kAny;
+      } else if (value == "dense") {
+        density = sgm::QueryDensity::kDense;
+      } else if (value == "sparse") {
+        density = sgm::QueryDensity::kSparse;
+      } else {
+        *error = "bad gen density '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (key == "seed") {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      *error = "unknown gen spec key '" + key + "'";
+      return std::nullopt;
+    }
+  }
+  if (size == 0) {
+    *error = "gen spec needs size=N";
+    return std::nullopt;
+  }
+  sgm::Prng prng(seed);
+  auto query = sgm::ExtractQuery(data, size, density, &prng);
+  if (!query.has_value()) {
+    *error = "gen spec produced no query (density unsatisfiable?)";
+  }
+  return query;
+}
+
+/// Loads the workload: one query graph per (non-comment) line.
+std::optional<std::vector<sgm::Graph>> LoadWorkload(const CliArgs& args,
+                                                    const sgm::Graph& data) {
+  std::ifstream file(args.workload_path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open workload file %s\n",
+                 args.workload_path.c_str());
+    return std::nullopt;
+  }
+  std::vector<sgm::Graph> queries;
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    line = line.substr(start);
+    std::string error;
+    if (line.rfind("gen ", 0) == 0 || line == "gen") {
+      // Entry index seeds unseeded specs so two identical specs still make
+      // distinct queries.
+      auto query = QueryFromGenSpec(line, data,
+                                    args.seed + queries.size(), &error);
+      if (!query.has_value()) {
+        std::fprintf(stderr, "%s:%llu: %s\n", args.workload_path.c_str(),
+                     static_cast<unsigned long long>(line_number),
+                     error.c_str());
+        return std::nullopt;
+      }
+      queries.push_back(std::move(*query));
+    } else {
+      auto query = sgm::LoadGraphFile(line, &error);
+      if (!query.has_value()) {
+        std::fprintf(stderr, "%s:%llu: failed to load %s: %s\n",
+                     args.workload_path.c_str(),
+                     static_cast<unsigned long long>(line_number),
+                     line.c_str(), error.c_str());
+        return std::nullopt;
+      }
+      queries.push_back(std::move(*query));
+    }
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "workload file %s holds no queries\n",
+                 args.workload_path.c_str());
+    return std::nullopt;
+  }
+  return queries;
+}
+
+struct PassResult {
+  bool cache_enabled = false;
+  double wall_ms = 0.0;
+  std::vector<double> latencies_ms;  // sorted on finish
+  std::vector<uint64_t> match_counts;  // per request, submission order
+  uint64_t status_counts[4] = {0, 0, 0, 0};  // by RequestStatus value
+  sgm::service::ServiceStats stats;
+  /// Last completed response + its query index, for --report.
+  sgm::service::MatchResponse last_response;
+  size_t last_query = 0;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t low = static_cast<size_t>(rank);
+  const size_t high = std::min(low + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(low);
+  return sorted[low] * (1.0 - frac) + sorted[high] * frac;
+}
+
+/// Replays the whole workload (queries x repeat) against one fresh service
+/// with at most args.concurrency requests in flight.
+PassResult RunPass(const CliArgs& args, const sgm::Graph& data,
+                   const std::vector<sgm::Graph>& queries,
+                   bool cache_enabled) {
+  sgm::service::ServiceOptions service_options;
+  service_options.worker_count = args.workers;
+  service_options.plan_cache_budget_bytes =
+      cache_enabled ? args.cache_mb << 20 : 0;
+  service_options.max_queue_depth = args.max_queue;
+  sgm::service::MatchService service(data, service_options);
+
+  PassResult pass;
+  pass.cache_enabled = cache_enabled;
+  const size_t total = queries.size() * args.repeat;
+  pass.match_counts.assign(total, 0);
+  pass.latencies_ms.reserve(total);
+
+  struct InFlight {
+    std::future<sgm::service::MatchResponse> future;
+    size_t request_index;
+  };
+  std::deque<InFlight> in_flight;
+  const auto drain_one = [&] {
+    InFlight front = std::move(in_flight.front());
+    in_flight.pop_front();
+    sgm::service::MatchResponse response = front.future.get();
+    pass.latencies_ms.push_back(response.service_ms);
+    pass.match_counts[front.request_index] = response.engine.match_count;
+    ++pass.status_counts[static_cast<size_t>(response.status)];
+    pass.last_response = std::move(response);
+    pass.last_query = front.request_index % queries.size();
+  };
+
+  sgm::Timer wall;
+  // Interleave the entries (q0, q1, ..., q0, q1, ...) so cache hits come
+  // from genuinely repeated queries, not from back-to-back duplicates.
+  for (size_t request = 0; request < total; ++request) {
+    while (in_flight.size() >= args.concurrency) drain_one();
+    sgm::service::MatchRequest match_request;
+    match_request.query = queries[request % queries.size()];
+    match_request.options.max_matches = args.max_matches;
+    match_request.options.time_limit_ms = args.time_limit_ms;
+    match_request.deadline_ms = args.deadline_ms;
+    in_flight.push_back(
+        InFlight{service.Submit(std::move(match_request)), request});
+  }
+  while (!in_flight.empty()) drain_one();
+  pass.wall_ms = wall.ElapsedMillis();
+  pass.stats = service.Stats();
+  std::sort(pass.latencies_ms.begin(), pass.latencies_ms.end());
+  return pass;
+}
+
+sgm::obs::Json PassToJson(const PassResult& pass) {
+  using sgm::obs::Json;
+  Json json = Json::Object();
+  json.Set("cache", Json::Bool(pass.cache_enabled));
+  json.Set("wall_ms", Json::Number(pass.wall_ms));
+  const size_t requests = pass.match_counts.size();
+  json.Set("requests", Json::Number(uint64_t{requests}));
+  json.Set("throughput_qps",
+           Json::Number(pass.wall_ms > 0.0
+                            ? 1000.0 * static_cast<double>(requests) /
+                                  pass.wall_ms
+                            : 0.0));
+
+  Json latency = Json::Object();
+  double sum = 0.0;
+  for (const double ms : pass.latencies_ms) sum += ms;
+  latency.Set("mean_ms",
+              Json::Number(requests > 0
+                               ? sum / static_cast<double>(requests)
+                               : 0.0));
+  latency.Set("p50_ms", Json::Number(Percentile(pass.latencies_ms, 0.50)));
+  latency.Set("p90_ms", Json::Number(Percentile(pass.latencies_ms, 0.90)));
+  latency.Set("p99_ms", Json::Number(Percentile(pass.latencies_ms, 0.99)));
+  latency.Set("max_ms", Json::Number(pass.latencies_ms.empty()
+                                         ? 0.0
+                                         : pass.latencies_ms.back()));
+  json.Set("latency", std::move(latency));
+
+  Json status = Json::Object();
+  status.Set("ok", Json::Number(pass.status_counts[0]));
+  status.Set("timeout", Json::Number(pass.status_counts[1]));
+  status.Set("cancelled", Json::Number(pass.status_counts[2]));
+  status.Set("rejected", Json::Number(pass.status_counts[3]));
+  json.Set("status", std::move(status));
+
+  json.Set("total_matches", Json::Number(pass.stats.total_matches));
+
+  Json cache = Json::Object();
+  cache.Set("hits", Json::Number(pass.stats.plan_cache.hits));
+  cache.Set("misses", Json::Number(pass.stats.plan_cache.misses));
+  cache.Set("hit_rate", Json::Number(pass.stats.plan_cache.hit_rate()));
+  cache.Set("evictions", Json::Number(pass.stats.plan_cache.evictions));
+  cache.Set("entries", Json::Number(uint64_t{pass.stats.plan_cache.entries}));
+  cache.Set("memory_bytes",
+            Json::Number(uint64_t{pass.stats.plan_cache.memory_bytes}));
+  json.Set("plan_cache", std::move(cache));
+
+  Json queue = Json::Object();
+  queue.Set("max_depth", Json::Number(uint64_t{pass.stats.max_queue_depth}));
+  queue.Set("mean_queue_ms",
+            Json::Number(requests > 0
+                             ? pass.stats.total_queue_ms /
+                                   static_cast<double>(requests)
+                             : 0.0));
+  json.Set("queue", std::move(queue));
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::string error;
+  const auto data = sgm::LoadGraphFile(args.data_path, &error);
+  if (!data.has_value()) {
+    std::fprintf(stderr, "failed to load data graph: %s\n", error.c_str());
+    return 1;
+  }
+  const auto queries = LoadWorkload(args, *data);
+  if (!queries.has_value()) return 1;
+
+  std::printf(
+      "serving %zu quer%s x %u repeat%s on %u workers, concurrency %u\n",
+      queries->size(), queries->size() == 1 ? "y" : "ies", args.repeat,
+      args.repeat == 1 ? "" : "s", args.workers, args.concurrency);
+
+  std::vector<PassResult> passes;
+  passes.push_back(RunPass(args, *data, *queries, args.cache_mb > 0));
+  if (args.compare_cache && args.cache_mb > 0) {
+    passes.push_back(RunPass(args, *data, *queries, /*cache_enabled=*/false));
+  }
+
+  for (const PassResult& pass : passes) {
+    const size_t requests = pass.match_counts.size();
+    std::printf(
+        "pass cache=%s: %.1f ms wall, %.1f req/s, p50 %.2f ms, p99 %.2f ms,"
+        " hit-rate %.2f, max queue depth %u\n",
+        pass.cache_enabled ? "on" : "off", pass.wall_ms,
+        pass.wall_ms > 0.0
+            ? 1000.0 * static_cast<double>(requests) / pass.wall_ms
+            : 0.0,
+        Percentile(pass.latencies_ms, 0.50),
+        Percentile(pass.latencies_ms, 0.99), pass.stats.plan_cache.hit_rate(),
+        pass.stats.max_queue_depth);
+  }
+
+  sgm::obs::Json root = sgm::obs::Json::Object();
+  root.Set("bench", sgm::obs::Json::String("service"));
+  sgm::obs::Json workload = sgm::obs::Json::Object();
+  workload.Set("data", sgm::obs::Json::String(args.data_path));
+  workload.Set("entries", sgm::obs::Json::Number(uint64_t{queries->size()}));
+  workload.Set("repeat", sgm::obs::Json::Number(uint64_t{args.repeat}));
+  workload.Set("workers", sgm::obs::Json::Number(uint64_t{args.workers}));
+  workload.Set("concurrency",
+               sgm::obs::Json::Number(uint64_t{args.concurrency}));
+  root.Set("workload", std::move(workload));
+  sgm::obs::Json passes_json = sgm::obs::Json::Array();
+  for (const PassResult& pass : passes) passes_json.Append(PassToJson(pass));
+  root.Set("passes", std::move(passes_json));
+
+  bool counts_identical = true;
+  if (passes.size() == 2) {
+    counts_identical = passes[0].match_counts == passes[1].match_counts;
+    const double speedup =
+        passes[1].wall_ms > 0.0 && passes[0].wall_ms > 0.0
+            ? passes[1].wall_ms / passes[0].wall_ms
+            : 0.0;
+    root.Set("speedup", sgm::obs::Json::Number(speedup));
+    root.Set("match_counts_identical", sgm::obs::Json::Bool(counts_identical));
+    std::printf("cache speedup: %.2fx, match counts %s\n", speedup,
+                counts_identical ? "identical" : "DIVERGED");
+  }
+
+  std::ofstream out(args.out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.out_path.c_str());
+    return 1;
+  }
+  out << root.Dump(2) << "\n";
+  out.close();
+  std::printf("wrote %s\n", args.out_path.c_str());
+
+  if (!args.report_path.empty() && !passes.empty() &&
+      !passes.front().latencies_ms.empty()) {
+    const PassResult& pass = passes.front();
+    sgm::service::MatchRequest last_request;
+    last_request.query = (*queries)[pass.last_query];
+    last_request.options.max_matches = args.max_matches;
+    last_request.options.time_limit_ms = args.time_limit_ms;
+    last_request.deadline_ms = args.deadline_ms;
+    const sgm::obs::RunReport report = sgm::service::BuildServedRunReport(
+        last_request.query, *data, last_request, pass.last_response);
+    if (!report.WriteFile(args.report_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.report_path.c_str());
+  }
+
+  return counts_identical ? 0 : 3;
+}
