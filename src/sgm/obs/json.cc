@@ -177,8 +177,10 @@ void AppendNumber(std::string* out, double value) {
   } else if (std::isfinite(value)) {
     std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   } else {
-    // JSON has no Inf/NaN; clamp to null-ish zero rather than emit garbage.
-    std::snprintf(buffer, sizeof(buffer), "0");
+    // JSON has no Inf/NaN tokens; serialize non-finite values as null (an
+    // empty histogram's percentile or a zero-division rate is "no value",
+    // not zero). Parsers read the key back as Json::Null.
+    std::snprintf(buffer, sizeof(buffer), "null");
   }
   *out += buffer;
 }

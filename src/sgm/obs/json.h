@@ -2,7 +2,8 @@
 // run reports and Chrome trace files, dump them deterministically, and parse
 // them back for round-trip validation in tests. Not a general-purpose JSON
 // library — no streaming, no comments, numbers are doubles (with integer
-// values printed without a fractional part), objects preserve insertion
+// values printed without a fractional part and non-finite values serialized
+// as null, since JSON has no NaN/Inf tokens), objects preserve insertion
 // order so dumps are stable and diffable.
 #ifndef SGM_OBS_JSON_H_
 #define SGM_OBS_JSON_H_

@@ -1,0 +1,345 @@
+#include "sgm/obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "sgm/core/types.h"
+
+namespace sgm::obs {
+
+namespace {
+
+/// Serialized (name, labels) key used for registry lookup. '\x1f' cannot
+/// appear in metric names or label text we generate, so keys are unique.
+std::string SeriesKey(std::string_view name, const MetricLabels& labels) {
+  std::string key(name);
+  for (const auto& [label, value] : labels) {
+    key += '\x1f';
+    key += label;
+    key += '\x1f';
+    key += value;
+  }
+  return key;
+}
+
+/// Renders `{a="x",b="y"}` (empty string when there are no labels), with an
+/// optional extra label appended — how histogram buckets get their `le`.
+std::string RenderLabels(const MetricLabels& labels,
+                         const char* extra_key = nullptr,
+                         const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [label, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += label;
+    out += "=\"";
+    out += JsonEscape(value);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[40];
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  }
+  *out += buffer;
+}
+
+Json LabelsToJson(const MetricLabels& labels) {
+  Json json = Json::Object();
+  for (const auto& [label, value] : labels) {
+    json.Set(label, Json::String(value));
+  }
+  return json;
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local const uint32_t thread_slot =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return thread_slot % kShards;
+}
+
+void Histogram::Record(double value_ms) {
+  const size_t bucket = BucketIndex(value_ms);
+  uint64_t us = 0;
+  if (value_ms > 0.0) {
+    const double scaled = value_ms * 1000.0;
+    us = scaled >= 1.8446744073709552e19
+             ? ~0ULL
+             : static_cast<uint64_t>(std::llround(scaled));
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_us_.fetch_add(other.sum_us_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketIndex(double value_ms) {
+  if (!(value_ms > 0.0)) return 0;  // negatives and NaN clamp to bucket 0
+  const double scaled = value_ms * 1000.0;
+  if (scaled >= 1.8446744073709552e19) return kBuckets - 1;
+  const uint64_t us = static_cast<uint64_t>(std::llround(scaled));
+  if (us == 0) return 0;
+  const size_t index = static_cast<size_t>(std::bit_width(us));
+  return index < kBuckets - 1 ? index : kBuckets - 1;
+}
+
+double Histogram::BucketUpperMs(size_t bucket) {
+  SGM_CHECK(bucket < kBuckets);
+  if (bucket >= kBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Observations are integral µs, so "< 2^bucket µs" equals "<= 2^bucket-1".
+  return static_cast<double>((uint64_t{1} << bucket) - 1) * 1e-3;
+}
+
+double Histogram::Percentile(double q) const {
+  // Snapshot the buckets once; concurrent recording between loads can skew
+  // the estimate by at most the in-flight observations, which is the same
+  // guarantee any point-in-time read of live telemetry gives.
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+
+  // The 1-based rank of the order statistic we estimate.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] < rank) {
+      cumulative += counts[i];
+      continue;
+    }
+    // Linear interpolation inside bucket i: [lo, hi) µs.
+    const double lo = i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (i - 1));
+    const double hi =
+        i == 0 ? 1.0
+        : i >= kBuckets - 1
+            ? 2.0 * lo  // overflow bucket: extrapolate one more octave
+            : static_cast<double>(uint64_t{1} << i);
+    const double position = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(counts[i]);
+    return (lo + position * (hi - lo)) * 1e-3;
+  }
+  return std::numeric_limits<double>::quiet_NaN();  // unreachable
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::FindOrCreateLocked(
+    Kind kind, std::string_view name, std::string_view help,
+    MetricLabels labels) {
+  const std::string key = SeriesKey(name, labels);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    SGM_CHECK(it->second->kind == kind);
+    return it->second;
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->kind = kind;
+  metric->name = std::string(name);
+  metric->help = std::string(help);
+  metric->labels = std::move(labels);
+  switch (kind) {
+    case Kind::kCounter:
+      metric->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      metric->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      metric->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Metric* raw = metric.get();
+  metrics_.push_back(std::move(metric));
+  index_.emplace(key, raw);
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreateLocked(Kind::kCounter, name, help, std::move(labels))
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreateLocked(Kind::kGauge, name, help, std::move(labels))
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         MetricLabels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreateLocked(Kind::kHistogram, name, help, std::move(labels))
+      ->histogram.get();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string last_family;
+  for (const auto& metric : metrics_) {
+    // Series of one family are registered consecutively (same call site),
+    // so a family header is emitted when the name changes.
+    if (metric->name != last_family) {
+      last_family = metric->name;
+      out += "# HELP " + metric->name + ' ' + metric->help + '\n';
+      out += "# TYPE " + metric->name + ' ';
+      switch (metric->kind) {
+        case Kind::kCounter:
+          out += "counter";
+          break;
+        case Kind::kGauge:
+          out += "gauge";
+          break;
+        case Kind::kHistogram:
+          out += "histogram";
+          break;
+      }
+      out += '\n';
+    }
+    switch (metric->kind) {
+      case Kind::kCounter: {
+        out += metric->name + RenderLabels(metric->labels) + ' ';
+        AppendDouble(&out, static_cast<double>(metric->counter->Value()));
+        out += '\n';
+        break;
+      }
+      case Kind::kGauge: {
+        out += metric->name + RenderLabels(metric->labels) + ' ';
+        AppendDouble(&out, static_cast<double>(metric->gauge->Value()));
+        out += '\n';
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& histogram = *metric->histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+          cumulative += histogram.BucketCount(i);
+          // Skip still-empty prefixes of the bucket array to keep the
+          // exposition small; cumulative counts stay correct because an
+          // empty prefix contributes nothing.
+          if (cumulative == 0 && i + 1 < Histogram::kBuckets) continue;
+          std::string le;
+          if (i + 1 == Histogram::kBuckets) {
+            le = "+Inf";
+          } else {
+            AppendDouble(&le, Histogram::BucketUpperMs(i));
+          }
+          out += metric->name + "_bucket" +
+                 RenderLabels(metric->labels, "le", le) + ' ';
+          AppendDouble(&out, static_cast<double>(cumulative));
+          out += '\n';
+        }
+        out += metric->name + "_sum" + RenderLabels(metric->labels) + ' ';
+        AppendDouble(&out, histogram.SumMs());
+        out += '\n';
+        out += metric->name + "_count" + RenderLabels(metric->labels) + ' ';
+        AppendDouble(&out, static_cast<double>(histogram.Count()));
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::Array();
+  Json gauges = Json::Array();
+  Json histograms = Json::Array();
+  for (const auto& metric : metrics_) {
+    Json entry = Json::Object();
+    entry.Set("name", Json::String(metric->name));
+    entry.Set("labels", LabelsToJson(metric->labels));
+    switch (metric->kind) {
+      case Kind::kCounter:
+        entry.Set("value", Json::Number(metric->counter->Value()));
+        counters.Append(std::move(entry));
+        break;
+      case Kind::kGauge:
+        entry.Set("value", Json::Number(metric->gauge->Value()));
+        gauges.Append(std::move(entry));
+        break;
+      case Kind::kHistogram: {
+        const Histogram& histogram = *metric->histogram;
+        entry.Set("count", Json::Number(histogram.Count()));
+        entry.Set("sum_ms", Json::Number(histogram.SumMs()));
+        // NaN percentiles of an empty histogram serialize as null.
+        entry.Set("p50_ms", Json::Number(histogram.Percentile(0.50)));
+        entry.Set("p90_ms", Json::Number(histogram.Percentile(0.90)));
+        entry.Set("p99_ms", Json::Number(histogram.Percentile(0.99)));
+        entry.Set("p999_ms", Json::Number(histogram.Percentile(0.999)));
+        Json buckets = Json::Array();
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+          const uint64_t count = histogram.BucketCount(i);
+          if (count == 0) continue;
+          Json bucket = Json::Object();
+          bucket.Set("le_ms", Json::Number(Histogram::BucketUpperMs(i)));
+          bucket.Set("count", Json::Number(count));
+          buckets.Append(std::move(bucket));
+        }
+        entry.Set("buckets", std::move(buckets));
+        histograms.Append(std::move(entry));
+        break;
+      }
+    }
+  }
+  Json root = Json::Object();
+  root.Set("counters", std::move(counters));
+  root.Set("gauges", std::move(gauges));
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+}  // namespace sgm::obs

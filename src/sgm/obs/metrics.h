@@ -1,0 +1,210 @@
+// Process-wide service telemetry: counters, gauges and log-bucketed latency
+// histograms, collected in a MetricsRegistry and exposed in two formats —
+// Prometheus text exposition (MetricsRegistry::RenderPrometheus) and a JSON
+// snapshot built on the obs::Json model (MetricsRegistry::ToJson).
+//
+// Design (DESIGN.md §12):
+//  * Counters are sharded: increments land on one of kShards cache-line-
+//    padded atomics picked by a per-thread index, so workers hammering the
+//    same counter never contend on one cache line. Reads sum the shards.
+//  * Gauges are a single atomic (set/add are rare compared to counter
+//    increments; sharding would break Set semantics).
+//  * Histograms use fixed log2 buckets over integral microseconds: bucket 0
+//    holds the value 0, bucket i >= 1 holds [2^(i-1), 2^i) µs. Recording is
+//    three relaxed fetch_adds; snapshots are mergeable across threads and
+//    across Histogram instances (Merge), and percentiles are estimated by
+//    linear interpolation inside the target bucket — the estimate is always
+//    inside the bucket that holds the true order statistic, so the error is
+//    bounded by that bucket's width.
+//  * The registry hands out stable pointers; metric objects live as long as
+//    the registry. MetricsRegistry::Default() is the process-wide instance
+//    the serving layer instruments by default.
+//
+// All operations are thread-safe. Recording on the hot path costs a few
+// relaxed atomic RMWs and never takes a lock; only registration (GetCounter
+// etc.) and snapshotting lock the registry.
+#ifndef SGM_OBS_METRICS_H_
+#define SGM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sgm/obs/json.h"
+
+namespace sgm::obs {
+
+/// Label set of one metric series, e.g. {{"status", "ok"}}. Order is
+/// preserved in the exposition output.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter, sharded to keep concurrent increments
+/// off each other's cache lines.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Sum across shards. Monotone between calls (counters never decrease).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// Stable per-thread shard pick; one thread always hits the same shard of
+  /// every counter, distinct threads spread round-robin.
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Point-in-time signed value (queue depth, in-flight requests, bytes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log2-bucketed latency histogram over integral microseconds. Values are
+/// recorded in milliseconds (the unit the rest of the system reports) and
+/// quantized to µs; everything above the last finite bucket lands in the
+/// overflow bucket. See the file comment for the bucket layout.
+class Histogram {
+ public:
+  /// Bucket 0 = {0 µs}; buckets 1..kBuckets-2 = [2^(i-1), 2^i) µs; the last
+  /// bucket is the overflow. 2^38 µs ≈ 76 hours — far beyond any latency
+  /// this system can produce.
+  static constexpr size_t kBuckets = 40;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation. Negative values clamp to 0.
+  void Record(double value_ms);
+
+  /// Adds every observation of `other` into this histogram (the cross-
+  /// thread merge path for per-worker local histograms).
+  void Merge(const Histogram& other);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double SumMs() const {
+    return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) * 1e-3;
+  }
+
+  /// Estimated q-quantile (q in [0, 1]) in milliseconds, by linear
+  /// interpolation inside the bucket holding the order statistic. NaN when
+  /// the histogram is empty (serialized as JSON null).
+  double Percentile(double q) const;
+
+  /// Count in one bucket.
+  uint64_t BucketCount(size_t bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+  /// Bucket index a value recorded as `value_ms` lands in.
+  static size_t BucketIndex(double value_ms);
+
+  /// Inclusive upper bound of bucket i in milliseconds: (2^i - 1) µs (our
+  /// observations are integral µs, so the bound is exact). The overflow
+  /// bucket has no finite bound (+Inf in the Prometheus exposition).
+  static double BucketUpperMs(size_t bucket);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+/// Named collection of metrics with exposition. See the file comment.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (what MatchService instruments unless its
+  /// options name another one).
+  static MetricsRegistry& Default();
+
+  /// Returns the metric registered under (name, labels), creating it on
+  /// first use. The pointer stays valid for the registry's lifetime.
+  /// Re-registering an existing series with a different metric kind is a
+  /// programming error (SGM_CHECK).
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      MetricLabels labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  MetricLabels labels = {});
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          MetricLabels labels = {});
+
+  /// Prometheus text exposition format, version 0.0.4: one HELP/TYPE pair
+  /// per family, then one line per series ("name{labels} value");
+  /// histograms expand to cumulative `_bucket{le="..."}` series plus
+  /// `_sum` / `_count`.
+  std::string RenderPrometheus() const;
+
+  /// JSON snapshot: {"counters": [...], "gauges": [...], "histograms":
+  /// [...]}, each entry carrying name, labels and value(s); histograms add
+  /// count, sum_ms, p50/p90/p99/p99.9 estimates and the non-empty buckets.
+  /// Percentiles of empty histograms serialize as null.
+  Json ToJson() const;
+
+  /// Number of registered series (all kinds).
+  size_t size() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Metric {
+    Kind kind;
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric* FindOrCreateLocked(Kind kind, std::string_view name,
+                             std::string_view help, MetricLabels labels);
+
+  mutable std::mutex mutex_;
+  /// Insertion order drives the exposition output, so snapshots are stable
+  /// and diffable (same discipline as Json objects).
+  std::vector<std::unique_ptr<Metric>> metrics_;
+  std::unordered_map<std::string, Metric*> index_;
+};
+
+}  // namespace sgm::obs
+
+#endif  // SGM_OBS_METRICS_H_

@@ -1,9 +1,47 @@
 #include "sgm/obs/run_report.h"
 
 #include <cstdio>
+#include <thread>
 #include <utility>
 
+// Build-type and sanitizer provenance injected by src/CMakeLists.txt;
+// default to unknown/none when built outside CMake.
+#ifndef SGM_BUILD_TYPE
+#define SGM_BUILD_TYPE "unknown"
+#endif
+#ifndef SGM_SANITIZE_FLAGS
+#define SGM_SANITIZE_FLAGS ""
+#endif
+
 namespace sgm::obs {
+
+BuildProvenance BuildProvenance::Current() {
+  BuildProvenance provenance;
+#if defined(__clang__)
+  provenance.compiler = "clang " + std::to_string(__clang_major__) + "." +
+                        std::to_string(__clang_minor__) + "." +
+                        std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  provenance.compiler = "gcc " + std::to_string(__GNUC__) + "." +
+                        std::to_string(__GNUC_MINOR__) + "." +
+                        std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  provenance.compiler = "unknown";
+#endif
+  provenance.build_type = SGM_BUILD_TYPE;
+  provenance.sanitizers = SGM_SANITIZE_FLAGS;
+  provenance.hardware_threads = std::thread::hardware_concurrency();
+  return provenance;
+}
+
+Json BuildProvenance::ToJson() const {
+  Json json = Json::Object();
+  json.Set("compiler", Json::String(compiler));
+  json.Set("build_type", Json::String(build_type));
+  json.Set("sanitizers", Json::String(sanitizers));
+  json.Set("hardware_threads", Json::Number(uint64_t{hardware_threads}));
+  return json;
+}
 
 namespace {
 
@@ -12,6 +50,11 @@ namespace {
 RunReport BuildCommon(const Graph& query, const Graph& data,
                       const MatchOptions& options, const MatchResult& result) {
   RunReport report;
+  const BuildProvenance provenance = BuildProvenance::Current();
+  report.compiler = provenance.compiler;
+  report.build_type = provenance.build_type;
+  report.sanitizers = provenance.sanitizers;
+  report.hardware_threads = provenance.hardware_threads;
   report.query_vertices = query.vertex_count();
   report.query_edges = query.edge_count();
   report.data_vertices = data.vertex_count();
@@ -94,6 +137,13 @@ Json RunReport::ToJson() const {
   Json root = Json::Object();
   root.Set("schema_version", Json::Number(kSchemaVersion));
   root.Set("engine", Json::String(engine));
+
+  Json build = Json::Object();
+  build.Set("compiler", Json::String(compiler));
+  build.Set("build_type", Json::String(build_type));
+  build.Set("sanitizers", Json::String(sanitizers));
+  build.Set("hardware_threads", Json::Number(uint64_t{hardware_threads}));
+  root.Set("build", std::move(build));
 
   Json query_json = Json::Object();
   query_json.Set("vertices", Json::Number(uint64_t{query_vertices}));
@@ -208,6 +258,7 @@ Json RunReport::ToJson() const {
   service.Set("queue_ms", Json::Number(queue_ms));
   service.Set("queue_depth", Json::Number(uint64_t{queue_depth}));
   service.Set("request_status", Json::String(request_status));
+  service.Set("metrics", service_metrics);
   root.Set("service", std::move(service));
   return root;
 }
@@ -217,6 +268,13 @@ RunReport RunReport::FromJson(const Json& json) {
   if (!json.is_object()) return report;
   report.engine = json.GetString("engine", "serial");
 
+  if (const Json* build = json.Get("build"); build != nullptr) {
+    report.compiler = build->GetString("compiler");
+    report.build_type = build->GetString("build_type");
+    report.sanitizers = build->GetString("sanitizers");
+    report.hardware_threads =
+        static_cast<uint32_t>(build->GetUint64("hardware_threads"));
+  }
   if (const Json* query = json.Get("query"); query != nullptr) {
     report.query_vertices =
         static_cast<uint32_t>(query->GetUint64("vertices"));
@@ -336,6 +394,9 @@ RunReport RunReport::FromJson(const Json& json) {
     report.queue_depth =
         static_cast<uint32_t>(service->GetUint64("queue_depth"));
     report.request_status = service->GetString("request_status", "none");
+    if (const Json* metrics = service->Get("metrics"); metrics != nullptr) {
+      report.service_metrics = *metrics;
+    }
   }
   return report;
 }

@@ -37,10 +37,22 @@ struct RunReportWorker {
 struct RunReport {
   /// Bumped on any change to the JSON shape.
   /// v2: added the always-emitted "service" section.
-  static constexpr uint64_t kSchemaVersion = 2;
+  /// v3: added the "build" provenance section and "service.metrics".
+  static constexpr uint64_t kSchemaVersion = 3;
 
   /// "serial" or "parallel".
   std::string engine = "serial";
+
+  // ---- Build/run provenance (BuildProvenance fills these), so a
+  // BENCH_*.json file is self-describing across machines. ----
+  /// Compiler id and version, e.g. "gcc 13.2.0" or "clang 18.1.3".
+  std::string compiler;
+  /// CMAKE_BUILD_TYPE the binary was built with, e.g. "Release".
+  std::string build_type;
+  /// SGM_SANITIZE list the binary was built with ("" = none).
+  std::string sanitizers;
+  /// std::thread::hardware_concurrency() of the reporting machine.
+  uint32_t hardware_threads = 0;
 
   // ---- Graph shapes. ----
   uint32_t query_vertices = 0;
@@ -114,6 +126,10 @@ struct RunReport {
   uint32_t queue_depth = 0;
   /// "none" (direct run), else "ok", "timeout", "cancelled" or "rejected".
   std::string request_status = "none";
+  /// Point-in-time MetricsRegistry::ToJson() snapshot of the service that
+  /// answered the request (serialized under service.metrics); Null for
+  /// direct runs and when the caller did not pass a registry.
+  Json service_metrics = Json::Null();
 
   /// Serializes to the stable JSON schema (every key always present).
   Json ToJson() const;
@@ -125,6 +141,22 @@ struct RunReport {
   /// Writes ToJson() to `path` (pretty-printed). Returns false and fills
   /// *error on failure.
   bool WriteFile(const std::string& path, std::string* error = nullptr) const;
+};
+
+/// Build/run provenance of this binary and machine: compiler id + version,
+/// CMAKE_BUILD_TYPE, SGM_SANITIZE flags and the hardware thread count.
+/// BuildRunReport applies it to every report; exposed for tools that emit
+/// bench JSON without a RunReport.
+struct BuildProvenance {
+  std::string compiler;
+  std::string build_type;
+  std::string sanitizers;
+  uint32_t hardware_threads = 0;
+
+  /// The running binary's provenance.
+  static BuildProvenance Current();
+
+  Json ToJson() const;
 };
 
 /// Builds the report of a serial MatchQuery run.

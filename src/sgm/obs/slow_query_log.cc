@@ -1,0 +1,112 @@
+#include "sgm/obs/slow_query_log.h"
+
+#include <sstream>
+
+#include "sgm/fuzz/fuzz_case.h"
+#include "sgm/fuzz/reproducer.h"
+#include "sgm/service/plan_cache.h"
+
+namespace sgm::obs {
+
+Json SlowQueryRecord::ToJson() const {
+  Json json = Json::Object();
+  json.Set("unix_time_s", Json::Number(unix_time_s));
+  json.Set("status", Json::String(status));
+  json.Set("threshold_ms", Json::Number(threshold_ms));
+  json.Set("service_ms", Json::Number(service_ms));
+  json.Set("queue_ms", Json::Number(queue_ms));
+  json.Set("execute_ms", Json::Number(execute_ms));
+  json.Set("plan_cache_hit", Json::Bool(plan_cache_hit));
+  Json query = Json::Object();
+  query.Set("vertices", Json::Number(uint64_t{query_vertices}));
+  query.Set("edges", Json::Number(uint64_t{query_edges}));
+  json.Set("query", std::move(query));
+  Json enumerate = Json::Object();
+  enumerate.Set("match_count", Json::Number(match_count));
+  enumerate.Set("recursion_calls", Json::Number(recursion_calls));
+  enumerate.Set("local_candidates_scanned",
+                Json::Number(local_candidates_scanned));
+  enumerate.Set("failing_set_prunes", Json::Number(failing_set_prunes));
+  enumerate.Set("bitmap_intersections", Json::Number(bitmap_intersections));
+  enumerate.Set("lc_cache_hits", Json::Number(lc_cache_hits));
+  enumerate.Set("lc_cache_misses", Json::Number(lc_cache_misses));
+  enumerate.Set("timed_out", Json::Bool(timed_out));
+  enumerate.Set("reached_match_limit", Json::Bool(reached_match_limit));
+  json.Set("enumerate", std::move(enumerate));
+  json.Set("reproducer",
+           reproducer.empty() ? Json::Null() : Json::String(reproducer));
+  return json;
+}
+
+std::string BuildSlowQueryReproducer(const Graph& query, const Graph& data,
+                                     const MatchOptions& options) {
+  // The reproducer format expresses configurations as preset + knobs
+  // (fs/ix/cache), not as raw MatchOptions fields. Recover the preset by
+  // trying all of them and comparing the plan-shaping fingerprint — the
+  // same equality the plan cache keys on.
+  fuzz::ConfigSpec spec;
+  spec.failing_sets = options.use_failing_sets;
+  spec.intersection = options.intersection;
+  spec.lc_cache = options.use_lc_cache;
+  spec.service = true;
+  const std::string want = service::PlanCache::EncodeOptions(options);
+  bool found = false;
+  const auto try_spec = [&](fuzz::ConfigSpec candidate) {
+    if (found) return;
+    const MatchOptions rebuilt = candidate.ToMatchOptions(
+        query.vertex_count(), options.max_matches, options.time_limit_ms);
+    if (service::PlanCache::EncodeOptions(rebuilt) == want) {
+      spec = candidate;
+      found = true;
+    }
+  };
+  {
+    fuzz::ConfigSpec candidate = spec;
+    candidate.recommended = true;
+    try_spec(candidate);
+  }
+  for (const Algorithm algorithm : kAllAlgorithms) {
+    for (const bool classic : {false, true}) {
+      fuzz::ConfigSpec candidate = spec;
+      candidate.algorithm = algorithm;
+      candidate.classic = classic;
+      try_spec(candidate);
+    }
+  }
+  if (!found) return "";
+
+  fuzz::Reproducer reproducer;
+  reproducer.fuzz_case.query = query;
+  reproducer.fuzz_case.data = data;
+  reproducer.fuzz_case.configs.push_back(spec);
+  reproducer.fuzz_case.max_matches = options.max_matches;
+  // Deliberately no time limit: the replay should finish the search the
+  // production deadline cut short, on whatever machine runs it.
+  reproducer.fuzz_case.time_limit_ms = 0.0;
+  std::ostringstream out;
+  fuzz::WriteReproducer(reproducer, out);
+  return out.str();
+}
+
+SlowQueryLog::SlowQueryLog(const Options& options) : options_(options) {
+  out_.open(options_.path, std::ios::app);
+  if (!out_) {
+    error_ = "cannot open " + options_.path + " for appending";
+  }
+}
+
+void SlowQueryLog::Append(const SlowQueryRecord& record) {
+  const std::string line = record.ToJson().Dump(0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_) return;
+  out_ << line << '\n';
+  out_.flush();
+  ++entries_;
+}
+
+uint64_t SlowQueryLog::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+}  // namespace sgm::obs

@@ -1,0 +1,127 @@
+// Structured slow-query log for the serving layer: requests whose total
+// service time crosses a configured threshold append one JSONL record (one
+// compact JSON object per line) carrying the latency breakdown, the
+// plan-cache outcome, the enumeration counters and — unless disabled — a
+// fuzz-reproducer-compatible dump of the query, the data graph and the
+// effective configuration, so any slow query can be replayed offline:
+//
+//   jq -r '.reproducer' slow_queries.jsonl | head -c -1 > slow.case
+//   sgm_fuzz --replay slow.case
+//
+// The replay re-runs the exact query against the exact data graph through
+// the differential oracle (including the served plan-cache-hit path), so a
+// tail-latency outlier observed in production can be bisected on a dev
+// machine with the full sgm_fuzz/sgm_match toolbox. This is the telemetry
+// that "Deep Analysis on Subgraph Isomorphism"-style pathological
+// query/data combinations need: the aggregate histograms say *that* the
+// tail exists, the slow-query log says *which* queries populate it.
+//
+// Appends are mutex-serialized and flushed per record, so a crash loses at
+// most the record being written and concurrent workers never interleave
+// bytes. MatchService drives this automatically via
+// ServiceOptions::slow_query_log (see service/service.h); the log object
+// itself is service-agnostic and can be fed by any caller.
+#ifndef SGM_OBS_SLOW_QUERY_LOG_H_
+#define SGM_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "sgm/matcher.h"
+#include "sgm/obs/json.h"
+
+namespace sgm::obs {
+
+/// One slow-request record. Built by the serving layer (or any caller) and
+/// serialized as a single JSONL line via ToJson().Dump(0).
+struct SlowQueryRecord {
+  /// Wall-clock time the record was written, seconds since the Unix epoch
+  /// (the one wall-clock field in the system: slow-query records are meant
+  /// to be correlated with external logs).
+  double unix_time_s = 0.0;
+  /// Terminal request status ("ok", "timeout", "cancelled", "rejected").
+  std::string status = "ok";
+  /// Threshold the request crossed, and the latency breakdown.
+  double threshold_ms = 0.0;
+  double service_ms = 0.0;
+  double queue_ms = 0.0;
+  double execute_ms = 0.0;
+  bool plan_cache_hit = false;
+  /// Query shape.
+  uint32_t query_vertices = 0;
+  uint32_t query_edges = 0;
+  /// Enumeration counters of the slow run (EnumerateStats).
+  uint64_t match_count = 0;
+  uint64_t recursion_calls = 0;
+  uint64_t local_candidates_scanned = 0;
+  uint64_t failing_set_prunes = 0;
+  uint64_t bitmap_intersections = 0;
+  uint64_t lc_cache_hits = 0;
+  uint64_t lc_cache_misses = 0;
+  bool timed_out = false;
+  bool reached_match_limit = false;
+  /// Full `sgm_fuzz --replay` reproducer text (query + data graph + config),
+  /// empty when embedding is disabled or the options match no replayable
+  /// preset; serialized as null when empty.
+  std::string reproducer;
+
+  Json ToJson() const;
+};
+
+/// Builds the reproducer text embedded in a record: the query and data
+/// graphs verbatim plus one `svc=1` config line reconstructed from the
+/// effective MatchOptions (the replay therefore exercises the served,
+/// plan-cache-hit path). Returns an empty string when the options match no
+/// preset the reproducer format can express — field-level ablation combos
+/// are logged without a replay dump.
+std::string BuildSlowQueryReproducer(const Graph& query, const Graph& data,
+                                     const MatchOptions& options);
+
+/// Append-only JSONL sink. Thread-safe; one flush per record.
+class SlowQueryLog {
+ public:
+  struct Options {
+    /// Output path; records append (the file is created if absent).
+    std::string path;
+    /// Requests at or above this total service time are logged.
+    double threshold_ms = 100.0;
+    /// Embed the replay reproducer (including the full data graph) in each
+    /// record. Costly per record on big graphs — slow queries should be
+    /// rare; disable when serving graphs where the dump is unaffordable.
+    bool embed_reproducer = true;
+  };
+
+  explicit SlowQueryLog(const Options& options);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// False when the log file could not be opened; error() says why.
+  /// Appends to a failed log are dropped silently (telemetry must never
+  /// take the serving path down).
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  double threshold_ms() const { return options_.threshold_ms; }
+  bool embed_reproducer() const { return options_.embed_reproducer; }
+  const std::string& path() const { return options_.path; }
+
+  /// Serializes the record as one line. Thread-safe.
+  void Append(const SlowQueryRecord& record);
+
+  /// Records appended so far (this instance, not the file).
+  uint64_t entries() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::string error_;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace sgm::obs
+
+#endif  // SGM_OBS_SLOW_QUERY_LOG_H_

@@ -1,10 +1,12 @@
 #include "sgm/service/service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sgm/graph/graph_utils.h"
 #include "sgm/plan.h"
+#include "sgm/util/timer.h"
 
 namespace sgm::service {
 
@@ -26,14 +28,81 @@ MatchService::MatchService(Graph data, const ServiceOptions& options)
     : options_(options),
       data_(std::move(data)),
       plan_cache_(PlanCacheOptions{options.plan_cache_budget_bytes}),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &obs::MetricsRegistry::Default()),
       epoch_(std::chrono::steady_clock::now()) {
   uint32_t workers = options_.worker_count;
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
   }
+
+  // Resolve every series once; the request path only touches the cached
+  // pointers (a few relaxed atomic RMWs per request — docs/API.md lists
+  // the series and DESIGN.md §12 the model).
+  obs::MetricsRegistry& reg = *metrics_;
+  const char* kRequestsHelp =
+      "Served requests by terminal status (admission rejects included).";
+  instruments_.requests_ok =
+      reg.GetCounter("sgm_service_requests_total", kRequestsHelp,
+                     {{"status", "ok"}});
+  instruments_.requests_timeout =
+      reg.GetCounter("sgm_service_requests_total", kRequestsHelp,
+                     {{"status", "timeout"}});
+  instruments_.requests_cancelled =
+      reg.GetCounter("sgm_service_requests_total", kRequestsHelp,
+                     {{"status", "cancelled"}});
+  instruments_.requests_rejected =
+      reg.GetCounter("sgm_service_requests_total", kRequestsHelp,
+                     {{"status", "rejected"}});
+  instruments_.admission_rejects = reg.GetCounter(
+      "sgm_service_admission_rejects_total",
+      "Requests rejected because the admission queue was full.");
+  instruments_.deadline_expired_in_queue = reg.GetCounter(
+      "sgm_service_deadline_expired_in_queue_total",
+      "Requests whose deadline expired while queued (never executed).");
+  instruments_.matches = reg.GetCounter(
+      "sgm_service_matches_total", "Embeddings found across all requests.");
+  instruments_.slow_queries = reg.GetCounter(
+      "sgm_service_slow_queries_total",
+      "Requests at or above the slow-query threshold.");
+  instruments_.plan_cache_hits = reg.GetCounter(
+      "sgm_service_plan_cache_hits_total", "Plan cache lookup hits.");
+  instruments_.plan_cache_misses = reg.GetCounter(
+      "sgm_service_plan_cache_misses_total", "Plan cache lookup misses.");
+  instruments_.plan_cache_evictions = reg.GetCounter(
+      "sgm_service_plan_cache_evictions_total",
+      "Plans evicted by the LRU policy to stay under the memory budget.");
+  instruments_.plan_cache_rejected = reg.GetCounter(
+      "sgm_service_plan_cache_rejected_total",
+      "Plan inserts dropped because one plan exceeds the whole budget.");
+  instruments_.plan_cache_entries = reg.GetGauge(
+      "sgm_service_plan_cache_entries", "Plans resident in the cache.");
+  instruments_.plan_cache_bytes = reg.GetGauge(
+      "sgm_service_plan_cache_bytes", "Memory charged to cached plans.");
+  instruments_.inflight = reg.GetGauge(
+      "sgm_service_inflight_requests", "Requests executing right now.");
+  instruments_.queue_depth = reg.GetGauge(
+      "sgm_service_queue_depth", "Requests waiting in the admission queue.");
+  instruments_.queue_ms = reg.GetHistogram(
+      "sgm_service_queue_ms",
+      "Time from Submit() to a worker picking the request up.");
+  instruments_.execute_ms = reg.GetHistogram(
+      "sgm_service_execute_ms",
+      "Time a worker spent executing the request (excludes queueing).");
+  instruments_.request_ms = reg.GetHistogram(
+      "sgm_service_request_ms",
+      "Total time from Submit() to the terminal status (queue + execute).");
+  instruments_.worker_busy_us.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    instruments_.worker_busy_us.push_back(reg.GetCounter(
+        "sgm_service_worker_busy_us_total",
+        "Thread-CPU microseconds each worker spent executing requests.",
+        {{"worker", std::to_string(w)}}));
+  }
+
   workers_.reserve(workers);
   for (uint32_t w = 0; w < workers; ++w) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
 }
 
@@ -80,12 +149,17 @@ std::future<MatchResponse> MatchService::Submit(MatchRequest request) {
       queue_.push_back(std::move(pending));
       max_queue_depth_seen_ = std::max(
           max_queue_depth_seen_, static_cast<uint32_t>(queue_.size()));
+      instruments_.queue_depth->Set(static_cast<int64_t>(queue_.size()));
       lock.unlock();
       work_available_.notify_one();
       return future;
     }
   }
 
+  instruments_.requests_rejected->Increment();
+  if (reject_reason == "admission queue full") {
+    instruments_.admission_rejects->Increment();
+  }
   MatchResponse response;
   response.status = RequestStatus::kRejected;
   response.error = reject_reason;
@@ -97,7 +171,8 @@ MatchResponse MatchService::Match(MatchRequest request) {
   return Submit(std::move(request)).get();
 }
 
-void MatchService::WorkerLoop() {
+void MatchService::WorkerLoop(uint32_t worker_index) {
+  obs::Counter* busy_us = instruments_.worker_busy_us[worker_index];
   for (;;) {
     Pending pending;
     {
@@ -107,8 +182,12 @@ void MatchService::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       pending = std::move(queue_.front());
       queue_.pop_front();
+      instruments_.queue_depth->Set(static_cast<int64_t>(queue_.size()));
     }
+    ThreadCpuTimer cpu_timer;
     Execute(std::move(pending));
+    busy_us->Increment(static_cast<uint64_t>(
+        std::max<int64_t>(0, cpu_timer.ElapsedNanos() / 1000)));
   }
 }
 
@@ -124,12 +203,14 @@ void MatchService::Execute(Pending pending) {
     if (shutdown_) token->store(true, std::memory_order_relaxed);
     inflight_tokens_.push_back(token);
   }
+  instruments_.inflight->Add(1);
 
   MatchResponse response = Run(pending.request, queue_ms, token.get());
   response.queue_ms = queue_ms;
   response.queue_depth_at_admission = pending.depth_at_admission;
   response.service_ms = NowMs() - pending.submit_time_ms;
 
+  obs::Counter* status_counter = instruments_.requests_rejected;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     inflight_tokens_.erase(
@@ -137,12 +218,15 @@ void MatchService::Execute(Pending pending) {
     switch (response.status) {
       case RequestStatus::kOk:
         ++completed_;
+        status_counter = instruments_.requests_ok;
         break;
       case RequestStatus::kTimedOut:
         ++timed_out_;
+        status_counter = instruments_.requests_timeout;
         break;
       case RequestStatus::kCancelled:
         ++cancelled_;
+        status_counter = instruments_.requests_cancelled;
         break;
       case RequestStatus::kRejected:
         ++rejected_;
@@ -151,8 +235,67 @@ void MatchService::Execute(Pending pending) {
     total_matches_ += response.engine.match_count;
     total_queue_ms_ += queue_ms;
     total_execute_ms_ += response.service_ms - queue_ms;
+    SyncPlanCacheMetricsLocked();
   }
+  instruments_.inflight->Add(-1);
+  status_counter->Increment();
+  instruments_.matches->Increment(response.engine.match_count);
+  instruments_.queue_ms->Record(queue_ms);
+  instruments_.execute_ms->Record(response.service_ms - queue_ms);
+  instruments_.request_ms->Record(response.service_ms);
+  MaybeLogSlowQuery(pending.request, response);
   pending.promise.set_value(std::move(response));
+}
+
+void MatchService::SyncPlanCacheMetricsLocked() {
+  const PlanCacheStats now = plan_cache_.Stats();
+  instruments_.plan_cache_hits->Increment(now.hits - cache_stats_seen_.hits);
+  instruments_.plan_cache_misses->Increment(now.misses -
+                                            cache_stats_seen_.misses);
+  instruments_.plan_cache_evictions->Increment(now.evictions -
+                                               cache_stats_seen_.evictions);
+  instruments_.plan_cache_rejected->Increment(now.rejected -
+                                              cache_stats_seen_.rejected);
+  instruments_.plan_cache_entries->Set(static_cast<int64_t>(now.entries));
+  instruments_.plan_cache_bytes->Set(static_cast<int64_t>(now.memory_bytes));
+  cache_stats_seen_ = now;
+}
+
+void MatchService::MaybeLogSlowQuery(const MatchRequest& request,
+                                     const MatchResponse& response) {
+  obs::SlowQueryLog* log = options_.slow_query_log;
+  if (log == nullptr || response.service_ms < log->threshold_ms()) return;
+  instruments_.slow_queries->Increment();
+
+  obs::SlowQueryRecord record;
+  record.unix_time_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  record.status = RequestStatusName(response.status);
+  record.threshold_ms = log->threshold_ms();
+  record.service_ms = response.service_ms;
+  record.queue_ms = response.queue_ms;
+  record.execute_ms = response.service_ms - response.queue_ms;
+  record.plan_cache_hit = response.plan_cache_hit;
+  record.query_vertices = request.query.vertex_count();
+  record.query_edges = request.query.edge_count();
+  record.match_count = response.engine.match_count;
+  record.recursion_calls = response.engine.enumerate.recursion_calls;
+  record.local_candidates_scanned =
+      response.engine.enumerate.local_candidates_scanned;
+  record.failing_set_prunes = response.engine.enumerate.failing_set_prunes;
+  record.bitmap_intersections =
+      response.engine.enumerate.bitmap_intersections;
+  record.lc_cache_hits = response.engine.enumerate.lc_cache_hits;
+  record.lc_cache_misses = response.engine.enumerate.lc_cache_misses;
+  record.timed_out = response.engine.enumerate.timed_out;
+  record.reached_match_limit = response.engine.enumerate.reached_match_limit;
+  if (log->embed_reproducer()) {
+    record.reproducer =
+        obs::BuildSlowQueryReproducer(request.query, data_, request.options);
+  }
+  log->Append(record);
 }
 
 MatchResponse MatchService::Run(const MatchRequest& request, double queue_ms,
@@ -169,6 +312,7 @@ MatchResponse MatchService::Run(const MatchRequest& request, double queue_ms,
   if (deadline_ms > 0.0 && queue_ms >= deadline_ms) {
     // Expired while queued: the exit-3-style overload path — the request
     // never executes, so overload costs only a dequeue per casualty.
+    instruments_.deadline_expired_in_queue->Increment();
     response.status = RequestStatus::kTimedOut;
     return response;
   }
@@ -249,7 +393,10 @@ void MatchService::Shutdown() {
     }
     drained.swap(queue_);
     cancelled_ += drained.size();
+    instruments_.queue_depth->Set(0);
+    SyncPlanCacheMetricsLocked();
   }
+  instruments_.requests_cancelled->Increment(drained.size());
   work_available_.notify_all();
   for (Pending& pending : drained) {
     MatchResponse response;
@@ -268,7 +415,8 @@ void MatchService::Shutdown() {
 
 obs::RunReport BuildServedRunReport(const Graph& query, const Graph& data,
                                     const MatchRequest& request,
-                                    const MatchResponse& response) {
+                                    const MatchResponse& response,
+                                    const obs::MetricsRegistry* metrics) {
   obs::RunReport report =
       obs::BuildRunReport(query, data, request.options, response.engine);
   report.served = true;
@@ -276,6 +424,7 @@ obs::RunReport BuildServedRunReport(const Graph& query, const Graph& data,
   report.queue_ms = response.queue_ms;
   report.queue_depth = response.queue_depth_at_admission;
   report.request_status = RequestStatusName(response.status);
+  if (metrics != nullptr) report.service_metrics = metrics->ToJson();
   return report;
 }
 

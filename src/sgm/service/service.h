@@ -45,7 +45,9 @@
 
 #include "sgm/graph/graph.h"
 #include "sgm/matcher.h"
+#include "sgm/obs/metrics.h"
 #include "sgm/obs/run_report.h"
+#include "sgm/obs/slow_query_log.h"
 #include "sgm/service/plan_cache.h"
 
 namespace sgm::service {
@@ -121,6 +123,15 @@ struct ServiceOptions {
   uint32_t max_queue_depth = 0;
   /// Applied to requests that carry no deadline of their own. 0 = none.
   double default_deadline_ms = 0.0;
+  /// Registry the service instruments (request/status counters, queue and
+  /// execute latency histograms, plan-cache and worker series — docs/API.md
+  /// lists them). nullptr = the process-wide obs::MetricsRegistry::Default();
+  /// point at a local registry to isolate (tests do).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Structured slow-query sink: requests whose service_ms reaches the
+  /// log's threshold append one JSONL record. nullptr disables logging.
+  /// The log must outlive the service.
+  obs::SlowQueryLog* slow_query_log = nullptr;
 };
 
 /// Aggregate service counters, point-in-time.
@@ -163,6 +174,10 @@ class MatchService {
 
   ServiceStats Stats() const;
 
+  /// The registry this service instruments (never null; resolves the
+  /// options' nullptr default to obs::MetricsRegistry::Default()).
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Stops accepting work, cancels executing requests (their futures
   /// resolve kCancelled), fails queued requests and joins the workers.
   /// Idempotent; the destructor calls it.
@@ -177,11 +192,44 @@ class MatchService {
     uint32_t depth_at_admission = 0;
   };
 
-  void WorkerLoop();
+  /// The service's series in the metrics registry, resolved once at
+  /// construction so the request path never pays a registry lookup.
+  struct Instruments {
+    /// sgm_service_requests_total{status=...}, one per terminal status.
+    obs::Counter* requests_ok = nullptr;
+    obs::Counter* requests_timeout = nullptr;
+    obs::Counter* requests_cancelled = nullptr;
+    obs::Counter* requests_rejected = nullptr;
+    obs::Counter* admission_rejects = nullptr;
+    obs::Counter* deadline_expired_in_queue = nullptr;
+    obs::Counter* matches = nullptr;
+    obs::Counter* slow_queries = nullptr;
+    obs::Counter* plan_cache_hits = nullptr;
+    obs::Counter* plan_cache_misses = nullptr;
+    obs::Counter* plan_cache_evictions = nullptr;
+    obs::Counter* plan_cache_rejected = nullptr;
+    obs::Gauge* plan_cache_entries = nullptr;
+    obs::Gauge* plan_cache_bytes = nullptr;
+    obs::Gauge* inflight = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* queue_ms = nullptr;
+    obs::Histogram* execute_ms = nullptr;
+    obs::Histogram* request_ms = nullptr;
+    /// sgm_service_worker_busy_us_total{worker="i"}, one per worker.
+    std::vector<obs::Counter*> worker_busy_us;
+  };
+
+  void WorkerLoop(uint32_t worker_index);
   /// Executes one dequeued request end to end and fulfills its promise.
   void Execute(Pending pending);
   MatchResponse Run(const MatchRequest& request, double queue_ms,
                     const std::atomic<bool>* cancel_token);
+  /// Appends a slow-query record when the response qualifies.
+  void MaybeLogSlowQuery(const MatchRequest& request,
+                         const MatchResponse& response);
+  /// Folds the plan cache's point-in-time stats into the cumulative
+  /// counters/gauges. Caller holds mutex_ (it guards cache_stats_seen_).
+  void SyncPlanCacheMetricsLocked();
 
   /// Monotonic milliseconds since service construction.
   double NowMs() const;
@@ -189,6 +237,8 @@ class MatchService {
   const ServiceOptions options_;
   const Graph data_;
   PlanCache plan_cache_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments instruments_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
@@ -209,6 +259,9 @@ class MatchService {
   double total_queue_ms_ = 0.0;
   double total_execute_ms_ = 0.0;
   uint32_t max_queue_depth_seen_ = 0;
+  /// Last plan-cache stats folded into the metrics (delta updates keep the
+  /// cumulative counters correct across snapshots).
+  PlanCacheStats cache_stats_seen_;
 
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::thread> workers_;
@@ -218,9 +271,13 @@ class MatchService {
 /// comes from obs::BuildRunReport over the request's options and the
 /// response's engine result; the service section (served, plan_cache_hit,
 /// queue_ms, queue_depth, request_status) is filled from the response.
+/// When `metrics` is non-null its ToJson() snapshot lands in
+/// service.metrics (pass service.metrics() for the answering service).
 obs::RunReport BuildServedRunReport(const Graph& query, const Graph& data,
                                     const MatchRequest& request,
-                                    const MatchResponse& response);
+                                    const MatchResponse& response,
+                                    const obs::MetricsRegistry* metrics =
+                                        nullptr);
 
 }  // namespace sgm::service
 

@@ -1,0 +1,436 @@
+// Tests of the service telemetry layer (sgm/obs/metrics.h): sharded
+// counters, gauges, the log2-bucketed latency histogram (bucket placement at
+// powers-of-two boundaries, percentile error bounds, cross-thread merge),
+// the registry's Prometheus text exposition and its JSON snapshot, plus the
+// concurrent-recording suite the TSan CI job runs via `ctest -L parallel`.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sgm/obs/json.h"
+#include "sgm/obs/metrics.h"
+
+namespace sgm {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::Json;
+using obs::MetricsRegistry;
+
+// ---- Counter / Gauge. ----
+
+TEST(MetricsTest, CounterStartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointersPerSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("c_total", "help", {{"status", "ok"}});
+  Counter* b = registry.GetCounter("c_total", "help", {{"status", "ok"}});
+  Counter* other = registry.GetCounter("c_total", "help", {{"status", "err"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+// ---- Histogram bucket placement. ----
+
+// Bucket 0 = {0 µs}, bucket i >= 1 = [2^(i-1), 2^i) µs. Values recorded in
+// milliseconds quantize to integral microseconds first.
+TEST(HistogramTest, ExactBucketsAtPowerOfTwoBoundaries) {
+  Histogram histogram;
+  histogram.Record(0.0);     // 0 µs    -> bucket 0
+  histogram.Record(0.001);   // 1 µs    -> bucket 1: [1, 2)
+  histogram.Record(0.002);   // 2 µs    -> bucket 2: [2, 4)
+  histogram.Record(0.003);   // 3 µs    -> bucket 2
+  histogram.Record(0.004);   // 4 µs    -> bucket 3: [4, 8)
+  histogram.Record(0.007);   // 7 µs    -> bucket 3
+  histogram.Record(0.008);   // 8 µs    -> bucket 4: [8, 16)
+  histogram.Record(1.024);   // 1024 µs -> bucket 11: [1024, 2048)
+  histogram.Record(1.023);   // 1023 µs -> bucket 10: [512, 1024)
+  EXPECT_EQ(histogram.BucketCount(0), 1u);
+  EXPECT_EQ(histogram.BucketCount(1), 1u);
+  EXPECT_EQ(histogram.BucketCount(2), 2u);
+  EXPECT_EQ(histogram.BucketCount(3), 2u);
+  EXPECT_EQ(histogram.BucketCount(4), 1u);
+  EXPECT_EQ(histogram.BucketCount(10), 1u);
+  EXPECT_EQ(histogram.BucketCount(11), 1u);
+  EXPECT_EQ(histogram.Count(), 9u);
+}
+
+TEST(HistogramTest, NegativeAndHugeValuesClampToEdgeBuckets) {
+  Histogram histogram;
+  histogram.Record(-5.0);  // clamps to bucket 0
+  histogram.Record(1e18);  // beyond the last finite bucket -> overflow
+  EXPECT_EQ(histogram.BucketCount(0), 1u);
+  EXPECT_EQ(histogram.BucketCount(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1e18), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketUpperBoundsAreInclusivePowersOfTwoMinusOne) {
+  // Bucket i's inclusive upper bound is (2^i - 1) µs: exact because every
+  // observation is an integral number of microseconds.
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperMs(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperMs(1), 0.001);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperMs(2), 0.003);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperMs(11), 2.047);
+  EXPECT_TRUE(std::isinf(Histogram::BucketUpperMs(Histogram::kBuckets - 1)));
+}
+
+// ---- Percentile estimation. ----
+
+// The estimate always lies inside the bucket holding the true order
+// statistic, so its error is bounded by that bucket's width.
+TEST(HistogramTest, PercentileErrorBoundedByBucketWidth) {
+  Histogram histogram;
+  // 1000 observations uniform over [1, 1000] ms (integral).
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Record(static_cast<double>(i));
+  }
+  for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+    // True order statistic of the 1..1000 sequence.
+    const double truth = std::ceil(q * 1000.0);
+    const size_t bucket = Histogram::BucketIndex(truth);
+    const double lo_ms =
+        bucket == 0
+            ? 0.0
+            : static_cast<double>(uint64_t{1} << (bucket - 1)) * 1e-3;
+    const double hi_ms = static_cast<double>(uint64_t{1} << bucket) * 1e-3;
+    const double width = hi_ms - lo_ms;
+    const double estimate = histogram.Percentile(q);
+    EXPECT_NEAR(estimate, truth, width)
+        << "q=" << q << " truth=" << truth << " bucket=" << bucket;
+    // And the estimate itself stays within the bucket's range.
+    EXPECT_GE(estimate, lo_ms);
+    EXPECT_LE(estimate, hi_ms);
+  }
+}
+
+TEST(HistogramTest, PercentileOfSingleValueLandsInItsBucket) {
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.Record(5.0);  // 5000 µs: [4096, 8192)
+  const double p50 = histogram.Percentile(0.5);
+  EXPECT_GE(p50, 4.096);
+  EXPECT_LE(p50, 8.192);
+}
+
+TEST(HistogramTest, EmptyPercentileIsNaN) {
+  Histogram histogram;
+  EXPECT_TRUE(std::isnan(histogram.Percentile(0.5)));
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.SumMs(), 0.0);
+}
+
+TEST(HistogramTest, SumTracksRecordedValues) {
+  Histogram histogram;
+  histogram.Record(1.5);
+  histogram.Record(2.25);
+  EXPECT_NEAR(histogram.SumMs(), 3.75, 1e-9);
+}
+
+// ---- JSON snapshot. ----
+
+TEST(MetricsTest, EmptyHistogramPercentilesSerializeAsNull) {
+  MetricsRegistry registry;
+  registry.GetHistogram("h_ms", "an empty histogram");
+  const std::string dumped = registry.ToJson().Dump(0);
+  EXPECT_NE(dumped.find("\"p50_ms\":null"), std::string::npos) << dumped;
+  EXPECT_NE(dumped.find("\"p999_ms\":null"), std::string::npos) << dumped;
+  // The snapshot must stay parseable by the obs JSON parser.
+  std::string error;
+  ASSERT_TRUE(Json::Parse(dumped, &error).has_value()) << error;
+}
+
+TEST(MetricsTest, JsonSnapshotRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", "requests", {{"status", "ok"}})
+      ->Increment(3);
+  registry.GetGauge("depth", "queue depth")->Set(2);
+  Histogram* histogram = registry.GetHistogram("latency_ms", "latency");
+  histogram->Record(0.5);
+  histogram->Record(12.0);
+
+  const std::string dumped = registry.ToJson().Dump(2);
+  std::string error;
+  const std::optional<Json> parsed = Json::Parse(dumped, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Dump(2), dumped);
+
+  const Json* counters = parsed->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->size(), 1u);
+  EXPECT_EQ(counters->at(0).GetUint64("value"), 3u);
+  EXPECT_EQ(counters->at(0).GetString("name"), "requests_total");
+  const Json* histograms = parsed->Get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_EQ(histograms->size(), 1u);
+  EXPECT_EQ(histograms->at(0).GetUint64("count"), 2u);
+}
+
+// ---- Prometheus exposition. ----
+
+// Minimal structural validator for the text exposition format 0.0.4: every
+// series is preceded by its family's HELP/TYPE pair, histogram bucket
+// counts are cumulative and non-decreasing, and the +Inf bucket equals the
+// series count.
+void ValidatePrometheus(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  std::map<std::string, std::string> family_type;
+  std::string last_help_family;
+  std::map<std::string, std::vector<double>> bucket_counts;
+  std::map<std::string, double> series_count;
+  while (std::getline(stream, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      last_help_family = rest.substr(0, space);
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      const std::string family = rest.substr(0, space);
+      const std::string type = rest.substr(space + 1);
+      EXPECT_EQ(family, last_help_family) << "TYPE without preceding HELP";
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      family_type[family] = type;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment line: " << line;
+    // Sample line: name{labels} value | name value.
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value_text = line.substr(space + 1);
+    std::string series = line.substr(0, space);
+    const double value = std::strtod(value_text.c_str(), nullptr);
+    std::string name = series.substr(0, series.find('{'));
+    // Histogram expansions attach to their family name.
+    std::string family = name;
+    for (const std::string& suffix : {"_bucket", "_sum", "_count"}) {
+      if (family_type.count(family) == 0 && name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        family = name.substr(0, name.size() - suffix.size());
+      }
+    }
+    ASSERT_EQ(family_type.count(family), 1u)
+        << "series " << name << " has no TYPE header";
+    if (family_type[family] == "histogram") {
+      // Strip the le label to group buckets of one series.
+      const size_t le = series.find("le=\"");
+      if (name.size() > 7 &&
+          name.compare(name.size() - 7, 7, "_bucket") == 0) {
+        ASSERT_NE(le, std::string::npos) << line;
+        const size_t le_end = series.find('"', le + 4);
+        std::string key = series.substr(0, le) + series.substr(le_end + 1);
+        bucket_counts[key].push_back(value);
+        if (series.substr(le + 4, le_end - le - 4) == "+Inf") {
+          series_count[key + "|inf"] = value;
+        }
+      } else if (name.size() > 6 &&
+                 name.compare(name.size() - 6, 6, "_count") == 0) {
+        series_count[series + "|count"] = value;
+      }
+    } else if (family_type[family] == "counter") {
+      EXPECT_GE(value, 0.0) << line;
+    }
+  }
+  for (const auto& [key, counts] : bucket_counts) {
+    for (size_t i = 1; i < counts.size(); ++i) {
+      EXPECT_GE(counts[i], counts[i - 1])
+          << "bucket counts not cumulative for " << key;
+    }
+  }
+  // Every histogram's +Inf bucket equals its _count.
+  for (const auto& [key, value] : series_count) {
+    if (key.size() > 4 && key.compare(key.size() - 4, 4, "|inf") == 0) {
+      const std::string stem = key.substr(0, key.size() - 4);
+      // stem is "name_bucket{labels-without-le}"; rebuild "name_count{...}".
+      const size_t bucket_pos = stem.find("_bucket");
+      ASSERT_NE(bucket_pos, std::string::npos);
+      std::string count_key = stem.substr(0, bucket_pos) + "_count" +
+                              stem.substr(bucket_pos + 7) + "|count";
+      // Drop a dangling "{}" left by stripping the only label.
+      const size_t empty_braces = count_key.find("{}");
+      if (empty_braces != std::string::npos) {
+        count_key.erase(empty_braces, 2);
+      }
+      ASSERT_EQ(series_count.count(count_key), 1u) << count_key;
+      EXPECT_EQ(series_count[count_key], value)
+          << "+Inf bucket != count for " << stem;
+    }
+  }
+}
+
+TEST(MetricsTest, PrometheusExpositionIsWellFormed) {
+  MetricsRegistry registry;
+  const char* help = "requests by status";
+  registry.GetCounter("app_requests_total", help, {{"status", "ok"}})
+      ->Increment(5);
+  registry.GetCounter("app_requests_total", help, {{"status", "error"}})
+      ->Increment(1);
+  registry.GetGauge("app_queue_depth", "queued requests")->Set(3);
+  Histogram* histogram = registry.GetHistogram("app_latency_ms", "latency");
+  histogram->Record(0.0);
+  histogram->Record(0.75);
+  histogram->Record(3.0);
+  histogram->Record(250.0);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP app_requests_total requests by status\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE app_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_requests_total{status=\"ok\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("app_queue_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_latency_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_latency_ms_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("app_latency_ms_count 4\n"), std::string::npos);
+  ValidatePrometheus(text);
+}
+
+TEST(MetricsTest, PrometheusEmitsEmptyHistogramWithInfBucket) {
+  MetricsRegistry registry;
+  registry.GetHistogram("quiet_ms", "never recorded");
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("quiet_ms_bucket{le=\"+Inf\"} 0\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("quiet_ms_count 0\n"), std::string::npos);
+  ValidatePrometheus(text);
+}
+
+// ---- Merge. ----
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Histogram a;
+  Histogram b;
+  Histogram combined;
+  for (int i = 0; i < 64; ++i) {
+    const double value = static_cast<double>(i) * 0.37;
+    (i % 2 == 0 ? a : b).Record(value);
+    combined.Record(value);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_DOUBLE_EQ(a.SumMs(), combined.SumMs());
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.BucketCount(i), combined.BucketCount(i)) << "bucket " << i;
+  }
+}
+
+// ---- Concurrency (runs under TSan via `ctest -L parallel`). ----
+
+TEST(MetricsConcurrencyTest, ShardedCounterSumsAllThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentHistogramRecordingLosesNothing) {
+  MetricsRegistry registry;
+  Histogram* shared = registry.GetHistogram("latency_ms", "latency");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([shared, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        shared->Record(static_cast<double>((t * kPerThread + i) % 97));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(shared->Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+
+  // Per-thread local histograms merged afterwards see the identical
+  // distribution — the documented cross-thread aggregation pattern.
+  Histogram merged;
+  std::vector<std::unique_ptr<Histogram>> locals;
+  for (int t = 0; t < kThreads; ++t) {
+    locals.push_back(std::make_unique<Histogram>());
+  }
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&locals, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        locals[t]->Record(static_cast<double>((t * kPerThread + i) % 97));
+      }
+    });
+  }
+  for (std::thread& thread : recorders) thread.join();
+  for (const auto& local : locals) merged.Merge(*local);
+  EXPECT_EQ(merged.Count(), shared->Count());
+  EXPECT_DOUBLE_EQ(merged.SumMs(), shared->SumMs());
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(merged.BucketCount(i), shared->BucketCount(i));
+  }
+}
+
+TEST(MetricsConcurrencyTest, RegistrationRacesResolveToOneSeries) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* counter =
+          registry.GetCounter("raced_total", "raced", {{"k", "v"}});
+      counter->Increment();
+      seen[t] = counter;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sgm

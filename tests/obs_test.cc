@@ -2,7 +2,10 @@
 // timer, thread-CPU timing, Chrome trace-event export, the per-depth search
 // profile's exact consistency with EnumerateStats, and the RunReport schema
 // shared by serial and parallel runs.
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -117,6 +120,26 @@ TEST(JsonTest, TypedLookupsFallBack) {
 
 TEST(JsonTest, EscapeHandlesSpecialCharacters) {
   EXPECT_EQ(obs::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// JSON has no NaN/Inf tokens; serializing them as null keeps documents
+// parseable (empty-histogram percentiles and zero-division rates hit this).
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Json::Number(std::nan("")).Dump(), "null");
+  EXPECT_EQ(Json::Number(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(Json::Number(-std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+
+  Json doc = Json::Object();
+  doc.Set("p50_ms", Json::Number(std::nan("")));
+  doc.Set("count", Json::Number(uint64_t{0}));
+  const std::string dumped = doc.Dump();
+  EXPECT_EQ(dumped, "{\"p50_ms\":null,\"count\":0}");
+  std::string error;
+  const std::optional<Json> parsed = Json::Parse(dumped, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->Get("p50_ms")->is_null());
 }
 
 // ---- PhaseTimer. ----
@@ -457,6 +480,36 @@ TEST(RunReportTest, FromJsonToleratesMissingKeys) {
   EXPECT_EQ(report.parallel_mode, "none");
   EXPECT_EQ(report.workers_used, 1u);
   EXPECT_TRUE(report.workers.empty());
+  EXPECT_TRUE(report.compiler.empty());
+  EXPECT_TRUE(report.service_metrics.is_null());
+}
+
+TEST(RunReportTest, CarriesBuildProvenance) {
+  const obs::BuildProvenance provenance = obs::BuildProvenance::Current();
+  EXPECT_FALSE(provenance.compiler.empty());
+  EXPECT_GT(provenance.hardware_threads, 0u);
+
+  const MatchOptions options;
+  const Graph query = PaperQuery();
+  const Graph data = PaperData();
+  const obs::RunReport report = obs::BuildRunReport(
+      query, data, options, MatchQuery(query, data, options));
+  EXPECT_EQ(report.compiler, provenance.compiler);
+  EXPECT_EQ(report.build_type, provenance.build_type);
+  EXPECT_EQ(report.sanitizers, provenance.sanitizers);
+  EXPECT_EQ(report.hardware_threads, provenance.hardware_threads);
+
+  const Json json = report.ToJson();
+  const Json* build = json.Get("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->GetString("compiler"), provenance.compiler);
+  EXPECT_EQ(build->Dump(0), provenance.ToJson().Dump(0));
+
+  const obs::RunReport restored = obs::RunReport::FromJson(json);
+  EXPECT_EQ(restored.compiler, report.compiler);
+  EXPECT_EQ(restored.build_type, report.build_type);
+  EXPECT_EQ(restored.sanitizers, report.sanitizers);
+  EXPECT_EQ(restored.hardware_threads, report.hardware_threads);
 }
 
 TEST(RunReportTest, FilterRoundsRecordMonotonePruning) {

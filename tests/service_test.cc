@@ -8,14 +8,22 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "sgm/fuzz/oracle.h"
+#include "sgm/fuzz/reproducer.h"
 #include "sgm/graph/generators.h"
 #include "sgm/graph/query_generator.h"
 #include "sgm/matcher.h"
+#include "sgm/obs/metrics.h"
+#include "sgm/obs/slow_query_log.h"
 #include "sgm/plan.h"
 #include "sgm/service/plan_cache.h"
 #include "sgm/util/prng.h"
@@ -477,6 +485,219 @@ TEST(MatchServiceTest, ServedRunReportCarriesServiceSection) {
   EXPECT_TRUE(parsed.served);
   EXPECT_TRUE(parsed.plan_cache_hit);
   EXPECT_EQ(parsed.request_status, "ok");
+}
+
+// ------------------------------------------------------------- Telemetry
+
+// A counter's value in the registry snapshot, by name + single label.
+uint64_t CounterValue(const obs::Json& snapshot, const std::string& name,
+                      const std::string& label_key = {},
+                      const std::string& label_value = {}) {
+  const obs::Json* counters = snapshot.Get("counters");
+  EXPECT_NE(counters, nullptr);
+  for (size_t i = 0; i < counters->size(); ++i) {
+    const obs::Json& entry = counters->at(i);
+    if (entry.GetString("name") != name) continue;
+    if (!label_key.empty() &&
+        entry.Get("labels")->GetString(label_key) != label_value) {
+      continue;
+    }
+    return entry.GetUint64("value");
+  }
+  ADD_FAILURE() << "counter " << name << " not found";
+  return 0;
+}
+
+TEST(MatchServiceTest, ExportsRequestAndPlanCacheMetrics) {
+  obs::MetricsRegistry registry;
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  options.metrics = &registry;
+  service::MatchService service(PaperData(), options);
+  EXPECT_EQ(service.metrics(), &registry);
+
+  service.Match(PaperRequest());
+  service.Match(PaperRequest());  // plan-cache hit
+
+  const obs::Json snapshot = registry.ToJson();
+  EXPECT_EQ(CounterValue(snapshot, "sgm_service_requests_total", "status",
+                         "ok"),
+            2u);
+  EXPECT_EQ(CounterValue(snapshot, "sgm_service_requests_total", "status",
+                         "timeout"),
+            0u);
+  EXPECT_EQ(CounterValue(snapshot, "sgm_service_plan_cache_hits_total"), 1u);
+  EXPECT_EQ(CounterValue(snapshot, "sgm_service_plan_cache_misses_total"),
+            1u);
+  EXPECT_EQ(CounterValue(snapshot, "sgm_service_matches_total"), 4u);
+
+  // Latency histograms saw both requests.
+  const obs::Json* histograms = snapshot.Get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  bool found_request_ms = false;
+  for (size_t i = 0; i < histograms->size(); ++i) {
+    if (histograms->at(i).GetString("name") == "sgm_service_request_ms") {
+      found_request_ms = true;
+      EXPECT_EQ(histograms->at(i).GetUint64("count"), 2u);
+    }
+  }
+  EXPECT_TRUE(found_request_ms);
+
+  // The Prometheus rendering of the same registry carries the series.
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("sgm_service_requests_total{status=\"ok\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE sgm_service_request_ms histogram"),
+            std::string::npos);
+
+  // And a served run report can embed the snapshot under service.metrics.
+  service::MatchRequest request = PaperRequest();
+  const Graph query = request.query;
+  const service::MatchResponse response = service.Match(std::move(request));
+  const obs::RunReport report = service::BuildServedRunReport(
+      query, service.data(), PaperRequest(), response, &registry);
+  const obs::Json json = report.ToJson();
+  const obs::Json* metrics = json.Get("service")->Get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(metrics->is_object());
+  const obs::RunReport parsed = obs::RunReport::FromJson(json);
+  EXPECT_EQ(parsed.service_metrics.Dump(0), metrics->Dump(0));
+}
+
+TEST(MatchServiceTest, AdmissionRejectAndDeadlineExpiryAreCounted) {
+  obs::MetricsRegistry registry;
+  const auto blocker_token = std::make_shared<std::atomic<bool>>(false);
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  options.max_queue_depth = 1;
+  options.metrics = &registry;
+  service::MatchService service(CompleteGraph(32), options);
+
+  // Occupy the worker, fill the queue, then overflow it.
+  auto blocked = service.Submit(BlockerRequest(blocker_token));
+  WaitForEmptyQueue(service);
+  service::MatchRequest queued;
+  queued.query = PathQuery(2);
+  queued.deadline_ms = 1.0;  // expires while the blocker holds the worker
+  auto expired = service.Submit(std::move(queued));
+  service::MatchRequest overflow;
+  overflow.query = PathQuery(2);
+  const service::MatchResponse rejected =
+      service.Submit(std::move(overflow)).get();
+  EXPECT_EQ(rejected.status, service::RequestStatus::kRejected);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  blocker_token->store(true);
+  blocked.get();
+  EXPECT_EQ(expired.get().status, service::RequestStatus::kTimedOut);
+
+  const obs::Json snapshot = registry.ToJson();
+  EXPECT_EQ(CounterValue(snapshot, "sgm_service_admission_rejects_total"),
+            1u);
+  EXPECT_EQ(CounterValue(snapshot, "sgm_service_requests_total", "status",
+                         "rejected"),
+            1u);
+  EXPECT_EQ(
+      CounterValue(snapshot, "sgm_service_deadline_expired_in_queue_total"),
+      1u);
+}
+
+// ---------------------------------------------------------- Slow-query log
+
+TEST(MatchServiceTest, SlowQueryLogRecordReplaysWithIdenticalCount) {
+  const std::string log_path =
+      ::testing::TempDir() + "/sgm_slow_queries.jsonl";
+  std::remove(log_path.c_str());
+  obs::SlowQueryLog::Options log_options;
+  log_options.path = log_path;
+  log_options.threshold_ms = 0.0;  // every request qualifies
+  obs::SlowQueryLog log(log_options);
+  ASSERT_TRUE(log.ok()) << log.error();
+
+  obs::MetricsRegistry registry;
+  service::ServiceOptions options;
+  options.worker_count = 1;
+  options.metrics = &registry;
+  options.slow_query_log = &log;
+  service::MatchService service(PaperData(), options);
+  const service::MatchResponse response = service.Match(PaperRequest());
+  ASSERT_EQ(response.status, service::RequestStatus::kOk);
+  EXPECT_EQ(log.entries(), 1u);
+  EXPECT_EQ(CounterValue(registry.ToJson(), "sgm_service_slow_queries_total"),
+            1u);
+
+  // The JSONL line parses and carries the latency breakdown + counters.
+  std::ifstream file(log_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(file, line));
+  std::string error;
+  const auto record = obs::Json::Parse(line, &error);
+  ASSERT_TRUE(record.has_value()) << error;
+  EXPECT_EQ(record->GetString("status"), "ok");
+  EXPECT_GE(record->GetDouble("service_ms"), 0.0);
+  EXPECT_GT(record->GetDouble("unix_time_s"), 0.0);
+  EXPECT_EQ(record->Get("enumerate")->GetUint64("match_count"),
+            response.engine.match_count);
+  EXPECT_EQ(record->Get("query")->GetUint64("vertices"),
+            PaperQuery().vertex_count());
+
+  // The embedded reproducer replays through the differential oracle (the
+  // sgm_fuzz --replay path) and reproduces the exact match count.
+  const obs::Json* reproducer_text = record->Get("reproducer");
+  ASSERT_NE(reproducer_text, nullptr);
+  ASSERT_TRUE(reproducer_text->is_string());
+  std::istringstream reproducer_stream(reproducer_text->AsString());
+  const auto reproducer = fuzz::ReadReproducer(reproducer_stream, &error);
+  ASSERT_TRUE(reproducer.has_value()) << error;
+  ASSERT_EQ(reproducer->fuzz_case.configs.size(), 1u);
+  EXPECT_TRUE(reproducer->fuzz_case.configs[0].service);
+
+  const fuzz::OracleResult oracle = fuzz::RunOracle(reproducer->fuzz_case);
+  EXPECT_FALSE(oracle.Failed()) << oracle.detail;
+  ASSERT_FALSE(oracle.outcomes.empty());
+  EXPECT_EQ(oracle.outcomes[0].match_count, response.engine.match_count);
+}
+
+TEST(MatchServiceTest, SlowQueryLogHonorsThresholdAndEmbedToggle) {
+  const std::string log_path =
+      ::testing::TempDir() + "/sgm_slow_queries_thresh.jsonl";
+  std::remove(log_path.c_str());
+  obs::SlowQueryLog::Options log_options;
+  log_options.path = log_path;
+  log_options.threshold_ms = 1e9;  // nothing is this slow
+  obs::SlowQueryLog fast_log(log_options);
+  {
+    service::ServiceOptions options;
+    options.worker_count = 1;
+    obs::MetricsRegistry registry;
+    options.metrics = &registry;
+    options.slow_query_log = &fast_log;
+    service::MatchService service(PaperData(), options);
+    service.Match(PaperRequest());
+  }
+  EXPECT_EQ(fast_log.entries(), 0u);
+
+  log_options.threshold_ms = 0.0;
+  log_options.embed_reproducer = false;
+  obs::SlowQueryLog lean_log(log_options);
+  {
+    service::ServiceOptions options;
+    options.worker_count = 1;
+    obs::MetricsRegistry registry;
+    options.metrics = &registry;
+    options.slow_query_log = &lean_log;
+    service::MatchService service(PaperData(), options);
+    service.Match(PaperRequest());
+  }
+  EXPECT_EQ(lean_log.entries(), 1u);
+  std::ifstream file(log_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(file, line));
+  std::string error;
+  const auto record = obs::Json::Parse(line, &error);
+  ASSERT_TRUE(record.has_value()) << error;
+  EXPECT_TRUE(record->Get("reproducer")->is_null());
 }
 
 }  // namespace

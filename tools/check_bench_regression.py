@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Guard serving-latency regressions in CI.
+
+Compares a freshly generated BENCH_service.json (tools/sgm_serve --out)
+against a committed baseline and fails when any pass's p99 latency
+regresses by more than the allowed ratio. Sub-millisecond baselines are
+noisy on shared CI runners, so an absolute slack floor is always added
+on top of the ratio before a regression is declared.
+
+Exit codes: 0 = within budget, 1 = regression, 2 = usage or I/O error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail_usage(message):
+    print(f"check_bench_regression: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_passes(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as err:
+        fail_usage(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        fail_usage(f"{path} is not JSON: {err}")
+    if doc.get("bench") != "service" or not isinstance(doc.get("passes"), list):
+        fail_usage(f"{path} is not a BENCH_service.json document "
+                   "(expected bench=service with a passes array)")
+    passes = {}
+    for entry in doc["passes"]:
+        key = "cache-on" if entry.get("cache") else "cache-off"
+        p99 = entry.get("latency", {}).get("p99_ms")
+        if not isinstance(p99, (int, float)):
+            fail_usage(f"pass {key} in {path} has no latency.p99_ms")
+        passes[key] = float(p99)
+    if not passes:
+        fail_usage(f"{path} has no passes")
+    return passes
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when serving p99 latency regresses vs a baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_service.json to compare against")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated BENCH_service.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional p99 increase (default 0.25)")
+    parser.add_argument("--slack-ms", type=float, default=2.0,
+                        help="absolute slack added to every budget, "
+                             "absorbing scheduler noise on tiny latencies "
+                             "(default 2.0)")
+    args = parser.parse_args()
+    if args.max_regression < 0.0 or args.slack_ms < 0.0:
+        parser.error("--max-regression and --slack-ms must be non-negative")
+
+    baseline = load_passes(args.baseline)
+    current = load_passes(args.current)
+
+    failed = False
+    for key, base_p99 in sorted(baseline.items()):
+        if key not in current:
+            print(f"{key}: missing from {args.current}", file=sys.stderr)
+            failed = True
+            continue
+        cur_p99 = current[key]
+        budget = base_p99 * (1.0 + args.max_regression) + args.slack_ms
+        delta = (cur_p99 / base_p99 - 1.0) * 100.0 if base_p99 > 0.0 else 0.0
+        verdict = "OK" if cur_p99 <= budget else "REGRESSION"
+        print(f"{key}: p99 {cur_p99:.2f} ms vs baseline {base_p99:.2f} ms "
+              f"({delta:+.1f}%), budget {budget:.2f} ms -> {verdict}")
+        if cur_p99 > budget:
+            failed = True
+    for key in sorted(set(current) - set(baseline)):
+        print(f"{key}: not in baseline, skipping (p99 {current[key]:.2f} ms)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

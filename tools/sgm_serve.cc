@@ -21,21 +21,29 @@
 // Exit codes: 0 ok, 1 load/workload error, 2 usage error, 3 cache/no-cache
 // match counts diverged under --compare-cache.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sgm/graph/graph_io.h"
 #include "sgm/graph/query_generator.h"
 #include "sgm/obs/json.h"
+#include "sgm/obs/metrics.h"
 #include "sgm/obs/run_report.h"
+#include "sgm/obs/slow_query_log.h"
 #include "sgm/service/service.h"
 #include "sgm/util/prng.h"
 #include "sgm/util/timer.h"
@@ -56,6 +64,10 @@ struct CliArgs {
   uint32_t max_queue = 0;
   std::string out_path = "BENCH_service.json";
   std::string report_path;
+  std::string metrics_out;
+  uint32_t metrics_interval_ms = 0;
+  double slow_query_ms = 100.0;
+  std::string slow_query_log_path;
   uint64_t seed = 1;
 };
 
@@ -66,6 +78,8 @@ void PrintUsage() {
                " [--cache-mb MB] [--no-cache] [--compare-cache]"
                " [--max-matches N] [--deadline-ms N] [--time-limit-ms N]"
                " [--max-queue N] [--out FILE.json] [--report FILE.json]"
+               " [--metrics-out FILE] [--metrics-interval-ms N]"
+               " [--slow-query-ms N] [--slow-query-log FILE]"
                " [--seed S]\n"
                "run 'sgm_serve --help' for details\n");
 }
@@ -99,6 +113,18 @@ void PrintHelp() {
       "  --out FILE          benchmark JSON output\n"
       "                      (default BENCH_service.json)\n"
       "  --report FILE       RunReport JSON of the last served request\n"
+      "  --metrics-out FILE  write a service metrics snapshot on exit:\n"
+      "                      Prometheus text when FILE ends in .prom,\n"
+      "                      JSON otherwise\n"
+      "  --metrics-interval-ms N\n"
+      "                      rewrite --metrics-out every N ms while the\n"
+      "                      workload runs (default 0 = final snapshot only)\n"
+      "  --slow-query-ms N   slow-query threshold for --slow-query-log\n"
+      "                      (default 100)\n"
+      "  --slow-query-log FILE\n"
+      "                      append a JSONL record (with a sgm_fuzz --replay\n"
+      "                      reproducer) for each request at or above the\n"
+      "                      slow-query threshold\n"
       "  --seed S            base seed for 'gen' workload entries without\n"
       "                      their own (default 1)\n"
       "  --help              show this message and exit\n"
@@ -156,6 +182,15 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->out_path = *value;
     } else if (flag == "--report" && (value = next())) {
       args->report_path = *value;
+    } else if (flag == "--metrics-out" && (value = next())) {
+      args->metrics_out = *value;
+    } else if (flag == "--metrics-interval-ms" && (value = next())) {
+      args->metrics_interval_ms =
+          static_cast<uint32_t>(std::strtoul(value->c_str(), nullptr, 10));
+    } else if (flag == "--slow-query-ms" && (value = next())) {
+      args->slow_query_ms = std::strtod(value->c_str(), nullptr);
+    } else if (flag == "--slow-query-log" && (value = next())) {
+      args->slow_query_log_path = *value;
     } else if (flag == "--seed" && (value = next())) {
       args->seed = std::strtoull(value->c_str(), nullptr, 10);
     } else {
@@ -167,6 +202,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
   if (args->workers == 0 || args->concurrency == 0 || args->repeat == 0) {
     std::fprintf(stderr,
                  "--workers, --concurrency and --repeat must be positive\n");
+    return false;
+  }
+  if (args->metrics_interval_ms > 0 && args->metrics_out.empty()) {
+    std::fprintf(stderr, "--metrics-interval-ms needs --metrics-out\n");
     return false;
   }
   return !args->data_path.empty() && !args->workload_path.empty();
@@ -296,15 +335,17 @@ double Percentile(const std::vector<double>& sorted, double p) {
 }
 
 /// Replays the whole workload (queries x repeat) against one fresh service
-/// with at most args.concurrency requests in flight.
+/// with at most args.concurrency requests in flight. Every pass instruments
+/// the process-wide metrics registry (counters accumulate across passes).
 PassResult RunPass(const CliArgs& args, const sgm::Graph& data,
-                   const std::vector<sgm::Graph>& queries,
-                   bool cache_enabled) {
+                   const std::vector<sgm::Graph>& queries, bool cache_enabled,
+                   sgm::obs::SlowQueryLog* slow_query_log) {
   sgm::service::ServiceOptions service_options;
   service_options.worker_count = args.workers;
   service_options.plan_cache_budget_bytes =
       cache_enabled ? args.cache_mb << 20 : 0;
   service_options.max_queue_depth = args.max_queue;
+  service_options.slow_query_log = slow_query_log;
   sgm::service::MatchService service(data, service_options);
 
   PassResult pass;
@@ -407,6 +448,61 @@ sgm::obs::Json PassToJson(const PassResult& pass) {
   return json;
 }
 
+/// Writes one metrics snapshot: Prometheus text exposition when the path
+/// ends in ".prom", a pretty-printed JSON snapshot otherwise.
+bool WriteMetricsSnapshot(const std::string& path) {
+  const sgm::obs::MetricsRegistry& registry =
+      sgm::obs::MetricsRegistry::Default();
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  if (prometheus) {
+    out << registry.RenderPrometheus();
+  } else {
+    out << registry.ToJson().Dump(2) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+/// Background writer that re-renders --metrics-out every interval while the
+/// workload runs (a file-based stand-in for a Prometheus scrape endpoint;
+/// point a textfile collector at it).
+class MetricsSnapshotWriter {
+ public:
+  MetricsSnapshotWriter(std::string path, uint32_t interval_ms)
+      : path_(std::move(path)) {
+    if (interval_ms == 0) return;
+    thread_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_) {
+        done_.wait_for(lock, std::chrono::milliseconds(interval_ms));
+        if (stop_) return;
+        WriteMetricsSnapshot(path_);
+      }
+    });
+  }
+
+  ~MetricsSnapshotWriter() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    done_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  const std::string path_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -430,10 +526,28 @@ int main(int argc, char** argv) {
       queries->size(), queries->size() == 1 ? "y" : "ies", args.repeat,
       args.repeat == 1 ? "" : "s", args.workers, args.concurrency);
 
+  std::unique_ptr<sgm::obs::SlowQueryLog> slow_query_log;
+  if (!args.slow_query_log_path.empty()) {
+    sgm::obs::SlowQueryLog::Options log_options;
+    log_options.path = args.slow_query_log_path;
+    log_options.threshold_ms = args.slow_query_ms;
+    slow_query_log = std::make_unique<sgm::obs::SlowQueryLog>(log_options);
+    if (!slow_query_log->ok()) {
+      std::fprintf(stderr, "%s\n", slow_query_log->error().c_str());
+      return 1;
+    }
+  }
+
   std::vector<PassResult> passes;
-  passes.push_back(RunPass(args, *data, *queries, args.cache_mb > 0));
-  if (args.compare_cache && args.cache_mb > 0) {
-    passes.push_back(RunPass(args, *data, *queries, /*cache_enabled=*/false));
+  {
+    MetricsSnapshotWriter snapshot_writer(args.metrics_out,
+                                          args.metrics_interval_ms);
+    passes.push_back(RunPass(args, *data, *queries, args.cache_mb > 0,
+                             slow_query_log.get()));
+    if (args.compare_cache && args.cache_mb > 0) {
+      passes.push_back(RunPass(args, *data, *queries, /*cache_enabled=*/false,
+                               slow_query_log.get()));
+    }
   }
 
   for (const PassResult& pass : passes) {
@@ -486,6 +600,18 @@ int main(int argc, char** argv) {
   out.close();
   std::printf("wrote %s\n", args.out_path.c_str());
 
+  if (!args.metrics_out.empty()) {
+    if (!WriteMetricsSnapshot(args.metrics_out)) return 1;
+    std::printf("wrote %s\n", args.metrics_out.c_str());
+  }
+  if (slow_query_log != nullptr) {
+    std::printf("slow-query log %s: %llu record%s at threshold %.1f ms\n",
+                slow_query_log->path().c_str(),
+                static_cast<unsigned long long>(slow_query_log->entries()),
+                slow_query_log->entries() == 1 ? "" : "s",
+                slow_query_log->threshold_ms());
+  }
+
   if (!args.report_path.empty() && !passes.empty() &&
       !passes.front().latencies_ms.empty()) {
     const PassResult& pass = passes.front();
@@ -495,7 +621,8 @@ int main(int argc, char** argv) {
     last_request.options.time_limit_ms = args.time_limit_ms;
     last_request.deadline_ms = args.deadline_ms;
     const sgm::obs::RunReport report = sgm::service::BuildServedRunReport(
-        last_request.query, *data, last_request, pass.last_response);
+        last_request.query, *data, last_request, pass.last_response,
+        &sgm::obs::MetricsRegistry::Default());
     if (!report.WriteFile(args.report_path, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());
       return 1;
