@@ -30,7 +30,8 @@ void Run() {
                        size <= 4 ? QueryDensity::kAny : density,
                        config.queries_per_set, config.seed);
       if (queries.empty()) continue;
-      std::string label = "Q" + std::to_string(size);
+      std::string label = "Q";
+      label += std::to_string(size);
       label += size <= 4 ? "" : (density == QueryDensity::kDense ? "D" : "S");
       std::vector<std::string> row = {label};
       for (const Algorithm algorithm : kAllAlgorithms) {

@@ -57,9 +57,9 @@ void Run() {
       const auto queries = MakeQuerySet(data, size, density,
                                         config.queries_per_set, config.seed);
       if (queries.empty()) continue;
-      const std::string label =
-          "Q" + std::to_string(size) +
-          (density == QueryDensity::kDense ? "D" : "S");
+      std::string label = "Q";
+      label += std::to_string(size);
+      label += density == QueryDensity::kDense ? "D" : "S";
       for (const Algorithm algorithm : kAllAlgorithms) {
         MatchOptions options = MatchOptions::Optimized(algorithm);
         options.max_matches = config.max_matches;

@@ -69,9 +69,9 @@ void Run() {
       ri_speedups.Add(ri_speedup);
       if (ri_speedup > 10.0) ++ri_over10;
     }
-    const std::string label =
-        "Q" + std::to_string(size) +
-        (density == QueryDensity::kDense ? "D" : "S");
+    std::string label = "Q";
+    label += std::to_string(size);
+    label += density == QueryDensity::kDense ? "D" : "S";
     PrintRow({label, "GQL", FormatDouble(gql_speedups.mean()),
               FormatDouble(gql_speedups.stddev()),
               FormatDouble(gql_speedups.max()), FormatCount(gql_over10)});

@@ -60,7 +60,7 @@ FilterResult RunCeciFilter(const Graph& query, const Graph& data) {
         }
       }
     }
-    if (set.empty()) return {std::move(candidates), std::move(tree)};
+    if (set.empty()) return {std::move(candidates), std::move(tree), {}};
   }
 
   // --- Phase 2: refinement along the reverse of δ using tree children. ---
@@ -72,7 +72,7 @@ FilterResult RunCeciFilter(const Graph& query, const Graph& data) {
     }
   }
 
-  return {std::move(candidates), std::move(tree)};
+  return {std::move(candidates), std::move(tree), {}};
 }
 
 }  // namespace sgm

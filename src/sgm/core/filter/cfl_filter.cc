@@ -131,7 +131,7 @@ FilterResult RunCflFilter(const Graph& query, const Graph& data) {
     if (set.empty()) {
       // Some query vertex has no candidate: the query has no match. Leave
       // the remaining sets empty and return.
-      return {std::move(candidates), std::move(tree)};
+      return {std::move(candidates), std::move(tree), {}};
     }
   }
 
@@ -147,7 +147,7 @@ FilterResult RunCflFilter(const Graph& query, const Graph& data) {
     }
   }
 
-  return {std::move(candidates), std::move(tree)};
+  return {std::move(candidates), std::move(tree), {}};
 }
 
 }  // namespace sgm

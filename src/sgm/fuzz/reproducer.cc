@@ -92,6 +92,17 @@ bool ParseConfigLine(const std::vector<std::string>& fields,
     } else if (key == "svc") {
       if (value != "0" && value != "1") return false;
       config->service = value == "1";
+    } else if (key == "sh") {
+      uint64_t shards = 0;
+      if (!ParseUint64Token(value, &shards) || shards == 0 || shards > 64) {
+        return false;
+      }
+      config->shards = static_cast<uint32_t>(shards);
+    } else if (key == "part") {
+      const std::optional<shard::Partitioner> partitioner =
+          shard::ParsePartitioner(value);
+      if (!partitioner.has_value()) return false;
+      config->partitioner = *partitioner;
     } else {
       return false;
     }
@@ -123,7 +134,9 @@ void WriteReproducer(const Reproducer& reproducer, std::ostream& out) {
         << " cache=" << (config.lc_cache ? 1 : 0)
         << " threads=" << config.threads
         << " fault=" << (config.inject_fault ? 1 : 0)
-        << " svc=" << (config.service ? 1 : 0) << '\n';
+        << " svc=" << (config.service ? 1 : 0)
+        << " sh=" << config.shards
+        << " part=" << shard::PartitionerName(config.partitioner) << '\n';
   }
   out << "graph data\n";
   WriteGraph(fuzz_case.data, out);

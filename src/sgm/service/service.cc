@@ -27,6 +27,10 @@ const char* RequestStatusName(RequestStatus status) {
 MatchService::MatchService(Graph data, const ServiceOptions& options)
     : options_(options),
       data_(std::move(data)),
+      sharded_(options.shards > 1
+                   ? std::make_unique<const shard::ShardedGraph>(
+                         data_, options.shards, options.shard_partitioner)
+                   : nullptr),
       plan_cache_(PlanCacheOptions{options.plan_cache_budget_bytes}),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : &obs::MetricsRegistry::Default()),
@@ -325,6 +329,30 @@ MatchResponse MatchService::Run(const MatchRequest& request, double queue_ms,
         std::min(options.time_limit_ms, deadline_ms - queue_ms);
   }
 
+  MatchCallback sharded_callback;
+  if (sharded_ != nullptr) {
+    // Sharded execution bypasses the plan cache (per-shard plan caching is
+    // future work): build the shard plans, run all passes under the shared
+    // gate, and report the per-pass breakdown on the response.
+    options.shards = 0;  // the executor owns the split; avoid re-dispatch
+    if (request.collect_embeddings) {
+      sharded_callback = [&response](std::span<const Vertex> mapping) {
+        response.embeddings.emplace_back(mapping.begin(), mapping.end());
+        return true;
+      };
+    }
+    ShardedMatchResult sharded = ShardedMatchQuery(
+        request.query, *sharded_, options, sharded_callback);
+    response.engine = std::move(sharded.result);
+    response.sharding = std::move(sharded.sharding);
+    if (cancel_token->load(std::memory_order_relaxed)) {
+      response.status = RequestStatus::kCancelled;
+    } else if (response.engine.enumerate.timed_out) {
+      response.status = RequestStatus::kTimedOut;
+    }
+    return response;
+  }
+
   // Plan: cache when enabled, build-and-discard otherwise. The cache key is
   // computed from the effective options, whose run-only knobs the encoding
   // ignores.
@@ -417,8 +445,15 @@ obs::RunReport BuildServedRunReport(const Graph& query, const Graph& data,
                                     const MatchRequest& request,
                                     const MatchResponse& response,
                                     const obs::MetricsRegistry* metrics) {
-  obs::RunReport report =
-      obs::BuildRunReport(query, data, request.options, response.engine);
+  obs::RunReport report;
+  if (response.sharding.shard_count > 0) {
+    ShardedMatchResult sharded;
+    sharded.result = response.engine;
+    sharded.sharding = response.sharding;
+    report = obs::BuildRunReport(query, data, request.options, sharded);
+  } else {
+    report = obs::BuildRunReport(query, data, request.options, response.engine);
+  }
   report.served = true;
   report.plan_cache_hit = response.plan_cache_hit;
   report.queue_ms = response.queue_ms;

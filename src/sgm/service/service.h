@@ -99,6 +99,9 @@ struct MatchResponse {
   /// kCancelled (matches found before the stop are counted), default-
   /// constructed on kRejected.
   MatchResult engine;
+  /// Per-pass breakdown when the service runs sharded
+  /// (ServiceOptions::shards > 1); shard_count == 0 on monolithic services.
+  ShardedRunInfo sharding;
   /// True when the plan came out of the cache.
   bool plan_cache_hit = false;
   /// Time spent in the admission queue before a worker picked the request
@@ -115,6 +118,13 @@ struct MatchResponse {
 struct ServiceOptions {
   /// Worker threads executing requests. 0 = hardware concurrency.
   uint32_t worker_count = 0;
+  /// Split the data graph into this many shards at construction and answer
+  /// every request through the sharded executor (plan.h). 0 or 1 =
+  /// monolithic. Sharded requests bypass the plan cache — per-shard plan
+  /// caching is future work — so expect build cost on every request.
+  uint32_t shards = 0;
+  /// Partitioner for the sharded path (ignored when shards <= 1).
+  shard::Partitioner shard_partitioner = shard::Partitioner::kGreedy;
   /// Plan cache memory budget; 0 disables the cache (every request builds
   /// its plan from scratch — the baseline sgm_serve --no-cache measures).
   size_t plan_cache_budget_bytes = 256ull << 20;
@@ -163,6 +173,10 @@ class MatchService {
 
   const Graph& data() const { return data_; }
   uint32_t worker_count() const { return static_cast<uint32_t>(workers_.size()); }
+  /// Shards the service executes against; 0 when monolithic.
+  uint32_t shard_count() const {
+    return sharded_ != nullptr ? sharded_->shard_count() : 0;
+  }
 
   /// Enqueues a request. The future resolves when the request reaches a
   /// terminal status — including kRejected (admission) and kTimedOut
@@ -236,6 +250,9 @@ class MatchService {
 
   const ServiceOptions options_;
   const Graph data_;
+  /// Built once at construction when options_.shards > 1; null otherwise.
+  /// Points into data_, which outlives it.
+  std::unique_ptr<const shard::ShardedGraph> sharded_;
   PlanCache plan_cache_;
   obs::MetricsRegistry* metrics_ = nullptr;
   Instruments instruments_;

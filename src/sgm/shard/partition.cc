@@ -1,0 +1,436 @@
+#include "sgm/shard/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+#include <tuple>
+
+namespace sgm::shard {
+
+namespace {
+
+// splitmix64 finalizer: a fast, well-mixed permutation of the vertex id.
+// Fixed constants, no process state — hash shards are reproducible across
+// runs and platforms.
+uint64_t MixVertex(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void AssignByHash(const Graph& data, uint32_t shard_count,
+                  std::vector<uint32_t>& assignment) {
+  for (Vertex v = 0; v < data.vertex_count(); ++v) {
+    assignment[v] = static_cast<uint32_t>(MixVertex(v) % shard_count);
+  }
+}
+
+// BFS traversal order over the subgraph induced by `within` (roots in id
+// order; `within` is sorted ascending). Used as the stream order when a
+// cluster must be split: after each root, every streamed vertex has an
+// already-placed neighbor, so the placed-neighbor signal is never empty
+// and the cut through the cluster stays local instead of scattering.
+std::vector<Vertex> BfsOrderWithin(const Graph& data,
+                                   const std::vector<Vertex>& within) {
+  std::vector<Vertex> order;
+  order.reserve(within.size());
+  // Membership marker; kInvalidVertex = not in the set, 0 = unvisited
+  // member, 1 = visited member.
+  std::vector<uint32_t> state(data.vertex_count(), kInvalidVertex);
+  for (const Vertex v : within) state[v] = 0;
+  for (const Vertex root : within) {
+    if (state[root] != 0) continue;
+    state[root] = 1;
+    order.push_back(root);
+    for (size_t head = order.size() - 1; head < order.size(); ++head) {
+      for (const Vertex w : data.neighbors(order[head])) {
+        if (state[w] == 0) {
+          state[w] = 1;
+          order.push_back(w);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+// Deterministic asynchronous label propagation: every vertex starts as its
+// own cluster and repeatedly adopts the most frequent cluster among its
+// neighbors, swept in vertex order. Frequency ties — universal in the
+// first sweep, when every neighbor still names a distinct cluster — are
+// broken toward the cluster id nearest to v (then the smaller id). The
+// nearest-id rule is what keeps the sweep local: breaking toward the
+// globally smallest id lets one low-id cluster leak across a single bridge
+// edge during the all-singleton phase and then cascade through the far
+// community, merging both sides into one oversized cluster. Converges in a
+// handful of rounds on community-structured graphs; on graphs without
+// community structure it still tends toward few giant clusters, which the
+// packer below splits by streaming.
+std::vector<uint32_t> PropagateClusters(const Graph& data, int rounds) {
+  const uint32_t n = data.vertex_count();
+  std::vector<uint32_t> cluster(n);
+  for (uint32_t v = 0; v < n; ++v) cluster[v] = v;
+  std::vector<uint32_t> local;
+  for (int round = 0; round < rounds; ++round) {
+    bool changed = false;
+    for (Vertex v = 0; v < n; ++v) {
+      const auto neighbors = data.neighbors(v);
+      if (neighbors.empty()) continue;
+      local.clear();
+      for (const Vertex w : neighbors) local.push_back(cluster[w]);
+      std::sort(local.begin(), local.end());
+      uint32_t mode = local[0];
+      uint32_t mode_count = 0;
+      uint32_t mode_dist = 0;
+      for (size_t i = 0; i < local.size();) {
+        size_t j = i;
+        while (j < local.size() && local[j] == local[i]) ++j;
+        const auto count = static_cast<uint32_t>(j - i);
+        const uint32_t dist = local[i] > v ? local[i] - v : v - local[i];
+        if (count > mode_count ||
+            (count == mode_count && dist < mode_dist)) {
+          mode = local[i];
+          mode_count = count;
+          mode_dist = dist;
+        }
+        i = j;
+      }
+      if (mode != cluster[v]) {
+        cluster[v] = mode;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return cluster;
+}
+
+// The contracted cluster graph: one supernode per cluster, edges weighted
+// by the number of data edges between the clusters, plus each cluster's
+// internal edge count (its cohesion).
+struct ClusterGraph {
+  uint32_t count = 0;
+  std::vector<uint32_t> size;     // vertices per cluster
+  std::vector<uint64_t> internal;  // data edges inside the cluster
+  std::vector<size_t> offset;     // CSR offsets into `edges`, count + 1
+  std::vector<std::pair<uint32_t, uint64_t>> edges;  // (cluster, weight)
+};
+
+// Compacts `cluster` to dense ids 0..count-1 (in order of first
+// appearance by vertex id — deterministic) and builds the contracted
+// graph.
+ClusterGraph ContractClusters(const Graph& data,
+                              std::vector<uint32_t>& cluster) {
+  const uint32_t n = data.vertex_count();
+  ClusterGraph cg;
+  std::vector<uint32_t> compact(n, kInvalidVertex);
+  for (Vertex v = 0; v < n; ++v) {
+    if (compact[cluster[v]] == kInvalidVertex) {
+      compact[cluster[v]] = cg.count++;
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) cluster[v] = compact[cluster[v]];
+  cg.size.assign(cg.count, 0);
+  cg.internal.assign(cg.count, 0);
+  std::vector<uint64_t> keys;  // packed (cu << 32 | cw), both directions
+  for (Vertex v = 0; v < n; ++v) {
+    ++cg.size[cluster[v]];
+    for (const Vertex w : data.neighbors(v)) {
+      if (cluster[w] == cluster[v]) {
+        if (w > v) ++cg.internal[cluster[v]];
+      } else {
+        keys.push_back((static_cast<uint64_t>(cluster[v]) << 32) |
+                       cluster[w]);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  cg.offset.assign(cg.count + 1, 0);
+  for (size_t i = 0; i < keys.size();) {
+    size_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    cg.edges.emplace_back(static_cast<uint32_t>(keys[i] & 0xffffffffu),
+                          j - i);
+    ++cg.offset[(keys[i] >> 32) + 1];
+    i = j;
+  }
+  for (uint32_t c = 0; c < cg.count; ++c) cg.offset[c + 1] += cg.offset[c];
+  return cg;
+}
+
+// One level of weighted label propagation on the contracted graph: a
+// supernode adopts the label with the largest summed edge weight among its
+// neighbors, but only when that connection is at least half its own
+// internal cohesion — so two fragments of one community (connection
+// comparable to cohesion) merge, while two communities joined by a few
+// bridge edges (connection ≪ cohesion) never do. Ties toward the smaller
+// label. Returns true if anything merged.
+bool PropagateWeighted(const ClusterGraph& cg, std::vector<uint32_t>& label,
+                       int rounds) {
+  label.resize(cg.count);
+  for (uint32_t c = 0; c < cg.count; ++c) label[c] = c;
+  bool any = false;
+  std::vector<std::pair<uint32_t, uint64_t>> local;  // (label, weight)
+  for (int round = 0; round < rounds; ++round) {
+    bool changed = false;
+    for (uint32_t c = 0; c < cg.count; ++c) {
+      local.clear();
+      for (size_t e = cg.offset[c]; e < cg.offset[c + 1]; ++e) {
+        local.emplace_back(label[cg.edges[e].first], cg.edges[e].second);
+      }
+      if (local.empty()) continue;
+      std::sort(local.begin(), local.end());
+      uint32_t best = label[c];
+      uint64_t best_sum = 0;
+      for (size_t i = 0; i < local.size();) {
+        size_t j = i;
+        uint64_t sum = 0;
+        while (j < local.size() && local[j].first == local[i].first) {
+          sum += local[j].second;
+          ++j;
+        }
+        if (sum > best_sum || (sum == best_sum && local[i].first < best)) {
+          best = local[i].first;
+          best_sum = sum;
+        }
+        i = j;
+      }
+      if (best != label[c] && 2 * best_sum >= cg.internal[c]) {
+        label[c] = best;
+        changed = true;
+        any = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return any;
+}
+
+// Community-aware greedy edge-cut. Four phases, all deterministic:
+//  1. Label propagation finds fine-grained clusters (communities or
+//     fragments thereof).
+//  2. Multi-level coarsening: contract the clusters and run weighted label
+//     propagation on the supergraph, repeating while fragments keep
+//     merging. Fragments of one community fuse (connection ~ cohesion);
+//     bridged communities stay separate (connection ≪ cohesion).
+//  3. Clusters are packed whole into shards in affinity order, Prim-style:
+//     starting from the largest, repeatedly place the cluster with the
+//     heaviest edge weight to any already-populated shard, onto the shard
+//     it is most attached to among those with room under the 5% balance
+//     slack (ties toward the emptier shard, then the lower index). Placing
+//     by attachment rather than by size keeps each community's clusters
+//     chaining onto the same shard. A cluster that fits nowhere is split
+//     by a FENNEL-style greedy stream over its vertices in BFS order:
+//     highest placed-neighbor count minus the marginal balance cost
+//     α·γ·√size (Tsourakakis et al., WSDM'14, γ = 1.5, α = √k·m/n^1.5).
+//  4. A few rounds of local refinement move stragglers to the shard
+//     holding most of their neighbors while respecting the slack.
+// Packing whole clusters is what keeps communities intact: a pure stream
+// tears whichever community happens to straddle a shard's capacity fill.
+void AssignGreedy(const Graph& data, uint32_t shard_count,
+                  std::vector<uint32_t>& assignment) {
+  const uint32_t n = data.vertex_count();
+  const double capacity =
+      std::max(1.0, (static_cast<double>(n) / shard_count) * 1.05);
+  const double m = static_cast<double>(data.edge_count());
+  const double alpha_gamma =
+      n > 0 ? 1.5 * std::sqrt(static_cast<double>(shard_count)) *
+                  std::max(m, static_cast<double>(n)) /
+                  (static_cast<double>(n) * std::sqrt(static_cast<double>(n)))
+            : 1.0;
+
+  // ---- Phases 1–2: fine clusters, then multi-level coarsening. ----
+  std::vector<uint32_t> cluster = PropagateClusters(data, /*rounds=*/5);
+  ClusterGraph cg = ContractClusters(data, cluster);
+  std::vector<uint32_t> label;
+  for (int level = 0; level < 4 && cg.count > 1; ++level) {
+    if (!PropagateWeighted(cg, label, /*rounds=*/5)) break;
+    for (Vertex v = 0; v < n; ++v) cluster[v] = label[cluster[v]];
+    cg = ContractClusters(data, cluster);
+  }
+  std::vector<std::vector<Vertex>> members(cg.count);
+  for (Vertex v = 0; v < n; ++v) members[cluster[v]].push_back(v);
+
+  // ---- Phase 3: pack in affinity order (Prim-style). ----
+  std::vector<uint32_t> sizes(shard_count, 0);
+  std::vector<uint32_t> neighbor_hits(shard_count, 0);
+  std::vector<bool> placed(n, false);
+  std::vector<bool> cluster_placed(cg.count, false);
+  // affinity[c * shard_count + s] = summed edge weight from cluster c to
+  // the clusters already placed on shard s; best_affinity[c] = its max.
+  std::vector<uint64_t> affinity(
+      static_cast<size_t>(cg.count) * shard_count, 0);
+  std::vector<uint64_t> best_affinity(cg.count, 0);
+  // Max-heap of (affinity snapshot, cluster size, ~cluster id): heaviest
+  // attachment first, then the larger cluster, then the smaller id. Stale
+  // snapshots are skipped on pop (a fresher entry is always present).
+  using HeapEntry = std::tuple<uint64_t, uint32_t, uint32_t>;
+  std::priority_queue<HeapEntry> heap;
+  for (uint32_t c = 0; c < cg.count; ++c) {
+    heap.emplace(0, cg.size[c], ~c);
+  }
+  while (!heap.empty()) {
+    const auto [snapshot, unused_size, inverted] = heap.top();
+    heap.pop();
+    const uint32_t c = ~inverted;
+    if (cluster_placed[c] || snapshot != best_affinity[c]) continue;
+    const std::vector<Vertex>& cluster_members = members[c];
+    uint32_t best = shard_count;
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      if (static_cast<double>(sizes[s]) + cluster_members.size() > capacity) {
+        continue;
+      }
+      const uint64_t a = affinity[static_cast<size_t>(c) * shard_count + s];
+      const uint64_t b =
+          best == shard_count
+              ? 0
+              : affinity[static_cast<size_t>(c) * shard_count + best];
+      if (best == shard_count || a > b || (a == b && sizes[s] < sizes[best])) {
+        best = s;
+      }
+    }
+    if (best != shard_count) {
+      for (const Vertex v : cluster_members) {
+        assignment[v] = best;
+        placed[v] = true;
+      }
+      sizes[best] += static_cast<uint32_t>(cluster_members.size());
+    } else {
+      // No shard can hold the whole cluster: FENNEL-stream its vertices in
+      // BFS order (every streamed vertex after the first has placed
+      // neighbors, so the cut through the cluster stays local).
+      for (const Vertex v : BfsOrderWithin(data, cluster_members)) {
+        std::memset(neighbor_hits.data(), 0,
+                    neighbor_hits.size() * sizeof(uint32_t));
+        for (const Vertex w : data.neighbors(v)) {
+          if (placed[w]) ++neighbor_hits[assignment[w]];
+        }
+        uint32_t target = shard_count;
+        double best_score = 0.0;
+        for (uint32_t s = 0; s < shard_count; ++s) {
+          if (static_cast<double>(sizes[s]) >= capacity) continue;
+          const double score =
+              static_cast<double>(neighbor_hits[s]) -
+              alpha_gamma * std::sqrt(static_cast<double>(sizes[s]));
+          if (target == shard_count || score > best_score ||
+              (score == best_score && sizes[s] < sizes[target])) {
+            target = s;
+            best_score = score;
+          }
+        }
+        if (target == shard_count) target = 0;  // all full; slack absorbs it
+        assignment[v] = target;
+        placed[v] = true;
+        ++sizes[target];
+      }
+    }
+    cluster_placed[c] = true;
+    // The placement strengthens every unplaced neighbor's pull; refresh
+    // their heap entries. After a stream split the cluster may span
+    // several shards, so recount per member shard.
+    std::fill(neighbor_hits.begin(), neighbor_hits.end(), 0);
+    if (best != shard_count) {
+      for (size_t e = cg.offset[c]; e < cg.offset[c + 1]; ++e) {
+        const uint32_t d = cg.edges[e].first;
+        if (cluster_placed[d]) continue;
+        const size_t slot = static_cast<size_t>(d) * shard_count + best;
+        affinity[slot] += cg.edges[e].second;
+        if (affinity[slot] > best_affinity[d]) {
+          best_affinity[d] = affinity[slot];
+          heap.emplace(best_affinity[d], cg.size[d], ~d);
+        }
+      }
+    } else {
+      // Stream-split cluster: attribute each member's edges to its shard.
+      for (const Vertex v : cluster_members) {
+        for (const Vertex w : data.neighbors(v)) {
+          const uint32_t d = cluster[w];
+          if (cluster_placed[d]) continue;
+          const size_t slot =
+              static_cast<size_t>(d) * shard_count + assignment[v];
+          affinity[slot] += 1;
+          if (affinity[slot] > best_affinity[d]) {
+            best_affinity[d] = affinity[slot];
+            heap.emplace(best_affinity[d], cg.size[d], ~d);
+          }
+        }
+      }
+    }
+  }
+  // METIS-style local refinement: a few deterministic rounds moving each
+  // vertex to the shard holding most of its neighbors when that strictly
+  // reduces the cut and respects the soft capacity. Cleans up the vertices
+  // the stream placed before their community arrived.
+  const auto size_cap = static_cast<uint32_t>(capacity);
+  for (int round = 0; round < 5; ++round) {
+    bool moved = false;
+    for (Vertex v = 0; v < n; ++v) {
+      std::memset(neighbor_hits.data(), 0,
+                  neighbor_hits.size() * sizeof(uint32_t));
+      for (const Vertex w : data.neighbors(v)) ++neighbor_hits[assignment[w]];
+      const uint32_t current = assignment[v];
+      uint32_t best = current;
+      for (uint32_t s = 0; s < shard_count; ++s) {
+        if (s == current || sizes[s] >= size_cap) continue;
+        if (neighbor_hits[s] > neighbor_hits[best]) best = s;
+      }
+      if (best != current) {
+        --sizes[current];
+        ++sizes[best];
+        assignment[v] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+const char* PartitionerName(Partitioner partitioner) {
+  switch (partitioner) {
+    case Partitioner::kHash:
+      return "hash";
+    case Partitioner::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+std::optional<Partitioner> ParsePartitioner(std::string_view name) {
+  if (name == "hash") return Partitioner::kHash;
+  if (name == "greedy") return Partitioner::kGreedy;
+  return std::nullopt;
+}
+
+Partition Partition::Build(const Graph& data, uint32_t shard_count,
+                           Partitioner method) {
+  Partition partition;
+  partition.shard_count = std::max(shard_count, 1u);
+  partition.method = method;
+  partition.assignment.assign(data.vertex_count(), 0);
+  partition.shard_sizes.assign(partition.shard_count, 0);
+  if (partition.shard_count > 1) {
+    switch (method) {
+      case Partitioner::kHash:
+        AssignByHash(data, partition.shard_count, partition.assignment);
+        break;
+      case Partitioner::kGreedy:
+        AssignGreedy(data, partition.shard_count, partition.assignment);
+        break;
+    }
+  }
+  for (Vertex v = 0; v < data.vertex_count(); ++v) {
+    ++partition.shard_sizes[partition.assignment[v]];
+    for (const Vertex w : data.neighbors(v)) {
+      if (w > v && partition.assignment[w] != partition.assignment[v]) {
+        ++partition.cut_edges;
+      }
+    }
+  }
+  return partition;
+}
+
+}  // namespace sgm::shard

@@ -1,0 +1,147 @@
+#include "sgm/shard/sharded_graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "sgm/graph/graph_utils.h"
+
+namespace sgm::shard {
+
+namespace {
+
+Shard BuildShard(const Graph& data, const Partition& partition, uint32_t s) {
+  Shard shard;
+  const std::vector<uint32_t>& assignment = partition.assignment;
+  // Owned globals ascending, then halo globals ascending: the owned-first
+  // local id layout the executor's id-threshold restriction relies on.
+  for (Vertex v = 0; v < data.vertex_count(); ++v) {
+    if (assignment[v] == s) shard.local_to_global.push_back(v);
+  }
+  shard.owned_count = static_cast<uint32_t>(shard.local_to_global.size());
+  std::vector<Vertex> halo;
+  for (uint32_t i = 0; i < shard.owned_count; ++i) {
+    for (const Vertex w : data.neighbors(shard.local_to_global[i])) {
+      if (assignment[w] != s) halo.push_back(w);
+    }
+  }
+  std::sort(halo.begin(), halo.end());
+  halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+  shard.local_to_global.insert(shard.local_to_global.end(), halo.begin(),
+                               halo.end());
+
+  std::vector<Vertex> global_to_local(data.vertex_count(), kInvalidVertex);
+  for (uint32_t i = 0; i < shard.local_to_global.size(); ++i) {
+    global_to_local[shard.local_to_global[i]] = i;
+  }
+  std::vector<Label> labels(shard.local_to_global.size());
+  for (uint32_t i = 0; i < shard.local_to_global.size(); ++i) {
+    labels[i] = data.label(shard.local_to_global[i]);
+  }
+  // Every edge with an owned endpoint, each exactly once: owned-owned edges
+  // from the lower endpoint, owned-halo edges from the owned side. Halo-halo
+  // edges are dropped — no all-owned embedding can use them.
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (uint32_t i = 0; i < shard.owned_count; ++i) {
+    const Vertex v = shard.local_to_global[i];
+    for (const Vertex w : data.neighbors(v)) {
+      if (assignment[w] != s || w > v) {
+        edges.emplace_back(i, global_to_local[w]);
+      }
+    }
+  }
+  shard.graph = Graph(std::move(labels), edges);
+  return shard;
+}
+
+}  // namespace
+
+ShardedGraph::ShardedGraph(const Graph& data, uint32_t shard_count,
+                           Partitioner method)
+    : data_(&data),
+      partition_(Partition::Build(data, shard_count, method)) {
+  shards_.resize(partition_.shard_count);
+  const uint32_t workers = std::min<uint32_t>(
+      partition_.shard_count,
+      std::max(2u, std::thread::hardware_concurrency()));
+  if (workers <= 1 || partition_.shard_count <= 1) {
+    for (uint32_t s = 0; s < partition_.shard_count; ++s) {
+      shards_[s] = BuildShard(data, partition_, s);
+    }
+  } else {
+    std::atomic<uint32_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (uint32_t t = 0; t < workers; ++t) {
+      threads.emplace_back([&] {
+        for (uint32_t s = next.fetch_add(1); s < partition_.shard_count;
+             s = next.fetch_add(1)) {
+          shards_[s] = BuildShard(data, partition_, s);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (Vertex v = 0; v < data.vertex_count(); ++v) {
+    for (const Vertex w : data.neighbors(v)) {
+      if (w > v && partition_.assignment[w] != partition_.assignment[v]) {
+        boundary_.push_back(v);
+        boundary_.push_back(w);
+      }
+    }
+  }
+  std::sort(boundary_.begin(), boundary_.end());
+  boundary_.erase(std::unique(boundary_.begin(), boundary_.end()),
+                  boundary_.end());
+}
+
+std::shared_ptr<const CutRegion> ShardedGraph::Region(uint32_t radius) const {
+  if (boundary_.empty()) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(region_mutex_);
+    auto it = regions_.find(radius);
+    if (it != regions_.end()) return it->second;
+  }
+  // Multi-source BFS from every cut-edge endpoint, `radius` hops deep.
+  std::vector<uint32_t> dist(data_->vertex_count(), kInvalidVertex);
+  std::deque<Vertex> queue;
+  for (const Vertex b : boundary_) {
+    dist[b] = 0;
+    queue.push_back(b);
+  }
+  while (!queue.empty()) {
+    const Vertex v = queue.front();
+    queue.pop_front();
+    if (dist[v] >= radius) continue;
+    for (const Vertex w : data_->neighbors(v)) {
+      if (dist[w] == kInvalidVertex) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  auto region = std::make_shared<CutRegion>();
+  region->radius = radius;
+  for (Vertex v = 0; v < data_->vertex_count(); ++v) {
+    if (dist[v] != kInvalidVertex) region->local_to_global.push_back(v);
+  }
+  region->graph = InducedSubgraph(*data_, region->local_to_global);
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  auto [it, inserted] = regions_.emplace(radius, std::move(region));
+  return it->second;
+}
+
+size_t ShardedGraph::MemoryBytes() const {
+  size_t bytes = sizeof(ShardedGraph) + partition_.MemoryBytes() +
+                 boundary_.capacity() * sizeof(Vertex);
+  for (const Shard& shard : shards_) bytes += shard.MemoryBytes();
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  for (const auto& [radius, region] : regions_) {
+    bytes += region->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace sgm::shard

@@ -1,0 +1,105 @@
+// Sharded view of a data graph: K self-contained shard graphs plus the cut
+// region the boundary pass enumerates (DESIGN.md §13).
+//
+// Each shard packages the vertices it owns together with a one-hop halo of
+// ghost vertices, so every edge incident to an owned vertex is present and
+// the shard is a fully valid `Graph` — filters, auxiliary structures and
+// the enumeration engine run on it unmodified. Local vertex ids are laid
+// out owned-first (owned globals ascending, then halo globals ascending),
+// which lets the sharded executor restrict a pass to owned vertices with a
+// single id threshold (MatchOptions::restrict_candidates_below).
+//
+// The cut region is the vertex-induced subgraph on the ball of radius r
+// around the cut-edge endpoints. For r >= the query's worst edge
+// eccentricity (max over query edges of the distance from any query vertex
+// to the nearer endpoint — at most the diameter) it provably contains
+// every embedding that spans two shards (the exactness argument in
+// DESIGN.md §13), so one pass over it completes the shard-local counts.
+// Regions are built lazily per radius and cached; a ShardedGraph is safe to
+// share across concurrent requests.
+#ifndef SGM_SHARD_SHARDED_GRAPH_H_
+#define SGM_SHARD_SHARDED_GRAPH_H_
+
+#include <memory>
+#include <mutex>
+#include <map>
+#include <vector>
+
+#include "sgm/graph/graph.h"
+#include "sgm/shard/partition.h"
+
+namespace sgm::shard {
+
+/// One shard: the owned vertices plus their one-hop halo, as a standalone
+/// graph. Halo-halo edges are intentionally absent — every shard edge has
+/// at least one owned endpoint, and embeddings confined to owned vertices
+/// see exactly their full neighborhoods.
+struct Shard {
+  Graph graph;
+  /// Local ids [0, owned_count) are owned; [owned_count, n) are halo.
+  uint32_t owned_count = 0;
+  /// local id -> global data vertex; ascending within each segment.
+  std::vector<Vertex> local_to_global;
+
+  uint32_t halo_count() const {
+    return graph.vertex_count() - owned_count;
+  }
+  size_t MemoryBytes() const {
+    return sizeof(Shard) + graph.MemoryBytes() +
+           local_to_global.capacity() * sizeof(Vertex);
+  }
+};
+
+/// Vertex-induced subgraph on the ball of `radius` around the cut-edge
+/// endpoints, with the local->global mapping needed to report matches in
+/// data-graph ids.
+struct CutRegion {
+  Graph graph;
+  /// local id -> global data vertex, ascending.
+  std::vector<Vertex> local_to_global;
+  uint32_t radius = 0;
+
+  size_t MemoryBytes() const {
+    return sizeof(CutRegion) + graph.MemoryBytes() +
+           local_to_global.capacity() * sizeof(Vertex);
+  }
+};
+
+/// The partitioned data graph: partition + shard graphs + lazily cached cut
+/// regions. Immutable after construction except for the region cache, which
+/// is internally synchronized; sharing one instance across threads (the
+/// serving path) is safe. The referenced data graph must outlive this
+/// object.
+class ShardedGraph {
+ public:
+  ShardedGraph(const Graph& data, uint32_t shard_count, Partitioner method);
+
+  const Graph& data() const { return *data_; }
+  const Partition& partition() const { return partition_; }
+  uint32_t shard_count() const { return partition_.shard_count; }
+  const Shard& shard(uint32_t s) const { return shards_[s]; }
+
+  /// Sorted global ids of cut-edge endpoints. Empty when nothing is cut —
+  /// the boundary pass is skipped then.
+  const std::vector<Vertex>& boundary_vertices() const { return boundary_; }
+
+  /// The cut region for the given radius (lazily built, cached, shared).
+  /// Returns nullptr when there are no cut edges.
+  std::shared_ptr<const CutRegion> Region(uint32_t radius) const;
+
+  /// Footprint of the sharded structures (the data graph is not owned and
+  /// not counted).
+  size_t MemoryBytes() const;
+
+ private:
+  const Graph* data_;
+  Partition partition_;
+  std::vector<Shard> shards_;
+  std::vector<Vertex> boundary_;
+  mutable std::mutex region_mutex_;
+  mutable std::map<uint32_t, std::shared_ptr<const CutRegion>> regions_;
+};
+
+}  // namespace sgm::shard
+
+#endif  // SGM_SHARD_SHARDED_GRAPH_H_

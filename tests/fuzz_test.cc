@@ -109,6 +109,46 @@ TEST(FuzzReproducerTest, RoundTripsThroughText) {
   EXPECT_EQ(a.reference_count, b.reference_count);
 }
 
+TEST(FuzzReproducerTest, ShardKeysRoundTrip) {
+  FuzzCase original = GenerateCase(42);
+  ASSERT_FALSE(original.configs.empty());
+  // Force a sharded config regardless of what the generator drew, so the
+  // sh=/part= reproducer keys are exercised deterministically.
+  original.configs[0].threads = 1;
+  original.configs[0].service = false;
+  original.configs[0].shards = 4;
+  original.configs[0].partitioner = shard::Partitioner::kHash;
+  Reproducer reproducer{original, VerdictKind::kAgree};
+  std::ostringstream out;
+  WriteReproducer(reproducer, out);
+  EXPECT_NE(out.str().find(" sh=4 part=hash"), std::string::npos);
+
+  std::istringstream in(out.str());
+  std::string error;
+  const auto loaded = ReadReproducer(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_FALSE(loaded->fuzz_case.configs.empty());
+  EXPECT_EQ(loaded->fuzz_case.configs[0].shards, 4u);
+  EXPECT_EQ(loaded->fuzz_case.configs[0].partitioner,
+            shard::Partitioner::kHash);
+  EXPECT_EQ(loaded->fuzz_case.configs[0].Name(), original.configs[0].Name());
+
+  // Pre-shard corpus files (no sh=/part= keys) parse with the monolithic
+  // defaults: strip the new keys from the serialized text and re-read.
+  std::string legacy_text = out.str();
+  for (const std::string& key : {std::string(" sh="), std::string(" part=")}) {
+    size_t at;
+    while ((at = legacy_text.find(key)) != std::string::npos) {
+      size_t end = legacy_text.find_first_of(" \n", at + key.size());
+      legacy_text.erase(at, end - at);
+    }
+  }
+  std::istringstream legacy(legacy_text);
+  const auto old_style = ReadReproducer(legacy, &error);
+  ASSERT_TRUE(old_style.has_value()) << error;
+  EXPECT_EQ(old_style->fuzz_case.configs[0].shards, 1u);
+}
+
 TEST(FuzzReproducerTest, RejectsMalformedInput) {
   const auto parse = [](const std::string& text) {
     std::istringstream in(text);

@@ -236,7 +236,7 @@ void ValidatePrometheus(const std::string& text) {
     std::string name = series.substr(0, series.find('{'));
     // Histogram expansions attach to their family name.
     std::string family = name;
-    for (const std::string& suffix : {"_bucket", "_sum", "_count"}) {
+    for (const std::string suffix : {"_bucket", "_sum", "_count"}) {
       if (family_type.count(family) == 0 && name.size() > suffix.size() &&
           name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
               0) {

@@ -180,7 +180,9 @@ TEST(ThreadCpuTimerTest, IsMonotoneAndAdvancesUnderWork) {
   ThreadCpuTimer timer;
   volatile uint64_t sink = 0;
   while (timer.ElapsedNanos() <= 0) {
-    for (int i = 0; i < 1000; ++i) sink += static_cast<uint64_t>(i);
+    for (int i = 0; i < 1000; ++i) {
+      sink = sink + static_cast<uint64_t>(i);
+    }
   }
   EXPECT_GT(timer.ElapsedNanos(), 0);
   EXPECT_GE(ThreadCpuTimer::NowNanos(), before);

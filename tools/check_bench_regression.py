@@ -1,11 +1,24 @@
 #!/usr/bin/env python3
-"""Guard serving-latency regressions in CI.
+"""Guard benchmark regressions in CI.
 
-Compares a freshly generated BENCH_service.json (tools/sgm_serve --out)
-against a committed baseline and fails when any pass's p99 latency
-regresses by more than the allowed ratio. Sub-millisecond baselines are
-noisy on shared CI runners, so an absolute slack floor is always added
-on top of the ratio before a regression is declared.
+Two modes:
+
+* Manifest mode (--manifest): run a list of checks, each comparing a
+  freshly generated benchmark JSON against a committed baseline. Two
+  metric kinds are understood:
+    - service_p99:        BENCH_service.json (tools/sgm_serve --out);
+                          per-pass latency.p99_ms, higher is worse.
+    - benchmark_cpu_time: google-benchmark --benchmark_out JSON;
+                          per-benchmark cpu_time, higher is worse.
+  Every check prints a per-metric table and the run fails if any metric
+  exceeds its budget.
+
+* Legacy mode (--baseline/--current): the original serving-p99 check,
+  kept so existing invocations and docs stay valid.
+
+Budgets combine a fractional threshold with an absolute slack floor:
+sub-millisecond baselines are noisy on shared CI runners, so the floor
+absorbs scheduler jitter that a pure ratio would flag.
 
 Exit codes: 0 = within budget, 1 = regression, 2 = usage or I/O error.
 """
@@ -20,65 +33,148 @@ def fail_usage(message):
     sys.exit(2)
 
 
-def load_passes(path):
+def load_json(path):
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            doc = json.load(handle)
+            return json.load(handle)
     except OSError as err:
         fail_usage(f"cannot read {path}: {err}")
     except json.JSONDecodeError as err:
         fail_usage(f"{path} is not JSON: {err}")
+
+
+def load_service_metrics(path):
+    """BENCH_service.json -> {pass key: p99 ms}."""
+    doc = load_json(path)
     if doc.get("bench") != "service" or not isinstance(doc.get("passes"), list):
         fail_usage(f"{path} is not a BENCH_service.json document "
                    "(expected bench=service with a passes array)")
-    passes = {}
+    metrics = {}
     for entry in doc["passes"]:
         key = "cache-on" if entry.get("cache") else "cache-off"
         p99 = entry.get("latency", {}).get("p99_ms")
         if not isinstance(p99, (int, float)):
             fail_usage(f"pass {key} in {path} has no latency.p99_ms")
-        passes[key] = float(p99)
-    if not passes:
+        metrics[key] = float(p99)
+    if not metrics:
         fail_usage(f"{path} has no passes")
-    return passes
+    return metrics
+
+
+_TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_benchmark_metrics(path):
+    """google-benchmark JSON -> {benchmark name: cpu_time ms}."""
+    doc = load_json(path)
+    if not isinstance(doc.get("benchmarks"), list):
+        fail_usage(f"{path} is not a google-benchmark JSON document "
+                   "(expected a benchmarks array)")
+    metrics = {}
+    for entry in doc["benchmarks"]:
+        if entry.get("run_type") == "aggregate":
+            continue  # compare raw runs, not mean/median/stddev rows
+        name = entry.get("name")
+        cpu = entry.get("cpu_time")
+        unit = entry.get("time_unit", "ns")
+        if not isinstance(name, str) or not isinstance(cpu, (int, float)):
+            fail_usage(f"benchmark entry without name/cpu_time in {path}")
+        if unit not in _TIME_UNIT_TO_MS:
+            fail_usage(f"unknown time_unit '{unit}' in {path}")
+        metrics[name] = float(cpu) * _TIME_UNIT_TO_MS[unit]
+    if not metrics:
+        fail_usage(f"{path} has no benchmarks")
+    return metrics
+
+
+_LOADERS = {
+    "service_p99": load_service_metrics,
+    "benchmark_cpu_time": load_benchmark_metrics,
+}
+
+
+def compare(name, baseline, current, max_regression, slack_ms):
+    """Prints the per-metric table for one check; returns True on failure."""
+    failed = False
+    width = max([len(k) for k in baseline] + [len(k) for k in current] + [6])
+    print(f"== {name} (threshold +{max_regression * 100:.0f}%, "
+          f"slack {slack_ms:g} ms) ==")
+    for key, base in sorted(baseline.items()):
+        if key not in current:
+            print(f"  {key:<{width}}  missing from current run -> REGRESSION")
+            failed = True
+            continue
+        cur = current[key]
+        budget = base * (1.0 + max_regression) + slack_ms
+        delta = (cur / base - 1.0) * 100.0 if base > 0.0 else 0.0
+        verdict = "OK" if cur <= budget else "REGRESSION"
+        print(f"  {key:<{width}}  {cur:9.3f} ms vs {base:9.3f} ms "
+              f"({delta:+6.1f}%)  budget {budget:9.3f} ms  {verdict}")
+        if cur > budget:
+            failed = True
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  {key:<{width}}  not in baseline, skipping "
+              f"({current[key]:.3f} ms)")
+    return failed
+
+
+def run_manifest(path, default_regression, default_slack):
+    doc = load_json(path)
+    checks = doc.get("checks")
+    if not isinstance(checks, list) or not checks:
+        fail_usage(f"{path} has no checks array")
+    failed = False
+    for check in checks:
+        kind = check.get("kind")
+        if kind not in _LOADERS:
+            fail_usage(f"check {check.get('name', '?')} in {path} has "
+                       f"unknown kind '{kind}'")
+        for field in ("baseline", "current"):
+            if not isinstance(check.get(field), str):
+                fail_usage(f"check {check.get('name', '?')} in {path} "
+                           f"lacks a '{field}' path")
+        loader = _LOADERS[kind]
+        if compare(check.get("name", check["current"]),
+                   loader(check["baseline"]),
+                   loader(check["current"]),
+                   float(check.get("max_regression", default_regression)),
+                   float(check.get("slack_ms", default_slack))):
+            failed = True
+    return failed
 
 
 def main():
     parser = argparse.ArgumentParser(
-        description="Fail when serving p99 latency regresses vs a baseline.")
-    parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_service.json to compare against")
-    parser.add_argument("--current", required=True,
-                        help="freshly generated BENCH_service.json")
+        description="Fail when benchmark metrics regress vs their baselines.")
+    parser.add_argument("--manifest",
+                        help="JSON manifest of checks: {checks: [{name, kind, "
+                             "baseline, current, max_regression, slack_ms}]}")
+    parser.add_argument("--baseline",
+                        help="legacy mode: committed BENCH_service.json")
+    parser.add_argument("--current",
+                        help="legacy mode: freshly generated BENCH_service.json")
     parser.add_argument("--max-regression", type=float, default=0.25,
-                        help="allowed fractional p99 increase (default 0.25)")
+                        help="allowed fractional increase when a check does "
+                             "not set its own (default 0.25)")
     parser.add_argument("--slack-ms", type=float, default=2.0,
-                        help="absolute slack added to every budget, "
-                             "absorbing scheduler noise on tiny latencies "
-                             "(default 2.0)")
+                        help="absolute slack added to every budget, absorbing "
+                             "scheduler noise on tiny latencies (default 2.0)")
     args = parser.parse_args()
     if args.max_regression < 0.0 or args.slack_ms < 0.0:
         parser.error("--max-regression and --slack-ms must be non-negative")
 
-    baseline = load_passes(args.baseline)
-    current = load_passes(args.current)
-
-    failed = False
-    for key, base_p99 in sorted(baseline.items()):
-        if key not in current:
-            print(f"{key}: missing from {args.current}", file=sys.stderr)
-            failed = True
-            continue
-        cur_p99 = current[key]
-        budget = base_p99 * (1.0 + args.max_regression) + args.slack_ms
-        delta = (cur_p99 / base_p99 - 1.0) * 100.0 if base_p99 > 0.0 else 0.0
-        verdict = "OK" if cur_p99 <= budget else "REGRESSION"
-        print(f"{key}: p99 {cur_p99:.2f} ms vs baseline {base_p99:.2f} ms "
-              f"({delta:+.1f}%), budget {budget:.2f} ms -> {verdict}")
-        if cur_p99 > budget:
-            failed = True
-    for key in sorted(set(current) - set(baseline)):
-        print(f"{key}: not in baseline, skipping (p99 {current[key]:.2f} ms)")
+    if args.manifest:
+        if args.baseline or args.current:
+            parser.error("--manifest and --baseline/--current are exclusive")
+        failed = run_manifest(args.manifest, args.max_regression,
+                              args.slack_ms)
+    else:
+        if not args.baseline or not args.current:
+            parser.error("either --manifest or both --baseline and --current "
+                         "are required")
+        failed = compare("serving-p99", load_service_metrics(args.baseline),
+                         load_service_metrics(args.current),
+                         args.max_regression, args.slack_ms)
 
     return 1 if failed else 0
 

@@ -56,6 +56,8 @@ struct CliArgs {
   uint32_t workers = 4;
   uint32_t concurrency = 8;
   uint32_t repeat = 1;
+  uint32_t shards = 0;
+  sgm::shard::Partitioner partitioner = sgm::shard::Partitioner::kGreedy;
   size_t cache_mb = 256;
   bool compare_cache = false;
   uint64_t max_matches = 100000;
@@ -75,6 +77,7 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: sgm_serve --data g.graph --workload FILE"
                " [--workers N] [--concurrency K] [--repeat R]"
+               " [--shards K] [--partitioner P]"
                " [--cache-mb MB] [--no-cache] [--compare-cache]"
                " [--max-matches N] [--deadline-ms N] [--time-limit-ms N]"
                " [--max-queue N] [--out FILE.json] [--report FILE.json]"
@@ -100,6 +103,11 @@ void PrintHelp() {
       "  --workers N         service worker threads (default 4)\n"
       "  --concurrency K     max requests in flight (default 8)\n"
       "  --repeat R          replay each workload entry R times (default 1)\n"
+      "  --shards K          serve against K data-graph shards with a\n"
+      "                      boundary merge pass; sharded requests bypass\n"
+      "                      the plan cache (default 0 = monolithic)\n"
+      "  --partitioner P     hash|greedy — shard partitioner (default\n"
+      "                      greedy)\n"
       "  --cache-mb MB       plan cache memory budget in MiB (default 256)\n"
       "  --no-cache          disable the plan cache (same as --cache-mb 0)\n"
       "  --compare-cache     run cache-on and cache-off passes, verify\n"
@@ -163,6 +171,16 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
     } else if (flag == "--repeat" && (value = next())) {
       args->repeat =
           static_cast<uint32_t>(std::strtoul(value->c_str(), nullptr, 10));
+    } else if (flag == "--shards" && (value = next())) {
+      args->shards =
+          static_cast<uint32_t>(std::strtoul(value->c_str(), nullptr, 10));
+    } else if (flag == "--partitioner" && (value = next())) {
+      const auto partitioner = sgm::shard::ParsePartitioner(*value);
+      if (!partitioner.has_value()) {
+        std::fprintf(stderr, "unknown partitioner: %s\n", value->c_str());
+        return false;
+      }
+      args->partitioner = *partitioner;
     } else if (flag == "--cache-mb" && (value = next())) {
       args->cache_mb = std::strtoull(value->c_str(), nullptr, 10);
     } else if (flag == "--no-cache") {
@@ -342,6 +360,8 @@ PassResult RunPass(const CliArgs& args, const sgm::Graph& data,
                    sgm::obs::SlowQueryLog* slow_query_log) {
   sgm::service::ServiceOptions service_options;
   service_options.worker_count = args.workers;
+  service_options.shards = args.shards;
+  service_options.shard_partitioner = args.partitioner;
   service_options.plan_cache_budget_bytes =
       cache_enabled ? args.cache_mb << 20 : 0;
   service_options.max_queue_depth = args.max_queue;
@@ -525,6 +545,10 @@ int main(int argc, char** argv) {
       "serving %zu quer%s x %u repeat%s on %u workers, concurrency %u\n",
       queries->size(), queries->size() == 1 ? "y" : "ies", args.repeat,
       args.repeat == 1 ? "" : "s", args.workers, args.concurrency);
+  if (args.shards > 1) {
+    std::printf("sharded execution: %u shards, %s partitioner\n", args.shards,
+                sgm::shard::PartitionerName(args.partitioner));
+  }
 
   std::unique_ptr<sgm::obs::SlowQueryLog> slow_query_log;
   if (!args.slow_query_log_path.empty()) {
@@ -573,6 +597,11 @@ int main(int argc, char** argv) {
   workload.Set("workers", sgm::obs::Json::Number(uint64_t{args.workers}));
   workload.Set("concurrency",
                sgm::obs::Json::Number(uint64_t{args.concurrency}));
+  workload.Set("shards", sgm::obs::Json::Number(uint64_t{args.shards}));
+  workload.Set("partitioner",
+               sgm::obs::Json::String(
+                   args.shards > 1 ? sgm::shard::PartitionerName(args.partitioner)
+                                   : "none"));
   root.Set("workload", std::move(workload));
   sgm::obs::Json passes_json = sgm::obs::Json::Array();
   for (const PassResult& pass : passes) passes_json.Append(PassToJson(pass));
