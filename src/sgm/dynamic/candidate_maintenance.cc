@@ -1,0 +1,88 @@
+#include "sgm/dynamic/candidate_maintenance.h"
+
+namespace sgm::dynamic {
+
+namespace {
+
+constexpr size_t WordsFor(uint32_t vertex_count) {
+  return (static_cast<size_t>(vertex_count) + 63) / 64;
+}
+
+}  // namespace
+
+DynamicCandidates::DynamicCandidates(const Graph& query,
+                                     const DynamicGraph& data)
+    : query_(&query),
+      bits_(query.vertex_count()),
+      label_count_scratch_(data.label_limit() + 1, 0) {
+  const size_t words = WordsFor(data.vertex_count());
+  for (std::vector<uint64_t>& bits : bits_) bits.assign(words, 0);
+  for (Vertex v = 0; v < data.vertex_count(); ++v) RepairVertex(data, v);
+}
+
+uint32_t DynamicCandidates::RepairVertex(const DynamicGraph& data, Vertex v) {
+  const size_t words = WordsFor(data.vertex_count());
+  for (std::vector<uint64_t>& bits : bits_) {
+    if (bits.size() < words) bits.resize(words, 0);
+  }
+  if (label_count_scratch_.size() < data.label_limit() + 1) {
+    label_count_scratch_.assign(data.label_limit() + 1, 0);
+  }
+
+  // One neighbor-label histogram for v, shared by all query vertices.
+  data.CopyNeighbors(v, &neighbor_scratch_);
+  for (const Vertex w : neighbor_scratch_) {
+    ++label_count_scratch_[data.label(w)];
+  }
+
+  uint32_t changed = 0;
+  const size_t word = v >> 6;
+  const uint64_t mask = 1ull << (v & 63);
+  for (uint32_t qu = 0; qu < bits_.size(); ++qu) {
+    const bool now = Passes(qu, data, v, label_count_scratch_);
+    const bool was = (bits_[qu][word] & mask) != 0;
+    if (now == was) continue;
+    bits_[qu][word] ^= mask;
+    ++changed;
+  }
+
+  for (const Vertex w : neighbor_scratch_) {
+    label_count_scratch_[data.label(w)] = 0;
+  }
+  return changed;
+}
+
+bool DynamicCandidates::Passes(
+    uint32_t query_vertex, const DynamicGraph& data, Vertex v,
+    const std::vector<uint32_t>& label_counts) const {
+  if (!data.alive(v)) return false;
+  if (data.label(v) != query_->label(query_vertex)) return false;
+  if (data.degree(v) < query_->degree(query_vertex)) return false;
+  for (const auto& need : query_->NeighborLabelFrequency(query_vertex)) {
+    if (need.label >= label_counts.size() ||
+        label_counts[need.label] < need.count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t DynamicCandidates::CandidateCount(uint32_t query_vertex) const {
+  uint64_t count = 0;
+  for (const uint64_t word : bits_[query_vertex]) {
+    count += static_cast<uint64_t>(__builtin_popcountll(word));
+  }
+  return count;
+}
+
+size_t DynamicCandidates::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const std::vector<uint64_t>& bits : bits_) {
+    bytes += bits.capacity() * sizeof(uint64_t);
+  }
+  bytes += neighbor_scratch_.capacity() * sizeof(Vertex);
+  bytes += label_count_scratch_.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace sgm::dynamic

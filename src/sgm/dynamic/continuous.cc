@@ -1,0 +1,153 @@
+#include "sgm/dynamic/continuous.h"
+
+#include <utility>
+
+#include "sgm/graph/graph_utils.h"
+#include "sgm/util/timer.h"
+
+namespace sgm::dynamic {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+uint64_t ContinuousMatcher::Register(Graph query, std::string* error) {
+  if (query.vertex_count() == 0) {
+    SetError(error, "continuous query must have at least one vertex");
+    return 0;
+  }
+  if (query.vertex_count() > 64) {
+    SetError(error, "continuous query exceeds 64 vertices");
+    return 0;
+  }
+  if (!IsConnected(query)) {
+    SetError(error, "continuous query must be connected");
+    return 0;
+  }
+  // A query label outside the graph's fixed vocabulary can never match a
+  // live vertex — and the tombstone label must stay unmatchable — so
+  // reject instead of silently returning zero matches forever.
+  for (Vertex qu = 0; qu < query.vertex_count(); ++qu) {
+    if (query.label(qu) >= graph_->label_limit()) {
+      SetError(error, "query label " + std::to_string(query.label(qu)) +
+                          " outside the graph's label vocabulary [0, " +
+                          std::to_string(graph_->label_limit()) + ")");
+      return 0;
+    }
+  }
+
+  const uint64_t id = next_query_id_++;
+  // Move the query into place first: DynamicCandidates keeps a pointer to
+  // the graph it was built from.
+  Registration& registration = registrations_[id];
+  registration.query = std::move(query);
+  registration.candidates =
+      std::make_unique<DynamicCandidates>(registration.query, *graph_);
+  return id;
+}
+
+bool ContinuousMatcher::Unregister(uint64_t query_id) {
+  return registrations_.erase(query_id) != 0;
+}
+
+void ContinuousMatcher::RepairAll(Vertex v, std::vector<MatchDelta>* deltas) {
+  size_t index = 0;
+  for (auto& [id, registration] : registrations_) {
+    (*deltas)[index].candidates_repaired +=
+        registration.candidates->RepairVertex(*graph_, v);
+    ++index;
+  }
+}
+
+std::optional<BatchResult> ContinuousMatcher::ApplyBatch(
+    const UpdateBatch& batch, std::string* error) {
+  if (!graph_->ValidateBatch(batch, error)) return std::nullopt;
+
+  Timer batch_timer;
+  double enumerate_ms = 0.0;
+
+  BatchResult result;
+  result.deltas.resize(registrations_.size());
+  {
+    size_t index = 0;
+    for (const auto& [id, registration] : registrations_) {
+      result.deltas[index++].query_id = id;
+    }
+  }
+
+  const auto enumerate_edge = [&](Vertex a, Vertex b, bool addition) {
+    Timer timer;
+    size_t index = 0;
+    for (auto& [id, registration] : registrations_) {
+      MatchDelta& delta = result.deltas[index++];
+      EnumerateEdgeAnchored(
+          registration.query, *graph_, *registration.candidates, a, b,
+          [&](std::span<const Vertex> embedding) {
+            delta.records.push_back(
+                {addition, {embedding.begin(), embedding.end()}});
+            addition ? ++delta.additions : ++delta.retractions;
+          },
+          &delta.enumerate);
+    }
+    enumerate_ms += timer.ElapsedMillis();
+  };
+  // Single-vertex queries have no edges to anchor on; their match set is
+  // exactly their candidate set, so vertex ops drive them directly.
+  const auto vertex_delta = [&](Vertex v, bool addition) {
+    size_t index = 0;
+    for (auto& [id, registration] : registrations_) {
+      MatchDelta& delta = result.deltas[index++];
+      if (registration.query.vertex_count() != 1) continue;
+      if (!registration.candidates->IsCandidate(0, v)) continue;
+      delta.records.push_back({addition, {v}});
+      addition ? ++delta.additions : ++delta.retractions;
+    }
+  };
+
+  for (const UpdateOp& op : batch.ops) {
+    switch (op.kind) {
+      case UpdateKind::kAddEdge:
+        // Insert first: new embeddings exist only in the post-insert
+        // graph, and repaired candidate sets must reflect it before the
+        // anchored search runs.
+        graph_->ApplyOp(op);
+        RepairAll(op.u, &result.deltas);
+        RepairAll(op.v, &result.deltas);
+        enumerate_edge(op.u, op.v, /*addition=*/true);
+        break;
+      case UpdateKind::kRemoveEdge:
+        // Mirror image: dying embeddings exist only in the pre-delete
+        // graph, so enumerate retractions before touching it.
+        enumerate_edge(op.u, op.v, /*addition=*/false);
+        graph_->ApplyOp(op);
+        RepairAll(op.u, &result.deltas);
+        RepairAll(op.v, &result.deltas);
+        break;
+      case UpdateKind::kAddVertex: {
+        const Vertex added = graph_->vertex_count();
+        graph_->ApplyOp(op);
+        RepairAll(added, &result.deltas);
+        vertex_delta(added, /*addition=*/true);
+        break;
+      }
+      case UpdateKind::kRemoveVertex:
+        vertex_delta(op.u, /*addition=*/false);
+        graph_->ApplyOp(op);
+        RepairAll(op.u, &result.deltas);
+        break;
+    }
+    ++result.ops_applied;
+  }
+  graph_->BumpEpoch();
+
+  result.epoch = graph_->epoch();
+  result.enumerate_ms = enumerate_ms;
+  result.apply_ms = batch_timer.ElapsedMillis() - enumerate_ms;
+  return result;
+}
+
+}  // namespace sgm::dynamic

@@ -1,0 +1,143 @@
+#include "sgm/dynamic/delta_enumerate.h"
+
+#include <algorithm>
+
+namespace sgm::dynamic {
+
+namespace {
+
+/// One anchored backtracking search. Extension order is a BFS of the query
+/// from the two anchor vertices, so every extended vertex has at least one
+/// already-mapped query neighbor to seed its candidate list from.
+class AnchoredSearch {
+ public:
+  AnchoredSearch(const Graph& query, const DynamicGraph& data,
+                 const DynamicCandidates& cands,
+                 const EmbeddingCallback& callback, DeltaEnumerateStats* stats)
+      : query_(query),
+        data_(data),
+        cands_(cands),
+        callback_(callback),
+        stats_(stats),
+        mapping_(query.vertex_count(), 0),
+        mapped_(query.vertex_count(), false),
+        neighbor_scratch_(query.vertex_count()) {}
+
+  uint64_t RunAnchor(uint32_t qu, uint32_t qw, Vertex a, Vertex b) {
+    if (!cands_.IsCandidate(qu, a) || !cands_.IsCandidate(qw, b)) return 0;
+    if (stats_ != nullptr) ++stats_->anchors_tried;
+    BuildOrder(qu, qw);
+    mapping_[qu] = a;
+    mapping_[qw] = b;
+    mapped_[qu] = mapped_[qw] = true;
+    embeddings_ = 0;
+    Extend(0);
+    mapped_[qu] = mapped_[qw] = false;
+    return embeddings_;
+  }
+
+ private:
+  /// BFS order of the query vertices not in {qu, qw}.
+  void BuildOrder(uint32_t qu, uint32_t qw) {
+    order_.clear();
+    std::vector<bool> visited(query_.vertex_count(), false);
+    visited[qu] = visited[qw] = true;
+    std::vector<uint32_t> frontier = {qu, qw};
+    for (size_t head = 0; head < frontier.size(); ++head) {
+      for (const Vertex next : query_.neighbors(frontier[head])) {
+        if (visited[next]) continue;
+        visited[next] = true;
+        frontier.push_back(next);
+        order_.push_back(next);
+      }
+    }
+  }
+
+  void Extend(size_t depth) {
+    if (depth == order_.size()) {
+      ++embeddings_;
+      if (stats_ != nullptr) ++stats_->embeddings;
+      callback_(std::span<const Vertex>(mapping_));
+      return;
+    }
+    const uint32_t next = order_[depth];
+    // Candidates come from the adjacency of one mapped query neighbor (the
+    // one with the smallest image neighborhood); the rest are checked with
+    // HasEdge.
+    uint32_t seed_neighbor = query_.vertex_count();
+    uint32_t seed_degree = 0;
+    for (const Vertex q : query_.neighbors(next)) {
+      if (!mapped_[q]) continue;
+      const uint32_t image_degree = data_.degree(mapping_[q]);
+      if (seed_neighbor == query_.vertex_count() ||
+          image_degree < seed_degree) {
+        seed_neighbor = q;
+        seed_degree = image_degree;
+      }
+    }
+    SGM_CHECK(seed_neighbor != query_.vertex_count());
+
+    std::vector<Vertex>& candidates = neighbor_scratch_[depth];
+    data_.CopyNeighbors(mapping_[seed_neighbor], &candidates);
+    for (const Vertex v : candidates) {
+      if (stats_ != nullptr) ++stats_->recursion_calls;
+      if (!cands_.IsCandidate(next, v)) continue;
+      if (IsUsed(v)) continue;
+      if (!ConnectsToMapped(next, seed_neighbor, v)) continue;
+      mapping_[next] = v;
+      mapped_[next] = true;
+      Extend(depth + 1);
+      mapped_[next] = false;
+    }
+  }
+
+  bool IsUsed(Vertex v) const {
+    for (uint32_t q = 0; q < query_.vertex_count(); ++q) {
+      if (mapped_[q] && mapping_[q] == v) return true;
+    }
+    return false;
+  }
+
+  bool ConnectsToMapped(uint32_t next, uint32_t seed_neighbor,
+                        Vertex v) const {
+    for (const Vertex q : query_.neighbors(next)) {
+      if (q == seed_neighbor || !mapped_[q]) continue;
+      if (!data_.HasEdge(v, mapping_[q])) return false;
+    }
+    return true;
+  }
+
+  const Graph& query_;
+  const DynamicGraph& data_;
+  const DynamicCandidates& cands_;
+  const EmbeddingCallback& callback_;
+  DeltaEnumerateStats* stats_;
+
+  std::vector<uint32_t> order_;
+  std::vector<Vertex> mapping_;
+  std::vector<bool> mapped_;
+  /// Per-depth candidate buffers, reused across anchors.
+  std::vector<std::vector<Vertex>> neighbor_scratch_;
+  uint64_t embeddings_ = 0;
+};
+
+}  // namespace
+
+uint64_t EnumerateEdgeAnchored(const Graph& query, const DynamicGraph& data,
+                               const DynamicCandidates& cands, Vertex a,
+                               Vertex b, const EmbeddingCallback& callback,
+                               DeltaEnumerateStats* stats) {
+  if (query.vertex_count() < 2) return 0;
+  AnchoredSearch search(query, data, cands, callback, stats);
+  uint64_t total = 0;
+  for (uint32_t qu = 0; qu < query.vertex_count(); ++qu) {
+    for (const Vertex qw : query.neighbors(qu)) {
+      // Both orientations: (qu→a, qw→b) here, (qu→b, qw→a) when the outer
+      // loop reaches qw.
+      total += search.RunAnchor(qu, qw, a, b);
+    }
+  }
+  return total;
+}
+
+}  // namespace sgm::dynamic

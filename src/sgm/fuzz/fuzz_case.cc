@@ -215,6 +215,18 @@ FuzzCase GenerateCase(uint64_t seed, const CaseGenOptions& options) {
       }
     }
   }
+
+  // ---- Dynamic dimension: a slice of cases carries a small update stream
+  // (valid against the data graph by construction); the oracle replays it
+  // incrementally and diffs against a cold rematch of the final graph. ----
+  if (prng.NextBernoulli(options.update_fraction)) {
+    dynamic::StreamGenOptions stream_options;
+    stream_options.batches = 1 + static_cast<uint32_t>(prng.NextBounded(6));
+    stream_options.max_ops_per_batch =
+        1 + static_cast<uint32_t>(prng.NextBounded(6));
+    fuzz_case.updates =
+        dynamic::GenerateUpdateStream(fuzz_case.data, stream_options, &prng);
+  }
   return fuzz_case;
 }
 

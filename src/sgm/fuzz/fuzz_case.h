@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sgm/dynamic/update_batch.h"
 #include "sgm/graph/graph.h"
 #include "sgm/matcher.h"
 
@@ -75,6 +76,11 @@ struct FuzzCase {
   /// Per-config wall-clock limit. Generated cases always use 0 (unlimited)
   /// so verdicts never depend on machine speed.
   double time_limit_ms = 0.0;
+  /// Dynamic dimension (`upd=`): when non-empty, the oracle additionally
+  /// replays these update batches through the continuous matcher and
+  /// cross-checks the incrementally maintained embedding set against a
+  /// cold brute-force rematch of the final graph (see oracle.h).
+  dynamic::UpdateStream updates;
 };
 
 /// Knobs of the case generator. Defaults keep cases small enough that the
@@ -90,6 +96,10 @@ struct CaseGenOptions {
   /// Fraction of cases whose data graph is relabeled with one dominant
   /// label (the WordNet-style skew that stresses candidate filtering).
   double skewed_label_fraction = 0.2;
+  /// Fraction of cases that carry an update stream (the `upd=` dimension):
+  /// the oracle replays it incrementally and compares against a cold full
+  /// rematch of the final graph.
+  double update_fraction = 0.35;
 };
 
 /// Generates the case for `seed`, deterministically: equal seeds produce

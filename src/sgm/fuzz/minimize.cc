@@ -83,6 +83,7 @@ class Minimizer {
       if (stats_ != nullptr) stats_->rounds = round + 1;
       bool changed = false;
       changed |= ShrinkConfigs();
+      changed |= ShrinkUpdates();
       changed |= ShrinkQueryVertices();
       changed |= ShrinkQueryEdges();
       changed |= ShrinkDataVertices();
@@ -120,6 +121,57 @@ class Minimizer {
       candidate.configs.erase(candidate.configs.begin() +
                               static_cast<ptrdiff_t>(i));
       changed |= Adopt(std::move(candidate));
+    }
+    return changed;
+  }
+
+  // Shrinks the dynamic dimension before the graphs: update ops pin data
+  // vertex ids, so a graph shrink under a live stream replays invalid and
+  // comes back kRejected (not adopted) — dropping the stream first lets
+  // the graph stages make progress on static disagreements. Whole stream,
+  // then ddmin halving over batches, then individual ops.
+  bool ShrinkUpdates() {
+    if (best_.updates.batches.empty()) return false;
+    bool changed = false;
+    {
+      FuzzCase candidate = best_;
+      candidate.updates.batches.clear();
+      changed |= Adopt(std::move(candidate));
+    }
+    for (size_t chunk = std::max<size_t>(1, best_.updates.batches.size() / 2);
+         chunk >= 1 && !OutOfBudget(); chunk /= 2) {
+      size_t pos = 0;
+      while (!OutOfBudget()) {
+        const size_t n = best_.updates.batches.size();
+        if (pos >= n) break;
+        const size_t count = std::min(chunk, n - pos);
+        FuzzCase candidate = best_;
+        const auto begin = candidate.updates.batches.begin() +
+                           static_cast<ptrdiff_t>(pos);
+        candidate.updates.batches.erase(
+            begin, begin + static_cast<ptrdiff_t>(count));
+        if (Adopt(std::move(candidate))) {
+          changed = true;
+        } else {
+          pos += count;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    for (size_t b = best_.updates.batches.size(); b-- > 0 && !OutOfBudget();) {
+      if (b >= best_.updates.batches.size()) continue;
+      for (size_t o = best_.updates.batches[b].ops.size();
+           o-- > 0 && !OutOfBudget();) {
+        if (b >= best_.updates.batches.size() ||
+            o >= best_.updates.batches[b].ops.size()) {
+          continue;
+        }
+        FuzzCase candidate = best_;
+        candidate.updates.batches[b].ops.erase(
+            candidate.updates.batches[b].ops.begin() +
+            static_cast<ptrdiff_t>(o));
+        changed |= Adopt(std::move(candidate));
+      }
     }
     return changed;
   }

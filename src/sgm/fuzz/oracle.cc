@@ -1,9 +1,12 @@
 #include "sgm/fuzz/oracle.h"
 
 #include <algorithm>
+#include <set>
 #include <string>
 
 #include "sgm/core/brute_force.h"
+#include "sgm/dynamic/continuous.h"
+#include "sgm/dynamic/dynamic_graph.h"
 #include "sgm/graph/graph_utils.h"
 #include "sgm/parallel/parallel_matcher.h"
 #include "sgm/service/service.h"
@@ -22,6 +25,8 @@ const char* VerdictKindName(VerdictKind kind) {
       return "embedding-mismatch";
     case VerdictKind::kLimitStatusMismatch:
       return "limit-status-mismatch";
+    case VerdictKind::kDynamicMismatch:
+      return "dynamic-mismatch";
   }
   return "unknown";
 }
@@ -30,7 +35,7 @@ bool ParseVerdictKind(const std::string& name, VerdictKind* out) {
   for (const VerdictKind kind :
        {VerdictKind::kAgree, VerdictKind::kRejected,
         VerdictKind::kCountMismatch, VerdictKind::kEmbeddingMismatch,
-        VerdictKind::kLimitStatusMismatch}) {
+        VerdictKind::kLimitStatusMismatch, VerdictKind::kDynamicMismatch}) {
     if (name == VerdictKindName(kind)) {
       *out = kind;
       return true;
@@ -89,6 +94,83 @@ ConfigOutcome RunConfig(const FuzzCase& fuzz_case, const ConfigSpec& config,
   outcome.reached_limit = result.enumerate.reached_match_limit;
   outcome.total_ms = result.total_ms;
   return outcome;
+}
+
+// Property 4 (see file comment of oracle.h): replays the case's update
+// stream through the continuous matcher, folding every delta record into
+// the embedding set seeded by brute force on the initial graph, then
+// compares against a cold brute-force rematch of the final graph. Writes
+// the verdict into `oracle` only when it still reads kAgree.
+void RunDynamicCheck(const FuzzCase& fuzz_case, const OracleOptions& options,
+                     OracleResult* oracle) {
+  // Seed the exact initial embedding set; oversized cases skip the check
+  // (the maintained set must be exact for the diff to mean anything).
+  std::vector<std::vector<Vertex>> initial = BruteForceMatches(
+      fuzz_case.query, fuzz_case.data, options.dynamic_cap + 1);
+  if (initial.size() > options.dynamic_cap) return;
+  std::set<std::vector<Vertex>> matches(initial.begin(), initial.end());
+
+  dynamic::DynamicGraph graph(fuzz_case.data);
+  dynamic::ContinuousMatcher matcher(&graph);
+  std::string error;
+  const uint64_t query_id = matcher.Register(fuzz_case.query, &error);
+  const auto report = [oracle](VerdictKind kind, const std::string& detail) {
+    if (oracle->kind == VerdictKind::kAgree) {
+      oracle->kind = kind;
+      oracle->detail = detail;
+    }
+  };
+  if (query_id == 0) {
+    // E.g. a hand-written case whose query uses labels outside the data
+    // graph's vocabulary: outside the dynamic layer's contract.
+    report(VerdictKind::kRejected, "continuous query rejected: " + error);
+    return;
+  }
+
+  for (size_t b = 0; b < fuzz_case.updates.batches.size(); ++b) {
+    const auto result = matcher.ApplyBatch(fuzz_case.updates.batches[b], &error);
+    if (!result.has_value()) {
+      // The stream does not replay against this graph (minimization can
+      // shrink the graph out from under it): outside the contract.
+      report(VerdictKind::kRejected,
+             "update batch " + std::to_string(b) + " invalid: " + error);
+      return;
+    }
+    ++oracle->dynamic_batches;
+    for (const dynamic::MatchDelta& delta : result->deltas) {
+      oracle->dynamic_additions += delta.additions;
+      oracle->dynamic_retractions += delta.retractions;
+      for (const dynamic::DeltaRecord& record : delta.records) {
+        if (record.addition) {
+          if (!matches.insert(record.embedding).second) {
+            report(VerdictKind::kDynamicMismatch,
+                   "batch " + std::to_string(b) +
+                       " re-added an embedding already present");
+            return;
+          }
+        } else if (matches.erase(record.embedding) == 0) {
+          report(VerdictKind::kDynamicMismatch,
+                 "batch " + std::to_string(b) +
+                     " retracted an embedding never reported");
+          return;
+        }
+      }
+    }
+  }
+
+  // Cold full rematch of the final graph must reproduce the maintained set.
+  const Graph final_graph = graph.Snapshot();
+  std::vector<std::vector<Vertex>> rematch = BruteForceMatches(
+      fuzz_case.query, final_graph, matches.size() + 2);
+  if (rematch.size() != matches.size() ||
+      !std::equal(rematch.begin(), rematch.end(), matches.begin())) {
+    report(VerdictKind::kDynamicMismatch,
+           "incremental set holds " + std::to_string(matches.size()) +
+               " embeddings after " +
+               std::to_string(fuzz_case.updates.batches.size()) +
+               " batches, cold rematch finds " +
+               std::to_string(rematch.size()));
+  }
 }
 
 }  // namespace
@@ -182,6 +264,13 @@ OracleResult RunOracle(const FuzzCase& fuzz_case,
         continue;
       }
     }
+  }
+
+  // ---- Dynamic dimension: incremental replay vs cold rematch. Skipped
+  // when a static disagreement was already found (first verdict wins). ----
+  if (!fuzz_case.updates.batches.empty() &&
+      oracle.kind == VerdictKind::kAgree) {
+    RunDynamicCheck(fuzz_case, options, &oracle);
   }
   return oracle;
 }

@@ -12,6 +12,11 @@
 //   3. Limit status: when the true count is strictly under the budget, no
 //      configuration may claim it hit the budget, and with an unlimited
 //      time budget none may claim a timeout.
+//   4. Dynamic replay (cases carrying an update stream, the `upd=`
+//      dimension): the query's embedding set, maintained incrementally by
+//      the continuous matcher across every batch, must equal a cold
+//      brute-force rematch of the final graph — and every delta record
+//      must be coherent (additions new, retractions present).
 //
 // The oracle never crashes on malformed cases: a disconnected or oversized
 // query yields a clean kRejected verdict, which replaying a reproducer
@@ -41,6 +46,9 @@ enum class VerdictKind : uint8_t {
   kEmbeddingMismatch,
   /// A configuration misreported its budget/timeout status.
   kLimitStatusMismatch,
+  /// The incrementally maintained embedding set diverged from a cold
+  /// full rematch after replaying the case's update stream.
+  kDynamicMismatch,
 };
 
 /// Returns "agree" / "rejected" / "count-mismatch" / ...
@@ -66,6 +74,11 @@ struct OracleResult {
   /// Brute-force reference count, capped at the effective budget.
   uint64_t reference_count = 0;
   std::vector<ConfigOutcome> outcomes;
+  /// Dynamic-dimension accounting (zero when the case carries no updates
+  /// or the dynamic check was skipped — see OracleOptions::dynamic_cap).
+  uint64_t dynamic_batches = 0;
+  uint64_t dynamic_additions = 0;
+  uint64_t dynamic_retractions = 0;
 
   /// True when the verdict is a disagreement (not agree/rejected).
   bool Failed() const {
@@ -82,6 +95,10 @@ struct OracleOptions {
   uint64_t count_cap = 200000;
   /// Embedding sets are compared only when the true count is at most this.
   uint64_t embedding_cap = 5000;
+  /// The dynamic differential (incremental replay vs cold rematch) runs
+  /// only when the initial embedding set fits this cap; generated cases
+  /// stay far below it.
+  uint64_t dynamic_cap = 20000;
 };
 
 /// Runs the full differential check for one case.

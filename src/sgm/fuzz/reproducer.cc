@@ -142,6 +142,10 @@ void WriteReproducer(const Reproducer& reproducer, std::ostream& out) {
   WriteGraph(fuzz_case.data, out);
   out << "graph query\n";
   WriteGraph(fuzz_case.query, out);
+  if (!fuzz_case.updates.batches.empty()) {
+    out << "updates\n";
+    dynamic::WriteUpdateStream(fuzz_case.updates, out);
+  }
 }
 
 bool SaveReproducerFile(const Reproducer& reproducer, const std::string& path,
@@ -166,29 +170,44 @@ std::optional<Reproducer> ReadReproducer(std::istream& in,
   FuzzCase& fuzz_case = reproducer.fuzz_case;
   std::string line;
   size_t line_number = 0;
-  // Graph sections are accumulated and parsed through ReadGraph; the map
-  // key is the section name from the `graph <name>` line.
-  std::string pending_graph;  // empty = not inside a graph section
-  std::string graph_text;
+  // Sections ("data"/"query" graphs and the "updates" stream) are
+  // accumulated as text and parsed through the respective reader once the
+  // next section header (or EOF) closes them.
+  std::string pending_section;  // empty = not inside a section
+  std::string section_text;
   bool saw_data = false, saw_query = false;
 
   const auto fail = [&](const std::string& what) -> std::optional<Reproducer> {
     SetError(error, what + " at line " + std::to_string(line_number));
     return std::nullopt;
   };
-  const auto finish_graph = [&](std::string* graph_error) -> bool {
-    std::istringstream stream(graph_text);
-    auto graph = ReadGraph(stream, graph_error);
-    if (!graph.has_value()) return false;
-    if (pending_graph == "data") {
-      fuzz_case.data = std::move(*graph);
-      saw_data = true;
+  const auto finish_section = [&](std::string* section_error) -> bool {
+    std::istringstream stream(section_text);
+    if (pending_section == "updates") {
+      auto updates = dynamic::ReadUpdateStream(stream, section_error);
+      if (!updates.has_value()) return false;
+      fuzz_case.updates = std::move(*updates);
     } else {
-      fuzz_case.query = std::move(*graph);
-      saw_query = true;
+      auto graph = ReadGraph(stream, section_error);
+      if (!graph.has_value()) return false;
+      if (pending_section == "data") {
+        fuzz_case.data = std::move(*graph);
+        saw_data = true;
+      } else {
+        fuzz_case.query = std::move(*graph);
+        saw_query = true;
+      }
     }
-    graph_text.clear();
+    section_text.clear();
     return true;
+  };
+  const auto close_section = [&]() -> std::optional<std::string> {
+    if (pending_section.empty()) return std::nullopt;
+    std::string section_error;
+    if (!finish_section(&section_error)) {
+      return pending_section + " section: " + section_error;
+    }
+    return std::nullopt;
   };
 
   while (std::getline(in, line)) {
@@ -202,18 +221,23 @@ std::optional<Reproducer> ReadReproducer(std::istream& in,
           (fields[1] != "data" && fields[1] != "query")) {
         return fail("malformed graph section header");
       }
-      if (!pending_graph.empty()) {
-        std::string graph_error;
-        if (!finish_graph(&graph_error)) {
-          return fail(pending_graph + " graph: " + graph_error);
-        }
+      if (const auto section_error = close_section()) {
+        return fail(*section_error);
       }
-      pending_graph = fields[1];
+      pending_section = fields[1];
       continue;
     }
-    if (!pending_graph.empty()) {
-      graph_text += line;
-      graph_text += '\n';
+    if (fields[0] == "updates" && pending_section != "updates") {
+      if (fields.size() != 1) return fail("malformed updates section header");
+      if (const auto section_error = close_section()) {
+        return fail(*section_error);
+      }
+      pending_section = "updates";
+      continue;
+    }
+    if (!pending_section.empty()) {
+      section_text += line;
+      section_text += '\n';
       continue;
     }
     if (fields[0] == "seed") {
@@ -251,12 +275,9 @@ std::optional<Reproducer> ReadReproducer(std::istream& in,
     SetError(error, "read failure");
     return std::nullopt;
   }
-  if (!pending_graph.empty()) {
-    std::string graph_error;
-    if (!finish_graph(&graph_error)) {
-      SetError(error, pending_graph + " graph: " + graph_error);
-      return std::nullopt;
-    }
+  if (const auto section_error = close_section()) {
+    SetError(error, *section_error);
+    return std::nullopt;
   }
   if (!saw_data || !saw_query) {
     SetError(error, "missing graph section(s)");

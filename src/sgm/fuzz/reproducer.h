@@ -21,7 +21,14 @@
 //
 // `config` lines use the algorithm abbreviation or "REC" for the
 // Recommended preset. Graph sections reuse the .graph text format
-// (graph/graph_io.h) and run to the next `graph` keyword or EOF.
+// (graph/graph_io.h) and run to the next section keyword or EOF. Cases
+// carrying the dynamic dimension append an `updates` section holding the
+// update stream verbatim (dynamic/update_batch.h text format):
+//
+//   updates
+//   batch
+//   ae 0 5
+//   end
 // Files replay through `sgm_fuzz --replay FILE` and, for everything under
 // tests/corpus/reproducers/, through the fuzz_regression ctest.
 #ifndef SGM_FUZZ_REPRODUCER_H_

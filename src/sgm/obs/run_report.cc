@@ -317,6 +317,21 @@ Json RunReport::ToJson() const {
   service.Set("request_status", Json::String(request_status));
   service.Set("metrics", service_metrics);
   root.Set("service", std::move(service));
+
+  Json dynamic = Json::Object();
+  dynamic.Set("enabled", Json::Bool(dynamic_enabled));
+  dynamic.Set("graph_epoch", Json::Number(graph_epoch));
+  dynamic.Set("update_batches", Json::Number(update_batches));
+  dynamic.Set("update_ops", Json::Number(update_ops));
+  dynamic.Set("delta_additions", Json::Number(delta_additions));
+  dynamic.Set("delta_retractions", Json::Number(delta_retractions));
+  dynamic.Set("candidates_repaired", Json::Number(candidates_repaired));
+  dynamic.Set("compactions", Json::Number(graph_compactions));
+  dynamic.Set("overlay_bytes", Json::Number(overlay_bytes));
+  dynamic.Set("update_apply_ms", Json::Number(update_apply_ms));
+  dynamic.Set("delta_enumerate_ms", Json::Number(delta_enumerate_ms));
+  dynamic.Set("continuous_queries", Json::Number(continuous_queries));
+  root.Set("dynamic", std::move(dynamic));
   return root;
 }
 
@@ -487,6 +502,20 @@ RunReport RunReport::FromJson(const Json& json) {
     if (const Json* metrics = service->Get("metrics"); metrics != nullptr) {
       report.service_metrics = *metrics;
     }
+  }
+  if (const Json* dynamic = json.Get("dynamic"); dynamic != nullptr) {
+    report.dynamic_enabled = dynamic->GetBool("enabled");
+    report.graph_epoch = dynamic->GetUint64("graph_epoch");
+    report.update_batches = dynamic->GetUint64("update_batches");
+    report.update_ops = dynamic->GetUint64("update_ops");
+    report.delta_additions = dynamic->GetUint64("delta_additions");
+    report.delta_retractions = dynamic->GetUint64("delta_retractions");
+    report.candidates_repaired = dynamic->GetUint64("candidates_repaired");
+    report.graph_compactions = dynamic->GetUint64("compactions");
+    report.overlay_bytes = dynamic->GetUint64("overlay_bytes");
+    report.update_apply_ms = dynamic->GetDouble("update_apply_ms");
+    report.delta_enumerate_ms = dynamic->GetDouble("delta_enumerate_ms");
+    report.continuous_queries = dynamic->GetUint64("continuous_queries");
   }
   return report;
 }

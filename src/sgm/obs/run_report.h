@@ -55,7 +55,8 @@ struct RunReport {
   /// v2: added the always-emitted "service" section.
   /// v3: added the "build" provenance section and "service.metrics".
   /// v4: added the always-emitted "sharding" section.
-  static constexpr uint64_t kSchemaVersion = 4;
+  /// v5: added the always-emitted "dynamic" section.
+  static constexpr uint64_t kSchemaVersion = 5;
 
   /// "serial", "parallel" or "sharded".
   std::string engine = "serial";
@@ -161,6 +162,29 @@ struct RunReport {
   /// answered the request (serialized under service.metrics); Null for
   /// direct runs and when the caller did not pass a registry.
   Json service_metrics = Json::Null();
+
+  // ---- Dynamic-graph execution (degenerate for immutable graphs). ----
+  /// True when the answering service exposes the update layer; the fields
+  /// below are its cumulative counters at report time
+  /// (service::BuildServedRunReport fills them from ServiceDynamicStats).
+  bool dynamic_enabled = false;
+  /// Data-graph epoch (applied update batches).
+  uint64_t graph_epoch = 0;
+  uint64_t update_batches = 0;
+  uint64_t update_ops = 0;
+  /// Continuous-query match additions/retractions across all batches.
+  uint64_t delta_additions = 0;
+  uint64_t delta_retractions = 0;
+  /// Candidate-bitset entries repaired by incremental maintenance.
+  uint64_t candidates_repaired = 0;
+  /// Overlay→CSR merges performed (lazy, on first post-update request).
+  uint64_t graph_compactions = 0;
+  /// Current delta-overlay heap footprint.
+  uint64_t overlay_bytes = 0;
+  /// Overlay mutation + candidate repair vs anchored enumeration split.
+  double update_apply_ms = 0.0;
+  double delta_enumerate_ms = 0.0;
+  uint64_t continuous_queries = 0;
 
   /// Serializes to the stable JSON schema (every key always present).
   Json ToJson() const;

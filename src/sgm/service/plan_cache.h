@@ -75,9 +75,16 @@ class PlanCache {
   /// cancel flag, lc cache) are excluded: one plan serves them all.
   static std::string EncodeOptions(const MatchOptions& options);
 
-  /// The full cache key of a (query, options) pair.
-  static std::string MakeKey(const Graph& query, const MatchOptions& options) {
-    return EncodeQuery(query) + '|' + EncodeOptions(options);
+  /// The full cache key of a (query, options) pair against one version of
+  /// the data graph. `graph_epoch` is the DynamicGraph epoch the plan was
+  /// built against: a plan depends on data-graph statistics (candidate
+  /// sets, ordering costs), so keys from different epochs must never
+  /// collide — after an update, old-epoch plans simply age out of the LRU.
+  /// Services with an immutable graph pass the default 0.
+  static std::string MakeKey(const Graph& query, const MatchOptions& options,
+                             uint64_t graph_epoch = 0) {
+    return EncodeQuery(query) + '|' + EncodeOptions(options) + "|g" +
+           std::to_string(graph_epoch);
   }
 
   /// Returns the cached plan and promotes it to most-recently-used, or null

@@ -26,15 +26,19 @@ const char* RequestStatusName(RequestStatus status) {
 
 MatchService::MatchService(Graph data, const ServiceOptions& options)
     : options_(options),
-      data_(std::move(data)),
-      sharded_(options.shards > 1
-                   ? std::make_unique<const shard::ShardedGraph>(
-                         data_, options.shards, options.shard_partitioner)
-                   : nullptr),
+      dynamic_(std::move(data)),
+      continuous_(&dynamic_),
+      snapshot_(dynamic_.SnapshotShared()),
       plan_cache_(PlanCacheOptions{options.plan_cache_budget_bytes}),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : &obs::MetricsRegistry::Default()),
       epoch_(std::chrono::steady_clock::now()) {
+  if (options.shards > 1) {
+    // Shards reference *snapshot_, which a sharded service never replaces
+    // (ApplyUpdates rejects).
+    sharded_ = std::make_unique<const shard::ShardedGraph>(
+        *snapshot_, options.shards, options.shard_partitioner);
+  }
   uint32_t workers = options_.worker_count;
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
@@ -83,6 +87,21 @@ MatchService::MatchService(Graph data, const ServiceOptions& options)
       "sgm_service_plan_cache_entries", "Plans resident in the cache.");
   instruments_.plan_cache_bytes = reg.GetGauge(
       "sgm_service_plan_cache_bytes", "Memory charged to cached plans.");
+  instruments_.update_batches = reg.GetCounter(
+      "sgm_service_update_batches_total",
+      "Update batches applied to the data graph.");
+  instruments_.update_ops = reg.GetCounter(
+      "sgm_service_update_ops_total",
+      "Primitive graph mutations applied across all update batches.");
+  instruments_.delta_additions = reg.GetCounter(
+      "sgm_service_delta_additions_total",
+      "Continuous-query match additions reported across all batches.");
+  instruments_.delta_retractions = reg.GetCounter(
+      "sgm_service_delta_retractions_total",
+      "Continuous-query match retractions reported across all batches.");
+  instruments_.graph_epoch = reg.GetGauge(
+      "sgm_service_graph_epoch",
+      "Current data-graph epoch (applied update batches).");
   instruments_.inflight = reg.GetGauge(
       "sgm_service_inflight_requests", "Requests executing right now.");
   instruments_.queue_depth = reg.GetGauge(
@@ -209,7 +228,10 @@ void MatchService::Execute(Pending pending) {
   }
   instruments_.inflight->Add(1);
 
-  MatchResponse response = Run(pending.request, queue_ms, token.get());
+  // Pin the graph this request executes against: enumeration reads an
+  // immutable snapshot, so concurrent ApplyUpdates never race it.
+  const GraphView view = CurrentView();
+  MatchResponse response = Run(pending.request, queue_ms, token.get(), view);
   response.queue_ms = queue_ms;
   response.queue_depth_at_admission = pending.depth_at_admission;
   response.service_ms = NowMs() - pending.submit_time_ms;
@@ -247,7 +269,7 @@ void MatchService::Execute(Pending pending) {
   instruments_.queue_ms->Record(queue_ms);
   instruments_.execute_ms->Record(response.service_ms - queue_ms);
   instruments_.request_ms->Record(response.service_ms);
-  MaybeLogSlowQuery(pending.request, response);
+  MaybeLogSlowQuery(pending.request, response, *view.graph);
   pending.promise.set_value(std::move(response));
 }
 
@@ -266,7 +288,8 @@ void MatchService::SyncPlanCacheMetricsLocked() {
 }
 
 void MatchService::MaybeLogSlowQuery(const MatchRequest& request,
-                                     const MatchResponse& response) {
+                                     const MatchResponse& response,
+                                     const Graph& data) {
   obs::SlowQueryLog* log = options_.slow_query_log;
   if (log == nullptr || response.service_ms < log->threshold_ms()) return;
   instruments_.slow_queries->Increment();
@@ -297,13 +320,15 @@ void MatchService::MaybeLogSlowQuery(const MatchRequest& request,
   record.reached_match_limit = response.engine.enumerate.reached_match_limit;
   if (log->embed_reproducer()) {
     record.reproducer =
-        obs::BuildSlowQueryReproducer(request.query, data_, request.options);
+        obs::BuildSlowQueryReproducer(request.query, data, request.options);
   }
   log->Append(record);
 }
 
 MatchResponse MatchService::Run(const MatchRequest& request, double queue_ms,
-                                const std::atomic<bool>* cancel_token) {
+                                const std::atomic<bool>* cancel_token,
+                                const GraphView& view) {
+  const Graph& data = *view.graph;
   MatchResponse response;
   if (cancel_token->load(std::memory_order_relaxed)) {
     response.status = RequestStatus::kCancelled;
@@ -360,12 +385,12 @@ MatchResponse MatchService::Run(const MatchRequest& request, double queue_ms,
   const bool cache_enabled = plan_cache_.memory_budget_bytes() > 0;
   std::string key;
   if (cache_enabled) {
-    key = PlanCache::MakeKey(request.query, options);
+    key = PlanCache::MakeKey(request.query, options, view.epoch);
     plan = plan_cache_.Lookup(key);
     response.plan_cache_hit = plan != nullptr;
   }
   if (plan == nullptr) {
-    auto built = BuildMatchPlan(request.query, data_, options);
+    auto built = BuildMatchPlan(request.query, data, options);
     plan = cache_enabled ? plan_cache_.Insert(key, std::move(built))
                          : std::shared_ptr<const MatchPlan>(std::move(built));
   }
@@ -380,7 +405,7 @@ MatchResponse MatchService::Run(const MatchRequest& request, double queue_ms,
 
   // A cache hit did no preprocessing, so its result reports none.
   response.engine =
-      ExecutePlan(request.query, data_, *plan, options, callback,
+      ExecutePlan(request.query, data, *plan, options, callback,
                   /*include_build_metrics=*/!response.plan_cache_hit);
 
   if (cancel_token->load(std::memory_order_relaxed)) {
@@ -389,6 +414,113 @@ MatchResponse MatchService::Run(const MatchRequest& request, double queue_ms,
     response.status = RequestStatus::kTimedOut;
   }
   return response;
+}
+
+MatchService::GraphView MatchService::CurrentView() {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  if (snapshot_epoch_ != dynamic_.epoch()) {
+    // Lazy compaction: ApplyUpdates never merges the overlay, so the first
+    // request after a batch pays the CSR rebuild once and every later
+    // request shares the result.
+    dynamic_.Compact();
+    snapshot_ = dynamic_.SnapshotShared();
+    snapshot_epoch_ = dynamic_.epoch();
+    dynamic_stats_.compactions = dynamic_.compactions();
+    dynamic_stats_.overlay_bytes = dynamic_.OverlayMemoryBytes();
+  }
+  return {snapshot_, snapshot_epoch_};
+}
+
+UpdateReport MatchService::ApplyUpdates(const dynamic::UpdateBatch& batch) {
+  UpdateReport report;
+  if (sharded_ != nullptr) {
+    report.error =
+        "sharded services do not accept updates (shards are built at "
+        "construction)";
+    return report;
+  }
+
+  std::string error;
+  std::optional<dynamic::BatchResult> result;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    result = continuous_.ApplyBatch(batch, &error);
+    if (result.has_value()) {
+      dynamic_stats_.graph_epoch = result->epoch;
+      ++dynamic_stats_.update_batches;
+      dynamic_stats_.update_ops += result->ops_applied;
+      dynamic_stats_.update_apply_ms += result->apply_ms;
+      dynamic_stats_.delta_enumerate_ms += result->enumerate_ms;
+      for (const dynamic::MatchDelta& delta : result->deltas) {
+        dynamic_stats_.delta_additions += delta.additions;
+        dynamic_stats_.delta_retractions += delta.retractions;
+        dynamic_stats_.candidates_repaired += delta.candidates_repaired;
+      }
+      dynamic_stats_.compactions = dynamic_.compactions();
+      dynamic_stats_.overlay_bytes = dynamic_.OverlayMemoryBytes();
+      dynamic_stats_.continuous_queries = continuous_.registration_count();
+    }
+  }
+  if (!result.has_value()) {
+    report.error = error;
+    return report;
+  }
+
+  uint64_t additions = 0;
+  uint64_t retractions = 0;
+  for (const dynamic::MatchDelta& delta : result->deltas) {
+    additions += delta.additions;
+    retractions += delta.retractions;
+  }
+  instruments_.update_batches->Increment();
+  instruments_.update_ops->Increment(result->ops_applied);
+  instruments_.delta_additions->Increment(additions);
+  instruments_.delta_retractions->Increment(retractions);
+  instruments_.graph_epoch->Set(static_cast<int64_t>(result->epoch));
+
+  report.applied = true;
+  report.epoch = result->epoch;
+  report.ops_applied = result->ops_applied;
+  report.apply_ms = result->apply_ms;
+  report.enumerate_ms = result->enumerate_ms;
+  report.deltas = std::move(result->deltas);
+  return report;
+}
+
+uint64_t MatchService::RegisterContinuousQuery(Graph query,
+                                               std::string* error) {
+  if (sharded_ != nullptr) {
+    if (error != nullptr) {
+      *error = "sharded services do not accept continuous queries";
+    }
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  const uint64_t id = continuous_.Register(std::move(query), error);
+  dynamic_stats_.continuous_queries = continuous_.registration_count();
+  return id;
+}
+
+bool MatchService::UnregisterContinuousQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  const bool removed = continuous_.Unregister(query_id);
+  dynamic_stats_.continuous_queries = continuous_.registration_count();
+  return removed;
+}
+
+uint64_t MatchService::graph_epoch() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  return dynamic_.epoch();
+}
+
+ServiceDynamicStats MatchService::DynamicStats() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  ServiceDynamicStats stats = dynamic_stats_;
+  stats.graph_epoch = dynamic_.epoch();
+  stats.compactions = dynamic_.compactions();
+  stats.overlay_bytes = dynamic_.OverlayMemoryBytes();
+  stats.continuous_queries = continuous_.registration_count();
+  return stats;
 }
 
 ServiceStats MatchService::Stats() const {
@@ -444,7 +576,8 @@ void MatchService::Shutdown() {
 obs::RunReport BuildServedRunReport(const Graph& query, const Graph& data,
                                     const MatchRequest& request,
                                     const MatchResponse& response,
-                                    const obs::MetricsRegistry* metrics) {
+                                    const obs::MetricsRegistry* metrics,
+                                    const ServiceDynamicStats* dynamic_stats) {
   obs::RunReport report;
   if (response.sharding.shard_count > 0) {
     ShardedMatchResult sharded;
@@ -460,6 +593,20 @@ obs::RunReport BuildServedRunReport(const Graph& query, const Graph& data,
   report.queue_depth = response.queue_depth_at_admission;
   report.request_status = RequestStatusName(response.status);
   if (metrics != nullptr) report.service_metrics = metrics->ToJson();
+  if (dynamic_stats != nullptr) {
+    report.dynamic_enabled = true;
+    report.graph_epoch = dynamic_stats->graph_epoch;
+    report.update_batches = dynamic_stats->update_batches;
+    report.update_ops = dynamic_stats->update_ops;
+    report.delta_additions = dynamic_stats->delta_additions;
+    report.delta_retractions = dynamic_stats->delta_retractions;
+    report.candidates_repaired = dynamic_stats->candidates_repaired;
+    report.graph_compactions = dynamic_stats->compactions;
+    report.overlay_bytes = dynamic_stats->overlay_bytes;
+    report.update_apply_ms = dynamic_stats->update_apply_ms;
+    report.delta_enumerate_ms = dynamic_stats->delta_enumerate_ms;
+    report.continuous_queries = dynamic_stats->continuous_queries;
+  }
   return report;
 }
 

@@ -21,6 +21,14 @@
 // service, ParallelMatchQuery (which fans one query out over a TaskPool)
 // remains the right tool; the service optimizes aggregate throughput.
 //
+// The data graph is mutable through ApplyUpdates (DESIGN.md §14): each
+// batch lands atomically on a dynamic::DynamicGraph, bumps the graph
+// epoch (folded into every plan-cache key, so stale plans are
+// unreachable) and yields exact match deltas for registered continuous
+// queries. Requests pin an immutable snapshot at execution start —
+// in-flight enumeration never observes a mutation — and the first request
+// after a batch compacts the overlay lazily.
+//
 // Cancellation is cooperative and uses MatchOptions::cancel_flag: the
 // serial engine checks the request's token every 1024 recursion calls.
 // Deadlines cover the whole lifecycle — time spent queued counts against
@@ -43,6 +51,9 @@
 #include <thread>
 #include <vector>
 
+#include "sgm/dynamic/continuous.h"
+#include "sgm/dynamic/dynamic_graph.h"
+#include "sgm/dynamic/update_batch.h"
 #include "sgm/graph/graph.h"
 #include "sgm/matcher.h"
 #include "sgm/obs/metrics.h"
@@ -144,6 +155,38 @@ struct ServiceOptions {
   obs::SlowQueryLog* slow_query_log = nullptr;
 };
 
+/// Result of one MatchService::ApplyUpdates call.
+struct UpdateReport {
+  /// False when the batch failed validation (graph untouched) or the
+  /// service does not accept updates (sharded); `error` says which.
+  bool applied = false;
+  std::string error;
+  /// Graph epoch after the batch.
+  uint64_t epoch = 0;
+  uint32_t ops_applied = 0;
+  /// Exact match deltas of the registered continuous queries, ascending
+  /// query id (empty when none are registered).
+  std::vector<dynamic::MatchDelta> deltas;
+  /// Overlay mutation + candidate repair vs anchored enumeration split.
+  double apply_ms = 0.0;
+  double enumerate_ms = 0.0;
+};
+
+/// Cumulative dynamic-graph counters since service construction.
+struct ServiceDynamicStats {
+  uint64_t graph_epoch = 0;
+  uint64_t update_batches = 0;
+  uint64_t update_ops = 0;
+  uint64_t delta_additions = 0;
+  uint64_t delta_retractions = 0;
+  uint64_t candidates_repaired = 0;
+  uint64_t compactions = 0;
+  size_t overlay_bytes = 0;
+  double update_apply_ms = 0.0;
+  double delta_enumerate_ms = 0.0;
+  uint64_t continuous_queries = 0;
+};
+
 /// Aggregate service counters, point-in-time.
 struct ServiceStats {
   uint64_t submitted = 0;
@@ -171,7 +214,13 @@ class MatchService {
   MatchService(const MatchService&) = delete;
   MatchService& operator=(const MatchService&) = delete;
 
-  const Graph& data() const { return data_; }
+  /// The latest compacted snapshot of the data graph. Stable only while no
+  /// ApplyUpdates call races it — single-threaded test and report code
+  /// only; request execution pins its own snapshot internally.
+  const Graph& data() const {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    return *snapshot_;
+  }
   uint32_t worker_count() const { return static_cast<uint32_t>(workers_.size()); }
   /// Shards the service executes against; 0 when monolithic.
   uint32_t shard_count() const {
@@ -186,7 +235,28 @@ class MatchService {
   /// Synchronous convenience: Submit + wait.
   MatchResponse Match(MatchRequest request);
 
+  /// Applies one update batch atomically to the data graph, bumping its
+  /// epoch (which re-keys the plan cache — subsequent requests cannot see
+  /// a stale plan) and producing the exact match delta of every registered
+  /// continuous query. Requests already executing keep their pinned
+  /// pre-update snapshot; requests submitted afterwards see the new graph.
+  /// Sharded services reject updates (their shards are built once at
+  /// construction). Thread-safe; concurrent ApplyUpdates calls serialize.
+  UpdateReport ApplyUpdates(const dynamic::UpdateBatch& batch);
+
+  /// Registers a continuous query: every subsequent ApplyUpdates reports
+  /// its exact match delta. Returns the query id (> 0), or 0 with *error
+  /// set when the query is rejected (see dynamic::ContinuousMatcher).
+  uint64_t RegisterContinuousQuery(Graph query, std::string* error);
+  /// Returns false when no such registration exists.
+  bool UnregisterContinuousQuery(uint64_t query_id);
+
+  /// Current data-graph epoch (number of applied update batches).
+  uint64_t graph_epoch() const;
+
   ServiceStats Stats() const;
+  /// Cumulative dynamic-update counters.
+  ServiceDynamicStats DynamicStats() const;
 
   /// The registry this service instruments (never null; resolves the
   /// options' nullptr default to obs::MetricsRegistry::Default()).
@@ -224,6 +294,11 @@ class MatchService {
     obs::Counter* plan_cache_rejected = nullptr;
     obs::Gauge* plan_cache_entries = nullptr;
     obs::Gauge* plan_cache_bytes = nullptr;
+    obs::Counter* update_batches = nullptr;
+    obs::Counter* update_ops = nullptr;
+    obs::Counter* delta_additions = nullptr;
+    obs::Counter* delta_retractions = nullptr;
+    obs::Gauge* graph_epoch = nullptr;
     obs::Gauge* inflight = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* queue_ms = nullptr;
@@ -233,14 +308,27 @@ class MatchService {
     std::vector<obs::Counter*> worker_busy_us;
   };
 
+  /// One request's pinned view of the data graph: the snapshot it executes
+  /// against and the epoch folded into its plan-cache key.
+  struct GraphView {
+    std::shared_ptr<const Graph> graph;
+    uint64_t epoch = 0;
+  };
+
   void WorkerLoop(uint32_t worker_index);
   /// Executes one dequeued request end to end and fulfills its promise.
   void Execute(Pending pending);
   MatchResponse Run(const MatchRequest& request, double queue_ms,
-                    const std::atomic<bool>* cancel_token);
-  /// Appends a slow-query record when the response qualifies.
+                    const std::atomic<bool>* cancel_token,
+                    const GraphView& view);
+  /// Pins the current snapshot, compacting the overlay first when updates
+  /// landed since the last pin (lazy: only the first request after a batch
+  /// pays the merge).
+  GraphView CurrentView();
+  /// Appends a slow-query record when the response qualifies. `data` is
+  /// the graph the request ran against.
   void MaybeLogSlowQuery(const MatchRequest& request,
-                         const MatchResponse& response);
+                         const MatchResponse& response, const Graph& data);
   /// Folds the plan cache's point-in-time stats into the cumulative
   /// counters/gauges. Caller holds mutex_ (it guards cache_stats_seen_).
   void SyncPlanCacheMetricsLocked();
@@ -249,9 +337,20 @@ class MatchService {
   double NowMs() const;
 
   const ServiceOptions options_;
-  const Graph data_;
+  /// The mutable data graph and its continuous queries, guarded by
+  /// graph_mutex_ together with snapshot_/snapshot_epoch_ and the
+  /// cumulative dynamic counters. Requests never touch dynamic_ directly —
+  /// they pin an immutable snapshot via CurrentView(), so enumeration runs
+  /// lock-free while updates land.
+  dynamic::DynamicGraph dynamic_;
+  dynamic::ContinuousMatcher continuous_;
+  std::shared_ptr<const Graph> snapshot_;
+  uint64_t snapshot_epoch_ = 0;
+  mutable std::mutex graph_mutex_;
+  ServiceDynamicStats dynamic_stats_;
   /// Built once at construction when options_.shards > 1; null otherwise.
-  /// Points into data_, which outlives it.
+  /// Points into *snapshot_, which sharded services never replace
+  /// (ApplyUpdates rejects).
   std::unique_ptr<const shard::ShardedGraph> sharded_;
   PlanCache plan_cache_;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -290,10 +389,15 @@ class MatchService {
 /// queue_ms, queue_depth, request_status) is filled from the response.
 /// When `metrics` is non-null its ToJson() snapshot lands in
 /// service.metrics (pass service.metrics() for the answering service).
+/// When `dynamic_stats` is non-null the report's `dynamic` section carries
+/// the service's cumulative update counters (pass the answering service's
+/// DynamicStats()).
 obs::RunReport BuildServedRunReport(const Graph& query, const Graph& data,
                                     const MatchRequest& request,
                                     const MatchResponse& response,
                                     const obs::MetricsRegistry* metrics =
+                                        nullptr,
+                                    const ServiceDynamicStats* dynamic_stats =
                                         nullptr);
 
 }  // namespace sgm::service

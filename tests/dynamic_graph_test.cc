@@ -1,0 +1,459 @@
+// Tests for the dynamic-graph core: update-stream IO and generation, the
+// delta-overlay DynamicGraph (batch validation, sequential in-batch
+// semantics, snapshots, compaction, tombstones), and incremental candidate
+// maintenance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "sgm/dynamic/candidate_maintenance.h"
+#include "sgm/dynamic/dynamic_graph.h"
+#include "sgm/dynamic/update_batch.h"
+#include "sgm/graph/generators.h"
+#include "sgm/graph/graph.h"
+#include "sgm/util/prng.h"
+#include "test_support.h"
+
+namespace sgm::dynamic {
+namespace {
+
+using sgm::testing::MakeGraph;
+using sgm::testing::PaperData;
+using sgm::testing::PaperQuery;
+
+UpdateBatch Batch(std::vector<UpdateOp> ops) {
+  UpdateBatch batch;
+  batch.ops = std::move(ops);
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// Update stream IO
+
+TEST(UpdateStreamTest, RoundTripsThroughText) {
+  UpdateStream stream;
+  stream.batches.push_back(Batch({UpdateOp::AddEdge(0, 5),
+                                  UpdateOp::RemoveEdge(2, 3),
+                                  UpdateOp::AddVertex(1),
+                                  UpdateOp::RemoveVertex(7)}));
+  stream.batches.push_back(Batch({}));  // empty (epoch-only) batch
+  stream.batches.push_back(Batch({UpdateOp::AddEdge(13, 1)}));
+
+  std::ostringstream out;
+  WriteUpdateStream(stream, out);
+  std::istringstream in(out.str());
+  std::string error;
+  const auto parsed = ReadUpdateStream(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->batches.size(), stream.batches.size());
+  EXPECT_EQ(parsed->op_count(), 5u);
+  for (size_t i = 0; i < stream.batches.size(); ++i) {
+    EXPECT_EQ(parsed->batches[i].ops, stream.batches[i].ops) << "batch " << i;
+  }
+}
+
+TEST(UpdateStreamTest, ToleratesCommentsAndCrlf) {
+  std::istringstream in(
+      "# header comment\r\n"
+      "batch\r\n"
+      "ae 0 1\r\n"
+      "# mid comment\n"
+      "end\r\n");
+  std::string error;
+  const auto parsed = ReadUpdateStream(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->batches.size(), 1u);
+  EXPECT_EQ(parsed->batches[0].ops,
+            std::vector<UpdateOp>{UpdateOp::AddEdge(0, 1)});
+}
+
+TEST(UpdateStreamTest, RejectsMalformedInput) {
+  const char* kBad[] = {
+      "batch\nbatch\nend\nend\n",     // nested batch
+      "end\n",                        // end outside batch
+      "ae 0 1\n",                     // op outside batch
+      "batch\nae 0\nend\n",           // missing field
+      "batch\nae 0 1 2\nend\n",       // extra field
+      "batch\nae 0 -1\nend\n",        // signed value
+      "batch\nae 0 99999999999\nend\n",  // out of Vertex range
+      "batch\nxx 0 1\nend\n",         // unknown record
+      "batch\nae 0 1\n",              // unterminated batch
+  };
+  for (const char* text : kBad) {
+    std::istringstream in(text);
+    std::string error;
+    EXPECT_FALSE(ReadUpdateStream(in, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(UpdateStreamTest, GeneratorIsDeterministic) {
+  const Graph base = PaperData();
+  StreamGenOptions options;
+  options.batches = 12;
+  Prng a(42), b(42);
+  const UpdateStream first = GenerateUpdateStream(base, options, &a);
+  const UpdateStream second = GenerateUpdateStream(base, options, &b);
+  ASSERT_EQ(first.batches.size(), second.batches.size());
+  for (size_t i = 0; i < first.batches.size(); ++i) {
+    EXPECT_EQ(first.batches[i].ops, second.batches[i].ops);
+  }
+}
+
+TEST(UpdateStreamTest, GeneratedStreamsReplayCleanly) {
+  // Every generated op must validate against the evolving graph — the
+  // property sgm_serve --updates and the fuzzer rely on.
+  for (const uint64_t seed : {1ULL, 9ULL, 77ULL, 5000ULL}) {
+    Prng prng(seed);
+    Graph base = GenerateErdosRenyi(40, 80, 3, &prng);
+    StreamGenOptions options;
+    options.batches = 24;
+    options.remove_edge_weight = 0.45;  // exercise deletes hard
+    options.remove_vertex_weight = 0.10;
+    const UpdateStream stream = GenerateUpdateStream(base, options, &prng);
+    DynamicGraph graph(std::move(base));
+    for (const UpdateBatch& batch : stream.batches) {
+      std::string error;
+      ASSERT_TRUE(graph.Apply(batch, &error)) << "seed " << seed << ": "
+                                              << error;
+    }
+    EXPECT_EQ(graph.epoch(), stream.batches.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DynamicGraph semantics
+
+TEST(DynamicGraphTest, MirrorsItsBaseWhenClean) {
+  const Graph base = PaperData();
+  DynamicGraph graph(PaperData());
+  EXPECT_EQ(graph.vertex_count(), base.vertex_count());
+  EXPECT_EQ(graph.edge_count(), base.edge_count());
+  EXPECT_FALSE(graph.dirty());
+  EXPECT_EQ(graph.epoch(), 0u);
+  std::vector<Vertex> neighbors;
+  for (Vertex v = 0; v < base.vertex_count(); ++v) {
+    EXPECT_TRUE(graph.alive(v));
+    EXPECT_EQ(graph.label(v), base.label(v));
+    EXPECT_EQ(graph.degree(v), base.degree(v));
+    graph.CopyNeighbors(v, &neighbors);
+    const auto span = base.neighbors(v);
+    EXPECT_TRUE(std::equal(neighbors.begin(), neighbors.end(), span.begin(),
+                           span.end()));
+  }
+  // Clean graph: SnapshotShared is the base itself, no copy.
+  EXPECT_EQ(graph.SnapshotShared().get(), &graph.base());
+}
+
+TEST(DynamicGraphTest, EdgeUpdatesAreVisibleAndEpochStamped) {
+  DynamicGraph graph(PaperData());
+  std::string error;
+  ASSERT_TRUE(graph.Apply(Batch({UpdateOp::AddEdge(7, 8)}), &error)) << error;
+  EXPECT_EQ(graph.epoch(), 1u);
+  EXPECT_TRUE(graph.HasEdge(7, 8));
+  EXPECT_TRUE(graph.HasEdge(8, 7));
+  EXPECT_EQ(graph.degree(7), PaperData().degree(7) + 1);
+  EXPECT_TRUE(graph.dirty());
+
+  ASSERT_TRUE(graph.Apply(Batch({UpdateOp::RemoveEdge(0, 1)}), &error));
+  EXPECT_EQ(graph.epoch(), 2u);
+  EXPECT_FALSE(graph.HasEdge(0, 1));
+  EXPECT_EQ(graph.edge_count(), PaperData().edge_count());  // +1 then -1
+
+  std::vector<Vertex> neighbors;
+  graph.CopyNeighbors(0, &neighbors);
+  EXPECT_EQ(neighbors, (std::vector<Vertex>{2, 3, 4, 5, 6}));
+}
+
+TEST(DynamicGraphTest, EmptyBatchBumpsEpochOnly) {
+  DynamicGraph graph(PaperData());
+  std::string error;
+  ASSERT_TRUE(graph.Apply(Batch({}), &error));
+  EXPECT_EQ(graph.epoch(), 1u);
+  EXPECT_FALSE(graph.dirty());
+  EXPECT_EQ(graph.edge_count(), PaperData().edge_count());
+}
+
+TEST(DynamicGraphTest, SequentialInBatchSemantics) {
+  DynamicGraph graph(PaperData());
+  std::string error;
+  // Insert then delete the same edge in one batch: valid, nets to nothing.
+  ASSERT_TRUE(graph.Apply(
+      Batch({UpdateOp::AddEdge(7, 8), UpdateOp::RemoveEdge(7, 8)}), &error))
+      << error;
+  EXPECT_FALSE(graph.HasEdge(7, 8));
+  EXPECT_EQ(graph.edge_count(), PaperData().edge_count());
+
+  // Strip a vertex's edges, then delete it — all in one batch.
+  ASSERT_TRUE(graph.Apply(Batch({UpdateOp::RemoveEdge(8, 1),
+                                 UpdateOp::RemoveEdge(8, 9),
+                                 UpdateOp::RemoveVertex(8)}),
+                          &error))
+      << error;
+  EXPECT_FALSE(graph.alive(8));
+  EXPECT_EQ(graph.label(8), graph.tombstone_label());
+}
+
+TEST(DynamicGraphTest, RejectsInvalidBatchesAtomically) {
+  DynamicGraph graph(PaperData());
+  const uint64_t edges_before = graph.edge_count();
+  const struct {
+    UpdateBatch batch;
+    const char* why;
+  } kCases[] = {
+      {Batch({UpdateOp::AddEdge(0, 1)}), "duplicate edge"},
+      {Batch({UpdateOp::AddEdge(3, 3)}), "self loop"},
+      {Batch({UpdateOp::RemoveEdge(7, 8)}), "missing edge"},
+      {Batch({UpdateOp::AddEdge(0, 200)}), "unknown endpoint"},
+      {Batch({UpdateOp::RemoveVertex(0)}), "not isolated"},
+      {Batch({UpdateOp::RemoveVertex(200)}), "unknown vertex"},
+      {Batch({UpdateOp::AddVertex(99)}), "label outside vocabulary"},
+      // Valid prefix, invalid tail: nothing may stick.
+      {Batch({UpdateOp::AddEdge(7, 8), UpdateOp::AddEdge(7, 8)}),
+       "in-batch duplicate"},
+      {Batch({UpdateOp::RemoveEdge(8, 9), UpdateOp::RemoveVertex(8)}),
+       "still has edge 8-1"},
+  };
+  for (const auto& test : kCases) {
+    std::string error;
+    EXPECT_FALSE(graph.Apply(test.batch, &error)) << test.why;
+    EXPECT_FALSE(error.empty()) << test.why;
+    EXPECT_EQ(graph.epoch(), 0u) << test.why;
+    EXPECT_EQ(graph.edge_count(), edges_before) << test.why;
+  }
+  EXPECT_FALSE(graph.HasEdge(7, 8));
+  EXPECT_TRUE(graph.HasEdge(8, 9));
+}
+
+TEST(DynamicGraphTest, DeadVertexCannotBeTouched) {
+  DynamicGraph graph(MakeGraph({0, 0, 1}, {{0, 1}}));
+  std::string error;
+  ASSERT_TRUE(graph.Apply(Batch({UpdateOp::RemoveVertex(2)}), &error));
+  EXPECT_FALSE(graph.Apply(Batch({UpdateOp::AddEdge(0, 2)}), &error));
+  EXPECT_FALSE(graph.Apply(Batch({UpdateOp::RemoveVertex(2)}), &error));
+}
+
+TEST(DynamicGraphTest, AddedVerticesGetFreshIdsAndKeepLabels) {
+  DynamicGraph graph(PaperData());
+  std::string error;
+  const uint32_t before = graph.vertex_count();
+  ASSERT_TRUE(graph.Apply(
+      Batch({UpdateOp::AddVertex(2), UpdateOp::AddVertex(0)}), &error));
+  ASSERT_EQ(graph.vertex_count(), before + 2);
+  EXPECT_EQ(graph.label(before), 2u);
+  EXPECT_EQ(graph.label(before + 1), 0u);
+  EXPECT_EQ(graph.degree(before), 0u);
+  // The new vertex can grow edges in a later batch.
+  ASSERT_TRUE(graph.Apply(Batch({UpdateOp::AddEdge(before, 0)}), &error))
+      << error;
+  EXPECT_TRUE(graph.HasEdge(0, before));
+}
+
+/// Reference model: re-derives the expected snapshot from scratch.
+struct ReferenceGraph {
+  std::vector<Label> labels;
+  std::set<std::pair<Vertex, Vertex>> edges;
+  Label tombstone;
+
+  explicit ReferenceGraph(const Graph& base)
+      : tombstone(std::max(base.label_count(), 1u)) {
+    for (Vertex v = 0; v < base.vertex_count(); ++v) {
+      labels.push_back(base.label(v));
+      for (const Vertex w : base.neighbors(v)) {
+        if (v < w) edges.insert({v, w});
+      }
+    }
+  }
+
+  void Apply(const UpdateBatch& batch) {
+    for (const UpdateOp& op : batch.ops) {
+      switch (op.kind) {
+        case UpdateKind::kAddEdge:
+          edges.insert({std::min(op.u, op.v), std::max(op.u, op.v)});
+          break;
+        case UpdateKind::kRemoveEdge:
+          edges.erase({std::min(op.u, op.v), std::max(op.u, op.v)});
+          break;
+        case UpdateKind::kAddVertex:
+          labels.push_back(op.label);
+          break;
+        case UpdateKind::kRemoveVertex:
+          labels[op.u] = tombstone;
+          break;
+      }
+    }
+  }
+
+  Graph Build() const {
+    std::vector<std::pair<Vertex, Vertex>> edge_list(edges.begin(),
+                                                     edges.end());
+    return Graph(labels, edge_list);
+  }
+};
+
+void ExpectSameGraph(const Graph& actual, const Graph& expected,
+                     const std::string& context) {
+  ASSERT_EQ(actual.vertex_count(), expected.vertex_count()) << context;
+  ASSERT_EQ(actual.edge_count(), expected.edge_count()) << context;
+  for (Vertex v = 0; v < expected.vertex_count(); ++v) {
+    ASSERT_EQ(actual.label(v), expected.label(v)) << context << " v" << v;
+    const auto a = actual.neighbors(v);
+    const auto e = expected.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), e.begin(), e.end()))
+        << context << " v" << v;
+  }
+}
+
+TEST(DynamicGraphTest, SnapshotMatchesReferenceUnderRandomStreams) {
+  for (const uint64_t seed : {3ULL, 21ULL, 404ULL}) {
+    Prng prng(seed);
+    Graph base = GenerateErdosRenyi(32, 64, 3, &prng);
+    ReferenceGraph reference(base);
+    StreamGenOptions options;
+    options.batches = 16;
+    options.remove_edge_weight = 0.45;
+    options.remove_vertex_weight = 0.10;
+    const UpdateStream stream = GenerateUpdateStream(base, options, &prng);
+
+    DynamicGraph graph(std::move(base));
+    uint64_t batch_index = 0;
+    for (const UpdateBatch& batch : stream.batches) {
+      std::string error;
+      ASSERT_TRUE(graph.Apply(batch, &error)) << error;
+      reference.Apply(batch);
+      ExpectSameGraph(graph.Snapshot(), reference.Build(),
+                      "seed " + std::to_string(seed) + " batch " +
+                          std::to_string(batch_index));
+      ++batch_index;
+    }
+  }
+}
+
+TEST(DynamicGraphTest, CompactionPreservesReadsAndResetsOverlay) {
+  DynamicGraph graph(PaperData());
+  std::string error;
+  ASSERT_TRUE(graph.Apply(Batch({UpdateOp::AddEdge(7, 8),
+                                 UpdateOp::RemoveEdge(0, 1),
+                                 UpdateOp::AddVertex(1)}),
+                          &error))
+      << error;
+  const Graph before = graph.Snapshot();
+  const uint64_t epoch = graph.epoch();
+  ASSERT_TRUE(graph.dirty());
+
+  graph.Compact();
+  EXPECT_FALSE(graph.dirty());
+  EXPECT_EQ(graph.compactions(), 1u);
+  EXPECT_EQ(graph.epoch(), epoch);  // compaction is not a version change
+  ExpectSameGraph(graph.Snapshot(), before, "post-compaction");
+  EXPECT_EQ(graph.SnapshotShared().get(), &graph.base());
+  // Only the tombstone bitvector survives a compaction.
+  EXPECT_LE(graph.OverlayMemoryBytes(), graph.vertex_count());
+
+  // Idempotent when clean.
+  graph.Compact();
+  EXPECT_EQ(graph.compactions(), 1u);
+
+  // Updates keep working on the compacted base.
+  ASSERT_TRUE(graph.Apply(Batch({UpdateOp::AddEdge(0, 1)}), &error)) << error;
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+}
+
+TEST(DynamicGraphTest, TombstoneLabelIsStableAcrossCompaction) {
+  // The tombstone must never collide with a live label, even after a
+  // compaction folds dead vertices into the base (which grows the base's
+  // label_count to include the tombstone label class).
+  DynamicGraph graph(MakeGraph({0, 1, 1}, {{0, 1}, {0, 2}}));
+  const Label tombstone = graph.tombstone_label();
+  std::string error;
+  ASSERT_TRUE(graph.Apply(
+      Batch({UpdateOp::RemoveEdge(0, 2), UpdateOp::RemoveVertex(2)}), &error));
+  graph.Compact();
+  EXPECT_EQ(graph.tombstone_label(), tombstone);
+  EXPECT_EQ(graph.label_limit(), tombstone);
+  // New vertices still draw from the original vocabulary only.
+  EXPECT_FALSE(graph.Apply(Batch({UpdateOp::AddVertex(tombstone)}), &error));
+  ASSERT_TRUE(graph.Apply(Batch({UpdateOp::AddVertex(1)}), &error));
+  EXPECT_EQ(graph.label(graph.vertex_count() - 1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental candidate maintenance
+
+/// Direct statement of the LDF+NLF predicate, for cross-checking.
+bool ReferenceCandidate(const Graph& query, uint32_t qu,
+                        const DynamicGraph& data, Vertex v) {
+  if (!data.alive(v)) return false;
+  if (data.label(v) != query.label(qu)) return false;
+  if (data.degree(v) < query.degree(qu)) return false;
+  std::vector<Vertex> neighbors;
+  data.CopyNeighbors(v, &neighbors);
+  for (const auto& need : query.NeighborLabelFrequency(qu)) {
+    uint32_t have = 0;
+    for (const Vertex w : neighbors) {
+      if (data.label(w) == need.label) ++have;
+    }
+    if (have < need.count) return false;
+  }
+  return true;
+}
+
+void ExpectCandidatesMatchReference(const Graph& query,
+                                    const DynamicCandidates& candidates,
+                                    const DynamicGraph& data,
+                                    const std::string& context) {
+  for (uint32_t qu = 0; qu < query.vertex_count(); ++qu) {
+    for (Vertex v = 0; v < data.vertex_count(); ++v) {
+      EXPECT_EQ(candidates.IsCandidate(qu, v),
+                ReferenceCandidate(query, qu, data, v))
+          << context << " u" << qu << " v" << v;
+    }
+  }
+}
+
+TEST(DynamicCandidatesTest, InitialBuildMatchesPredicate) {
+  const Graph query = PaperQuery();
+  DynamicGraph data(PaperData());
+  DynamicCandidates candidates(query, data);
+  ExpectCandidatesMatchReference(query, candidates, data, "initial");
+  // Figure 1: LDF/NLF leaves {v0} for u0.
+  EXPECT_EQ(candidates.CandidateCount(0), 1u);
+  EXPECT_TRUE(candidates.IsCandidate(0, 0));
+}
+
+TEST(DynamicCandidatesTest, TwoVertexRepairTracksEdgeUpdates) {
+  const Graph query = PaperQuery();
+  DynamicGraph data(PaperData());
+  DynamicCandidates candidates(query, data);
+  Prng prng(99);
+  StreamGenOptions options;
+  options.batches = 20;
+  options.max_ops_per_batch = 4;
+  options.remove_edge_weight = 0.45;
+  const UpdateStream stream =
+      GenerateUpdateStream(data.Snapshot(), options, &prng);
+  for (const UpdateBatch& batch : stream.batches) {
+    for (const UpdateOp& op : batch.ops) {
+      data.ApplyOp(op);
+      // The repair set of an edge op is exactly its endpoints; vertex ops
+      // repair the vertex itself.
+      candidates.RepairVertex(data, op.u);
+      if (op.kind == UpdateKind::kAddEdge ||
+          op.kind == UpdateKind::kRemoveEdge) {
+        candidates.RepairVertex(data, op.v);
+      } else if (op.kind == UpdateKind::kAddVertex) {
+        candidates.RepairVertex(data, data.vertex_count() - 1);
+      }
+    }
+    data.BumpEpoch();
+    ExpectCandidatesMatchReference(query, candidates, data,
+                                   "epoch " + std::to_string(data.epoch()));
+  }
+}
+
+}  // namespace
+}  // namespace sgm::dynamic

@@ -1,0 +1,240 @@
+// Property tests for continuous matching: every batch's delta, replayed
+// over the previous match set, must reproduce a cold brute-force re-match
+// of the updated snapshot — including retractions from deleting edges
+// inside previously reported matches — and the maintained set must agree
+// with the parallel enumerator on the final graph.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sgm/core/brute_force.h"
+#include "sgm/dynamic/continuous.h"
+#include "sgm/dynamic/dynamic_graph.h"
+#include "sgm/dynamic/update_batch.h"
+#include "sgm/graph/generators.h"
+#include "sgm/matcher.h"
+#include "sgm/parallel/parallel_matcher.h"
+#include "sgm/util/prng.h"
+#include "test_support.h"
+
+namespace sgm::dynamic {
+namespace {
+
+using sgm::testing::MakeGraph;
+using sgm::testing::PaperData;
+using sgm::testing::PaperQuery;
+
+using MatchSet = std::set<std::vector<Vertex>>;
+
+MatchSet InitialMatches(const Graph& query, const Graph& data) {
+  const auto matches = BruteForceMatches(query, data);
+  return MatchSet(matches.begin(), matches.end());
+}
+
+/// Applies one delta's records in order, asserting the exactness contract:
+/// additions must be new, retractions must exist.
+void ReplayDelta(const MatchDelta& delta, MatchSet* matches,
+                 const std::string& context) {
+  for (const DeltaRecord& record : delta.records) {
+    if (record.addition) {
+      ASSERT_TRUE(matches->insert(record.embedding).second)
+          << context << ": duplicate addition";
+    } else {
+      ASSERT_EQ(matches->erase(record.embedding), 1u)
+          << context << ": retraction of an unreported match";
+    }
+  }
+}
+
+UpdateBatch Batch(std::vector<UpdateOp> ops) {
+  UpdateBatch batch;
+  batch.ops = std::move(ops);
+  return batch;
+}
+
+TEST(ContinuousMatcherTest, RejectsInvalidRegistrations) {
+  DynamicGraph graph(PaperData());
+  ContinuousMatcher matcher(&graph);
+  std::string error;
+  EXPECT_EQ(matcher.Register(Graph(), &error), 0u);
+  EXPECT_FALSE(error.empty());
+  // Disconnected: two isolated vertices.
+  EXPECT_EQ(matcher.Register(MakeGraph({0, 1}, {}), &error), 0u);
+  // Label outside the data graph's fixed vocabulary.
+  EXPECT_EQ(matcher.Register(MakeGraph({99}, {}), &error), 0u);
+  // 65-vertex path exceeds the engine-wide query cap.
+  {
+    std::vector<Label> labels(65, 0);
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    for (Vertex v = 0; v + 1 < 65; ++v) edges.emplace_back(v, v + 1);
+    EXPECT_EQ(matcher.Register(MakeGraph(labels, edges), &error), 0u);
+  }
+  EXPECT_EQ(matcher.registration_count(), 0u);
+
+  const uint64_t id = matcher.Register(PaperQuery(), &error);
+  EXPECT_GT(id, 0u) << error;
+  EXPECT_EQ(matcher.registration_count(), 1u);
+  EXPECT_TRUE(matcher.Unregister(id));
+  EXPECT_FALSE(matcher.Unregister(id));
+}
+
+TEST(ContinuousMatcherTest, RetractsMatchBrokenByEdgeDelete) {
+  // Figure 1 has exactly two matches; deleting data edge (v0, v4) kills
+  // {(u0,v0),(u1,v4),(u2,v5),(u3,v12)} and must retract exactly it.
+  DynamicGraph graph(PaperData());
+  ContinuousMatcher matcher(&graph);
+  std::string error;
+  const uint64_t id = matcher.Register(PaperQuery(), &error);
+  ASSERT_GT(id, 0u) << error;
+
+  MatchSet matches = InitialMatches(PaperQuery(), graph.Snapshot());
+  ASSERT_EQ(matches.size(), 2u);
+
+  auto result = matcher.ApplyBatch(Batch({UpdateOp::RemoveEdge(0, 4)}),
+                                   &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  ASSERT_EQ(result->deltas.size(), 1u);
+  const MatchDelta& delta = result->deltas[0];
+  EXPECT_EQ(delta.query_id, id);
+  EXPECT_EQ(delta.additions, 0u);
+  EXPECT_EQ(delta.retractions, 1u);
+  ASSERT_EQ(delta.records.size(), 1u);
+  EXPECT_FALSE(delta.records[0].addition);
+  EXPECT_EQ(delta.records[0].embedding, (std::vector<Vertex>{0, 4, 5, 12}));
+
+  ReplayDelta(delta, &matches, "delete (0,4)");
+  EXPECT_EQ(matches, InitialMatches(PaperQuery(), graph.Snapshot()));
+
+  // Re-inserting the edge resurrects the match as an addition.
+  result = matcher.ApplyBatch(Batch({UpdateOp::AddEdge(0, 4)}), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->deltas[0].additions, 1u);
+  EXPECT_EQ(result->deltas[0].records[0].embedding,
+            (std::vector<Vertex>{0, 4, 5, 12}));
+}
+
+TEST(ContinuousMatcherTest, EmptyBatchYieldsNoRecords) {
+  DynamicGraph graph(PaperData());
+  ContinuousMatcher matcher(&graph);
+  std::string error;
+  ASSERT_GT(matcher.Register(PaperQuery(), &error), 0u);
+  const auto result = matcher.ApplyBatch(Batch({}), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_EQ(result->epoch, 1u);
+  EXPECT_EQ(result->ops_applied, 0u);
+  ASSERT_EQ(result->deltas.size(), 1u);
+  EXPECT_TRUE(result->deltas[0].records.empty());
+}
+
+TEST(ContinuousMatcherTest, AddAndRemoveInOneBatchNetsToNothing) {
+  // An embedding created and destroyed inside one batch appears as an
+  // ordered addition+retraction pair; the folded set is unchanged.
+  DynamicGraph graph(PaperData());
+  ContinuousMatcher matcher(&graph);
+  std::string error;
+  ASSERT_GT(matcher.Register(PaperQuery(), &error), 0u);
+  MatchSet matches = InitialMatches(PaperQuery(), graph.Snapshot());
+
+  // (v9, v7) gives A-vertex v9 a C neighbor; with (v7, v6), (v6, v11)
+  // already present no new match forms — use a pair known to create one:
+  // delete and re-add (0, 4) in one batch.
+  const auto result = matcher.ApplyBatch(
+      Batch({UpdateOp::RemoveEdge(0, 4), UpdateOp::AddEdge(0, 4)}), &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  const MatchDelta& delta = result->deltas[0];
+  EXPECT_EQ(delta.retractions, 1u);
+  EXPECT_EQ(delta.additions, 1u);
+  ReplayDelta(delta, &matches, "remove+re-add");
+  EXPECT_EQ(matches, InitialMatches(PaperQuery(), graph.Snapshot()));
+}
+
+/// The core equivalence property: for every batch of a random stream,
+/// replaying the delta over the maintained set equals a cold re-match.
+void RunEquivalence(uint64_t seed, uint32_t data_vertices, uint32_t data_edges,
+                    uint32_t labels,
+                    const std::vector<Graph>& queries) {
+  Prng prng(seed);
+  Graph base = GenerateErdosRenyi(data_vertices, data_edges, labels, &prng);
+  StreamGenOptions options;
+  options.batches = 12;
+  options.max_ops_per_batch = 6;
+  // Lean hard on deletions so retraction paths get real coverage.
+  options.remove_edge_weight = 0.45;
+  options.remove_vertex_weight = 0.08;
+  options.add_vertex_weight = 0.08;
+  const UpdateStream stream = GenerateUpdateStream(base, options, &prng);
+
+  DynamicGraph graph(std::move(base));
+  ContinuousMatcher matcher(&graph);
+  std::vector<uint64_t> ids;
+  std::vector<MatchSet> matches;
+  for (const Graph& query : queries) {
+    std::string error;
+    const uint64_t id = matcher.Register(query, &error);
+    ASSERT_GT(id, 0u) << error;
+    ids.push_back(id);
+    matches.push_back(InitialMatches(query, graph.Snapshot()));
+  }
+
+  uint64_t batch_index = 0;
+  for (const UpdateBatch& batch : stream.batches) {
+    std::string error;
+    const auto result = matcher.ApplyBatch(batch, &error);
+    ASSERT_TRUE(result.has_value()) << error;
+    ASSERT_EQ(result->deltas.size(), queries.size());
+    const Graph snapshot = graph.Snapshot();
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const std::string context = "seed " + std::to_string(seed) + " batch " +
+                                  std::to_string(batch_index) + " query " +
+                                  std::to_string(q);
+      EXPECT_EQ(result->deltas[q].query_id, ids[q]);
+      ReplayDelta(result->deltas[q], &matches[q], context);
+      EXPECT_EQ(matches[q], InitialMatches(queries[q], snapshot)) << context;
+    }
+    ++batch_index;
+  }
+
+  // Final cross-check against the optimized serial and parallel engines:
+  // the incrementally maintained count must match both.
+  const Graph final_snapshot = graph.Snapshot();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    MatchOptions match_options;
+    match_options.max_matches = 0;
+    const MatchResult serial =
+        MatchQuery(queries[q], final_snapshot, match_options);
+    EXPECT_EQ(serial.match_count, matches[q].size()) << "query " << q;
+    const ParallelMatchResult par =
+        ParallelMatchQuery(queries[q], final_snapshot, match_options, 4);
+    EXPECT_EQ(par.result.match_count, matches[q].size()) << "query " << q;
+  }
+}
+
+TEST(ContinuousMatcherTest, DeltaEqualsRematchOnRandomStreams) {
+  const std::vector<Graph> queries = {
+      MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}}),  // triangle
+      MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}),          // labeled path
+      MakeGraph({1}, {}),                              // single vertex
+      MakeGraph({0, 1}, {{0, 1}}),                     // single edge
+  };
+  for (const uint64_t seed : {2ULL, 11ULL, 58ULL, 1234ULL}) {
+    RunEquivalence(seed, 24, 48, 3, queries);
+  }
+}
+
+TEST(ContinuousMatcherTest, DeltaEqualsRematchOnDenserGraphs) {
+  // Denser graphs make multi-edge overlaps (one embedding touched by
+  // several ops of the same batch) likely.
+  const std::vector<Graph> queries = {
+      MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}}),
+      MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}}),  // 4-path
+  };
+  for (const uint64_t seed : {7ULL, 99ULL}) {
+    RunEquivalence(seed, 18, 60, 2, queries);
+  }
+}
+
+}  // namespace
+}  // namespace sgm::dynamic

@@ -80,6 +80,46 @@ TEST(FuzzOracleTest, RejectsOutOfContractQueries) {
   EXPECT_FALSE(result.Failed());
 }
 
+TEST(FuzzCaseTest, UpdateFractionControlsTheDynamicDimension) {
+  CaseGenOptions always;
+  always.update_fraction = 1.0;
+  CaseGenOptions never;
+  never.update_fraction = 0.0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_FALSE(GenerateCase(seed, always).updates.batches.empty())
+        << "seed " << seed;
+    EXPECT_TRUE(GenerateCase(seed, never).updates.batches.empty())
+        << "seed " << seed;
+  }
+}
+
+// Property 4: the incremental replay of every generated update stream must
+// land on exactly the embedding set a cold rematch of the final graph
+// produces. Healthy engines ⇒ no dynamic-mismatch over many seeds.
+TEST(FuzzOracleTest, DynamicReplayAgreesOnManySeeds) {
+  CaseGenOptions gen_options;
+  gen_options.update_fraction = 1.0;
+  uint64_t batches_checked = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const FuzzCase fuzz_case = GenerateCase(seed, gen_options);
+    const OracleResult result = RunOracle(fuzz_case);
+    EXPECT_FALSE(result.Failed())
+        << "seed " << seed << ": " << VerdictKindName(result.kind) << " — "
+        << result.detail;
+    batches_checked += result.dynamic_batches;
+  }
+  EXPECT_GT(batches_checked, 0u)
+      << "the dynamic check never actually replayed a batch";
+}
+
+TEST(FuzzOracleTest, DynamicMismatchVerdictRoundTrips) {
+  VerdictKind kind = VerdictKind::kAgree;
+  ASSERT_TRUE(ParseVerdictKind("dynamic-mismatch", &kind));
+  EXPECT_EQ(kind, VerdictKind::kDynamicMismatch);
+  EXPECT_STREQ(VerdictKindName(VerdictKind::kDynamicMismatch),
+               "dynamic-mismatch");
+}
+
 TEST(FuzzReproducerTest, RoundTripsThroughText) {
   const FuzzCase original = GenerateCase(42);
   Reproducer reproducer{original, VerdictKind::kAgree};
@@ -107,6 +147,35 @@ TEST(FuzzReproducerTest, RoundTripsThroughText) {
   const OracleResult b = RunOracle(loaded->fuzz_case);
   EXPECT_EQ(a.kind, b.kind);
   EXPECT_EQ(a.reference_count, b.reference_count);
+}
+
+TEST(FuzzReproducerTest, UpdateStreamRoundTrips) {
+  CaseGenOptions gen_options;
+  gen_options.update_fraction = 1.0;
+  const FuzzCase original = GenerateCase(7, gen_options);
+  ASSERT_FALSE(original.updates.batches.empty());
+  Reproducer reproducer{original, VerdictKind::kAgree};
+  std::ostringstream out;
+  WriteReproducer(reproducer, out);
+  EXPECT_NE(out.str().find("\nupdates\n"), std::string::npos);
+
+  std::istringstream in(out.str());
+  std::string error;
+  const auto loaded = ReadReproducer(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  const dynamic::UpdateStream& replayed = loaded->fuzz_case.updates;
+  ASSERT_EQ(replayed.batches.size(), original.updates.batches.size());
+  for (size_t b = 0; b < replayed.batches.size(); ++b) {
+    EXPECT_EQ(replayed.batches[b].ops, original.updates.batches[b].ops)
+        << "batch " << b;
+  }
+  // The replayed case must evaluate identically, dynamic counters included.
+  const OracleResult a = RunOracle(original);
+  const OracleResult b = RunOracle(loaded->fuzz_case);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.dynamic_batches, b.dynamic_batches);
+  EXPECT_EQ(a.dynamic_additions, b.dynamic_additions);
+  EXPECT_EQ(a.dynamic_retractions, b.dynamic_retractions);
 }
 
 TEST(FuzzReproducerTest, ShardKeysRoundTrip) {
@@ -162,6 +231,14 @@ TEST(FuzzReproducerTest, RejectsMalformedInput) {
       parse("config REC fs=0 ix=warp threads=1 fault=0\n");
   EXPECT_FALSE(ok);
   EXPECT_NE(error.find("config"), std::string::npos);
+
+  // A garbage updates section must fail the whole file, not be dropped.
+  std::ostringstream valid;
+  WriteReproducer({GenerateCase(5), VerdictKind::kAgree}, valid);
+  const auto [upd_ok, upd_error] =
+      parse(valid.str() + "updates\nbogus op\n");
+  EXPECT_FALSE(upd_ok);
+  EXPECT_NE(upd_error.find("updates"), std::string::npos);
 }
 
 // The acceptance test for the whole pipeline: plant an off-by-one in the

@@ -10,6 +10,11 @@ Two modes:
                           per-pass latency.p99_ms, higher is worse.
     - benchmark_cpu_time: google-benchmark --benchmark_out JSON;
                           per-benchmark cpu_time, higher is worse.
+    - dynamic_speedup:    BENCH_dynamic.json (bench_dynamic_updates);
+                          a floor check — the incremental-vs-rebuild
+                          speedup must stay at or above the check's
+                          min_speedup (default 10), and the per-batch
+                          count cross-check must have passed.
   Every check prints a per-metric table and the run fails if any metric
   exceeds its budget.
 
@@ -93,6 +98,39 @@ _LOADERS = {
 }
 
 
+def load_dynamic_doc(path):
+    """BENCH_dynamic.json -> the whole document, validated."""
+    doc = load_json(path)
+    if doc.get("bench") != "dynamic_updates":
+        fail_usage(f"{path} is not a BENCH_dynamic.json document "
+                   "(expected bench=dynamic_updates)")
+    if not isinstance(doc.get("speedup"), (int, float)):
+        fail_usage(f"{path} has no numeric speedup")
+    return doc
+
+
+def check_dynamic_speedup(name, baseline_path, current_path, min_speedup):
+    """Floor check: speedup >= min_speedup, counts identical. The baseline
+    is informational (printed for context), not a ratio budget — speedups
+    vary with machine load far more than latencies do."""
+    baseline = load_dynamic_doc(baseline_path)
+    current = load_dynamic_doc(current_path)
+    speedup = float(current["speedup"])
+    consistent = current.get("counts_identical") is True
+    failed = False
+    print(f"== {name} (floor {min_speedup:g}x) ==")
+    print(f"  speedup   {speedup:9.1f}x vs baseline "
+          f"{float(baseline['speedup']):9.1f}x  floor {min_speedup:g}x  "
+          f"{'OK' if speedup >= min_speedup else 'REGRESSION'}")
+    if speedup < min_speedup:
+        failed = True
+    print(f"  counts    {'identical' if consistent else 'DIVERGED'}  "
+          f"{'OK' if consistent else 'REGRESSION'}")
+    if not consistent:
+        failed = True
+    return failed
+
+
 def compare(name, baseline, current, max_regression, slack_ms):
     """Prints the per-metric table for one check; returns True on failure."""
     failed = False
@@ -126,13 +164,19 @@ def run_manifest(path, default_regression, default_slack):
     failed = False
     for check in checks:
         kind = check.get("kind")
-        if kind not in _LOADERS:
+        if kind not in _LOADERS and kind != "dynamic_speedup":
             fail_usage(f"check {check.get('name', '?')} in {path} has "
                        f"unknown kind '{kind}'")
         for field in ("baseline", "current"):
             if not isinstance(check.get(field), str):
                 fail_usage(f"check {check.get('name', '?')} in {path} "
                            f"lacks a '{field}' path")
+        if kind == "dynamic_speedup":
+            if check_dynamic_speedup(check.get("name", check["current"]),
+                                     check["baseline"], check["current"],
+                                     float(check.get("min_speedup", 10.0))):
+                failed = True
+            continue
         loader = _LOADERS[kind]
         if compare(check.get("name", check["current"]),
                    loader(check["baseline"]),

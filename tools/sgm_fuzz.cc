@@ -51,13 +51,14 @@ struct CliArgs {
   bool inject_fault = false;
   bool no_minimize = false;
   bool verbose = false;
+  double update_fraction = -1.0;  // <0 = generator default
 };
 
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: sgm_fuzz [--seed S] [--budget-s T] [--cases N]"
                " [--out-dir DIR] [--inject-fault] [--no-minimize]"
-               " [--verbose]\n"
+               " [--update-fraction F] [--verbose]\n"
                "       sgm_fuzz --replay FILE [--verbose]\n"
                "run 'sgm_fuzz --help' for details\n");
 }
@@ -83,6 +84,12 @@ void PrintHelp() {
       "                   oracle + minimizer pipeline\n"
       "  --no-minimize    write reproducers without shrinking them first\n"
       "  --replay FILE    re-run one reproducer through the oracle and exit\n"
+      "  --update-fraction F\n"
+      "                   fraction of cases carrying an update stream (the\n"
+      "                   dynamic `upd=` dimension: incremental continuous-\n"
+      "                   matching replay is diffed against a cold rematch\n"
+      "                   of the final graph); 1 makes every case dynamic\n"
+      "                   (default 0.35)\n"
       "  --verbose        per-case progress lines\n"
       "  --help           show this message and exit\n"
       "\n"
@@ -126,6 +133,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       const auto value = next();
       if (!value.has_value()) return false;
       args->replay_path = *value;
+    } else if (flag == "--update-fraction") {
+      const auto value = next();
+      if (!value.has_value()) return false;
+      args->update_fraction = std::strtod(value->c_str(), nullptr);
+      if (args->update_fraction < 0.0 || args->update_fraction > 1.0) {
+        std::fprintf(stderr, "--update-fraction must be in [0, 1]\n");
+        return false;
+      }
     } else if (flag == "--inject-fault") {
       args->inject_fault = true;
     } else if (flag == "--no-minimize") {
@@ -148,6 +163,12 @@ void PrintOutcomes(const sgm::fuzz::OracleResult& result) {
                 static_cast<unsigned long long>(outcome.match_count),
                 outcome.reached_limit ? " [limit]" : "",
                 outcome.timed_out ? " [timeout]" : "");
+  }
+  if (result.dynamic_batches > 0) {
+    std::printf("  dynamic: %llu batches, +%llu / -%llu matches\n",
+                static_cast<unsigned long long>(result.dynamic_batches),
+                static_cast<unsigned long long>(result.dynamic_additions),
+                static_cast<unsigned long long>(result.dynamic_retractions));
   }
 }
 
@@ -196,7 +217,11 @@ int Generate(const CliArgs& args) {
       break;
     }
     const uint64_t seed = args.seed + i;
-    sgm::fuzz::FuzzCase fuzz_case = sgm::fuzz::GenerateCase(seed);
+    sgm::fuzz::CaseGenOptions gen_options;
+    if (args.update_fraction >= 0.0) {
+      gen_options.update_fraction = args.update_fraction;
+    }
+    sgm::fuzz::FuzzCase fuzz_case = sgm::fuzz::GenerateCase(seed, gen_options);
     if (args.inject_fault && !fuzz_case.configs.empty()) {
       fuzz_case.configs[0].inject_fault = true;
       fuzz_case.configs[0].threads = 1;  // The hook is a serial-engine knob.
@@ -215,11 +240,12 @@ int Generate(const CliArgs& args) {
     ++cases_run;
     if (args.verbose || result.Failed()) {
       std::printf("case seed=%llu |V(G)|=%u |E(G)|=%u |V(q)|=%u budget=%llu"
-                  " verdict=%s\n",
+                  " upd=%zu verdict=%s\n",
                   static_cast<unsigned long long>(seed),
                   fuzz_case.data.vertex_count(), fuzz_case.data.edge_count(),
                   fuzz_case.query.vertex_count(),
                   static_cast<unsigned long long>(fuzz_case.max_matches),
+                  fuzz_case.updates.op_count(),
                   sgm::fuzz::VerdictKindName(result.kind));
     }
     if (result.Failed()) {

@@ -10,11 +10,13 @@
 //   --query-size Q    query vertex count (default 8)
 //   --density D       any | dense | sparse  (default any)
 //   --query-prefix P  write queries to P_<i>.graph
+//   --update-stream F additionally write a replayable update stream to F
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "sgm/dynamic/update_batch.h"
 #include "sgm/graph/generators.h"
 #include "sgm/graph/graph_io.h"
 #include "sgm/graph/query_generator.h"
@@ -32,6 +34,9 @@ struct CliArgs {
   uint32_t query_size = 8;
   std::string density = "any";
   std::string query_prefix = "query";
+  std::string update_stream_path;
+  uint32_t update_batches = 16;
+  uint32_t update_ops = 8;
 };
 
 void PrintUsage() {
@@ -39,7 +44,7 @@ void PrintUsage() {
                "usage: sgm_generate --out g.graph --vertices N --edges M"
                " [--labels L] [--model rmat|er] [--seed S] [--queries K]"
                " [--query-size Q] [--density any|dense|sparse]"
-               " [--query-prefix P]\n"
+               " [--query-prefix P] [--update-stream F]\n"
                "run 'sgm_generate --help' for details\n");
 }
 
@@ -66,6 +71,12 @@ void PrintHelp() {
       "                      (default any)\n"
       "  --query-prefix P    query output path prefix; query i lands in\n"
       "                      P_<i>.graph (default 'query')\n"
+      "  --update-stream F   additionally write a seeded, replayable\n"
+      "                      insert/delete stream (update_batch.h text\n"
+      "                      format) valid against the generated graph,\n"
+      "                      for sgm_serve --updates\n"
+      "  --update-batches N  batches in the update stream (default 16)\n"
+      "  --update-ops N      max ops per stream batch (default 8)\n"
       "  --help              show this message and exit\n"
       "\n"
       "exit codes: 0 ok, 1 write error, 2 usage error\n");
@@ -102,6 +113,14 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->density = value;
     } else if (flag == "--query-prefix" && (value = next())) {
       args->query_prefix = value;
+    } else if (flag == "--update-stream" && (value = next())) {
+      args->update_stream_path = value;
+    } else if (flag == "--update-batches" && (value = next())) {
+      args->update_batches =
+          static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--update-ops" && (value = next())) {
+      args->update_ops =
+          static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -157,6 +176,22 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu %s queries of size %u (prefix %s)\n",
                 queries.size(), args.density.c_str(), args.query_size,
                 args.query_prefix.c_str());
+  }
+
+  if (!args.update_stream_path.empty()) {
+    sgm::dynamic::StreamGenOptions stream_options;
+    stream_options.batches = args.update_batches;
+    stream_options.max_ops_per_batch = args.update_ops;
+    const sgm::dynamic::UpdateStream stream =
+        sgm::dynamic::GenerateUpdateStream(graph, stream_options, &prng);
+    if (!sgm::dynamic::SaveUpdateStreamFile(stream, args.update_stream_path,
+                                            &error)) {
+      std::fprintf(stderr, "write failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %zu batches, %zu update ops\n",
+                args.update_stream_path.c_str(), stream.batches.size(),
+                stream.op_count());
   }
   return 0;
 }

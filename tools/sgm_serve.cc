@@ -18,8 +18,18 @@
 // then disabled — verifies both passes return identical match counts, and
 // reports the throughput speedup.
 //
+// With --updates STREAM the driver switches to continuous-matching replay
+// (DESIGN.md §14): every workload query is registered as a continuous
+// query, the update stream's batches are applied one by one, and each
+// batch prints (and records in --out) its exact match delta — embeddings
+// that appeared and embeddings that were retracted — plus the apply /
+// delta-enumeration time split. After the replay the workload runs once
+// as ordinary requests against the final graph, which also verifies that
+// the incrementally maintained match sets agree with cold re-matching.
+//
 // Exit codes: 0 ok, 1 load/workload error, 2 usage error, 3 cache/no-cache
-// match counts diverged under --compare-cache.
+// match counts diverged under --compare-cache, 4 incremental/rematch
+// divergence under --updates.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -30,14 +40,18 @@
 #include <deque>
 #include <fstream>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "sgm/dynamic/continuous.h"
+#include "sgm/dynamic/update_batch.h"
 #include "sgm/graph/graph_io.h"
 #include "sgm/graph/query_generator.h"
 #include "sgm/obs/json.h"
@@ -71,6 +85,7 @@ struct CliArgs {
   double slow_query_ms = 100.0;
   std::string slow_query_log_path;
   uint64_t seed = 1;
+  std::string updates_path;
 };
 
 void PrintUsage() {
@@ -83,7 +98,7 @@ void PrintUsage() {
                " [--max-queue N] [--out FILE.json] [--report FILE.json]"
                " [--metrics-out FILE] [--metrics-interval-ms N]"
                " [--slow-query-ms N] [--slow-query-log FILE]"
-               " [--seed S]\n"
+               " [--seed S] [--updates STREAM]\n"
                "run 'sgm_serve --help' for details\n");
 }
 
@@ -135,10 +150,21 @@ void PrintHelp() {
       "                      slow-query threshold\n"
       "  --seed S            base seed for 'gen' workload entries without\n"
       "                      their own (default 1)\n"
+      "  --updates STREAM    continuous-matching replay: register every\n"
+      "                      workload query as a continuous query, apply\n"
+      "                      the update stream (the sgm_generate\n"
+      "                      update-stream format) batch by batch and\n"
+      "                      report each batch's exact match delta; the\n"
+      "                      workload then runs once against the final\n"
+      "                      graph and the incrementally maintained match\n"
+      "                      sets are checked against cold re-matching.\n"
+      "                      Incompatible with --shards and\n"
+      "                      --compare-cache\n"
       "  --help              show this message and exit\n"
       "\n"
       "exit codes: 0 ok, 1 load/workload error, 2 usage error,\n"
-      "            3 match counts diverged under --compare-cache\n");
+      "            3 match counts diverged under --compare-cache,\n"
+      "            4 incremental/rematch divergence under --updates\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -211,6 +237,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->slow_query_log_path = *value;
     } else if (flag == "--seed" && (value = next())) {
       args->seed = std::strtoull(value->c_str(), nullptr, 10);
+    } else if (flag == "--updates" && (value = next())) {
+      args->updates_path = *value;
     } else {
       std::fprintf(stderr, "unknown flag or missing value: %s\n",
                    flag.c_str());
@@ -224,6 +252,13 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
   }
   if (args->metrics_interval_ms > 0 && args->metrics_out.empty()) {
     std::fprintf(stderr, "--metrics-interval-ms needs --metrics-out\n");
+    return false;
+  }
+  if (!args->updates_path.empty() &&
+      (args->shards > 1 || args->compare_cache)) {
+    std::fprintf(stderr,
+                 "--updates is incompatible with --shards and"
+                 " --compare-cache\n");
     return false;
   }
   return !args->data_path.empty() && !args->workload_path.empty();
@@ -523,6 +558,211 @@ class MetricsSnapshotWriter {
   std::thread thread_;
 };
 
+/// Submits one embedding-collecting request for `query` and returns the
+/// embeddings as a set. Sets *truncated when the request hit max_matches
+/// (the divergence check is skipped for such queries — the maintained set
+/// is exact, the rematch is not).
+std::optional<std::set<std::vector<sgm::Vertex>>> CollectEmbeddings(
+    sgm::service::MatchService& service, const sgm::Graph& query,
+    const CliArgs& args, bool* truncated) {
+  sgm::service::MatchRequest request;
+  request.query = query;
+  request.options.max_matches = args.max_matches;
+  request.options.time_limit_ms = args.time_limit_ms;
+  request.collect_embeddings = true;
+  sgm::service::MatchResponse response = service.Match(std::move(request));
+  if (response.status != sgm::service::RequestStatus::kOk) {
+    std::fprintf(stderr, "request failed: %s\n", response.error.c_str());
+    return std::nullopt;
+  }
+  *truncated = response.engine.enumerate.reached_match_limit ||
+               response.engine.enumerate.timed_out;
+  return std::set<std::vector<sgm::Vertex>>(response.embeddings.begin(),
+                                            response.embeddings.end());
+}
+
+/// The --updates mode (see file comment): continuous-matching replay with
+/// per-batch delta reports and a final incremental-vs-rematch check.
+int RunUpdateReplay(const CliArgs& args, const sgm::Graph& data,
+                    const std::vector<sgm::Graph>& queries) {
+  using sgm::obs::Json;
+  std::string error;
+  const auto stream =
+      sgm::dynamic::LoadUpdateStreamFile(args.updates_path, &error);
+  if (!stream.has_value()) {
+    std::fprintf(stderr, "failed to load update stream: %s\n", error.c_str());
+    return 1;
+  }
+
+  sgm::service::ServiceOptions service_options;
+  service_options.worker_count = args.workers;
+  service_options.plan_cache_budget_bytes = args.cache_mb << 20;
+  sgm::service::MatchService service(data, service_options);
+
+  // Register every workload query as a continuous query and seed its match
+  // set from a cold run against the initial graph.
+  std::vector<uint64_t> query_ids(queries.size(), 0);
+  std::map<uint64_t, size_t> by_id;
+  std::vector<std::set<std::vector<sgm::Vertex>>> matches(queries.size());
+  std::vector<bool> truncated(queries.size(), false);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    query_ids[q] = service.RegisterContinuousQuery(queries[q], &error);
+    if (query_ids[q] == 0) {
+      std::fprintf(stderr, "workload entry %zu rejected: %s\n", q,
+                   error.c_str());
+      return 1;
+    }
+    by_id[query_ids[q]] = q;
+    bool limit_hit = false;
+    auto initial = CollectEmbeddings(service, queries[q], args, &limit_hit);
+    if (!initial.has_value()) return 1;
+    matches[q] = std::move(*initial);
+    truncated[q] = limit_hit;
+    if (limit_hit) {
+      std::fprintf(stderr,
+                   "warning: query %zu hit the match budget; its divergence"
+                   " check is skipped (raise --max-matches)\n",
+                   q);
+    }
+  }
+  std::printf("registered %zu continuous quer%s; replaying %zu batches"
+              " (%zu ops) from %s\n",
+              queries.size(), queries.size() == 1 ? "y" : "ies",
+              stream->batches.size(), stream->op_count(),
+              args.updates_path.c_str());
+
+  // Replay, folding each batch's exact delta into the maintained sets.
+  Json batches_json = Json::Array();
+  uint64_t total_additions = 0;
+  uint64_t total_retractions = 0;
+  double total_apply_ms = 0.0;
+  double total_enumerate_ms = 0.0;
+  bool consistent = true;
+  for (size_t b = 0; b < stream->batches.size(); ++b) {
+    const sgm::service::UpdateReport report =
+        service.ApplyUpdates(stream->batches[b]);
+    if (!report.applied) {
+      std::fprintf(stderr, "batch %zu rejected: %s\n", b,
+                   report.error.c_str());
+      return 1;
+    }
+    uint64_t additions = 0;
+    uint64_t retractions = 0;
+    for (const sgm::dynamic::MatchDelta& delta : report.deltas) {
+      additions += delta.additions;
+      retractions += delta.retractions;
+      const size_t q = by_id.at(delta.query_id);
+      // A truncated seed set cannot absorb exact deltas (retractions may
+      // hit embeddings the budget cut off); its check is skipped anyway.
+      if (truncated[q]) continue;
+      auto& set = matches[q];
+      for (const sgm::dynamic::DeltaRecord& record : delta.records) {
+        if (record.addition) {
+          consistent &= set.insert(record.embedding).second;
+        } else {
+          consistent &= set.erase(record.embedding) > 0;
+        }
+      }
+    }
+    total_additions += additions;
+    total_retractions += retractions;
+    total_apply_ms += report.apply_ms;
+    total_enumerate_ms += report.enumerate_ms;
+    std::printf(
+        "batch %zu: epoch %llu, %u ops, +%llu matches, -%llu matches,"
+        " apply %.3f ms, delta-enumerate %.3f ms\n",
+        b, static_cast<unsigned long long>(report.epoch), report.ops_applied,
+        static_cast<unsigned long long>(additions),
+        static_cast<unsigned long long>(retractions), report.apply_ms,
+        report.enumerate_ms);
+
+    Json batch_json = Json::Object();
+    batch_json.Set("epoch", Json::Number(report.epoch));
+    batch_json.Set("ops", Json::Number(uint64_t{report.ops_applied}));
+    batch_json.Set("additions", Json::Number(additions));
+    batch_json.Set("retractions", Json::Number(retractions));
+    batch_json.Set("apply_ms", Json::Number(report.apply_ms));
+    batch_json.Set("enumerate_ms", Json::Number(report.enumerate_ms));
+    batches_json.Append(std::move(batch_json));
+  }
+
+  // The workload now runs once as ordinary requests against the final
+  // graph; cold rematch counts must agree with the maintained sets.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (truncated[q]) continue;
+    bool limit_hit = false;
+    auto rematch = CollectEmbeddings(service, queries[q], args, &limit_hit);
+    if (!rematch.has_value()) return 1;
+    if (!limit_hit && *rematch != matches[q]) {
+      std::fprintf(stderr,
+                   "DIVERGENCE on query %zu: incremental set has %zu"
+                   " embeddings, cold rematch %zu\n",
+                   q, matches[q].size(), rematch->size());
+      consistent = false;
+    }
+  }
+  std::printf(
+      "replayed %zu batches: +%llu / -%llu matches, apply %.1f ms,"
+      " delta-enumerate %.1f ms, incremental vs rematch %s\n",
+      stream->batches.size(),
+      static_cast<unsigned long long>(total_additions),
+      static_cast<unsigned long long>(total_retractions), total_apply_ms,
+      total_enumerate_ms, consistent ? "identical" : "DIVERGED");
+
+  const sgm::service::ServiceDynamicStats stats = service.DynamicStats();
+  Json root = Json::Object();
+  root.Set("bench", Json::String("service_updates"));
+  Json workload = Json::Object();
+  workload.Set("data", Json::String(args.data_path));
+  workload.Set("updates", Json::String(args.updates_path));
+  workload.Set("entries", Json::Number(uint64_t{queries.size()}));
+  workload.Set("workers", Json::Number(uint64_t{args.workers}));
+  root.Set("workload", std::move(workload));
+  Json totals = Json::Object();
+  totals.Set("batches", Json::Number(uint64_t{stream->batches.size()}));
+  totals.Set("ops", Json::Number(uint64_t{stream->op_count()}));
+  totals.Set("additions", Json::Number(total_additions));
+  totals.Set("retractions", Json::Number(total_retractions));
+  totals.Set("apply_ms", Json::Number(total_apply_ms));
+  totals.Set("enumerate_ms", Json::Number(total_enumerate_ms));
+  totals.Set("graph_epoch", Json::Number(stats.graph_epoch));
+  totals.Set("compactions", Json::Number(stats.compactions));
+  totals.Set("candidates_repaired", Json::Number(stats.candidates_repaired));
+  totals.Set("consistent", Json::Bool(consistent));
+  root.Set("totals", std::move(totals));
+  root.Set("batches", std::move(batches_json));
+
+  std::ofstream out(args.out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.out_path.c_str());
+    return 1;
+  }
+  out << root.Dump(2) << "\n";
+  out.close();
+  std::printf("wrote %s\n", args.out_path.c_str());
+
+  if (!args.report_path.empty()) {
+    sgm::service::MatchRequest last_request;
+    last_request.query = queries.back();
+    last_request.options.max_matches = args.max_matches;
+    last_request.options.time_limit_ms = args.time_limit_ms;
+    sgm::service::MatchResponse response = service.Match(last_request);
+    const sgm::obs::RunReport report = sgm::service::BuildServedRunReport(
+        last_request.query, service.data(), last_request, response,
+        service.metrics(), &stats);
+    if (!report.WriteFile(args.report_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.report_path.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    if (!WriteMetricsSnapshot(args.metrics_out)) return 1;
+    std::printf("wrote %s\n", args.metrics_out.c_str());
+  }
+  return consistent ? 0 : 4;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -540,6 +780,10 @@ int main(int argc, char** argv) {
   }
   const auto queries = LoadWorkload(args, *data);
   if (!queries.has_value()) return 1;
+
+  if (!args.updates_path.empty()) {
+    return RunUpdateReplay(args, *data, *queries);
+  }
 
   std::printf(
       "serving %zu quer%s x %u repeat%s on %u workers, concurrency %u\n",
